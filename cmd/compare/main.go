@@ -1,0 +1,81 @@
+// Command compare runs one workload on all three network architectures
+// — baseline BLESS, BLESS with the paper's congestion controller, and
+// the buffered VC router — and prints a side-by-side comparison of the
+// application- and network-level metrics plus the power model's verdict.
+//
+//	compare -size 8 -workload H -cycles 200000
+//	compare -size 16 -workload HM -mapping exp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"nocsim/internal/core"
+	"nocsim/internal/power"
+	"nocsim/internal/sim"
+	"nocsim/internal/workload"
+)
+
+func main() {
+	var (
+		size     = flag.Int("size", 8, "mesh edge length")
+		wl       = flag.String("workload", "H", "workload category")
+		mapping  = flag.String("mapping", "exp", "L2 mapping: xor | exp | pow")
+		meanHops = flag.Float64("mean-hops", 1, "mean hop distance for locality mappings")
+		cycles   = flag.Int64("cycles", 150_000, "cycles to simulate")
+		seed     = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	cat, ok := workload.CategoryByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "compare: unknown workload category %q\n", *wl)
+		os.Exit(1)
+	}
+	n := *size * *size
+	w := workload.Generate(cat, n, *seed)
+	params := core.DefaultParams()
+	params.Epoch = *cycles / 10
+
+	model := power.Default()
+	fmt.Printf("%-18s %10s %8s %8s %9s %10s %10s\n",
+		"architecture", "IPC/node", "util", "starv", "lat(cyc)", "hops/flit", "power/cyc")
+	for _, mode := range []string{"BLESS", "BLESS-Throttling", "Buffered"} {
+		cfg := sim.Config{
+			Width: *size, Height: *size,
+			Apps:     w.Apps,
+			MeanHops: *meanHops,
+			Params:   params,
+			Workers:  runtime.NumCPU(),
+			Seed:     *seed,
+		}
+		switch *mapping {
+		case "exp":
+			cfg.Mapping = sim.ExpMap
+		case "pow":
+			cfg.Mapping = sim.PowMap
+		}
+		buffered := false
+		switch mode {
+		case "BLESS-Throttling":
+			cfg.Controller = sim.Central
+		case "Buffered":
+			cfg.Router = sim.Buffered
+			buffered = true
+		}
+		s := sim.New(cfg)
+		s.Run(*cycles)
+		m := s.Metrics()
+		hops := 0.0
+		if m.Net.FlitsEjected > 0 {
+			hops = float64(m.Net.LinkTraversals) / float64(m.Net.FlitsEjected)
+		}
+		pwr := model.Compute(m.Net, n, buffered)
+		fmt.Printf("%-18s %10.3f %8.3f %8.3f %9.1f %10.2f %10.1f\n",
+			mode, m.ThroughputPerNode, m.NetUtilization, m.StarvationRate,
+			m.AvgNetLatency, hops, pwr.Power)
+	}
+}

@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list
+//	experiments -run fig5
+//	experiments -run fig2a,fig2b,fig2c
+//	experiments -all
+//	experiments -all -scale paper        # the paper's full parameters
+//	experiments -run fig13 -cycles 500000 -maxnodes 4096
+//
+// Output is aligned text: one block per figure/table with the same
+// series/rows the paper plots, plus notes quoting the paper's numbers
+// for comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nocsim/internal/exp"
+	"nocsim/internal/plot"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs")
+		all      = flag.Bool("all", false, "run every experiment")
+		scale    = flag.String("scale", "default", "default | paper")
+		cycles   = flag.Int64("cycles", 0, "override cycles per run")
+		epoch    = flag.Int64("epoch", 0, "override controller epoch")
+		nwl      = flag.Int("workloads", 0, "override workload batch size")
+		maxNodes = flag.Int("maxnodes", 0, "override scaling cap")
+		seed     = flag.Uint64("seed", 0, "override seed")
+		workers  = flag.Int("workers", 0, "override worker shards")
+		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
+		asPlot   = flag.Bool("plot", false, "append an ASCII chart of each figure's series")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := exp.DefaultScale()
+	if *scale == "paper" {
+		sc = exp.PaperScale()
+	}
+	if *cycles > 0 {
+		sc.Cycles = *cycles
+		if *epoch == 0 {
+			sc.Epoch = sc.Cycles / 10
+		}
+	}
+	if *epoch > 0 {
+		sc.Epoch = *epoch
+	}
+	if *nwl > 0 {
+		sc.Workloads = *nwl
+	}
+	if *maxNodes > 0 {
+		sc.MaxNodes = *maxNodes
+	}
+	if *seed > 0 {
+		sc.Seed = *seed
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = exp.IDs()
+	case *runIDs != "":
+		ids = strings.Split(*runIDs, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: pass -list, -run <ids> or -all")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		d, ok := exp.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		r := d(sc)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: encoding:", err)
+				os.Exit(1)
+			}
+		} else {
+			r.Render(os.Stdout)
+			if *asPlot && len(r.Series) > 0 {
+				var ps []plot.Series
+				for _, s := range r.Series {
+					pts := make([][2]float64, len(s.Points))
+					for i, p := range s.Points {
+						pts[i] = [2]float64{p.X, p.Y}
+					}
+					ps = append(ps, plot.Series{Name: s.Name, Points: pts})
+				}
+				logX := id == "fig3" || id == "fig13" || id == "fig14" || id == "fig15" || id == "fig16"
+				if err := plot.Render(os.Stdout, plot.Config{
+					XLabel: r.XLabel, YLabel: r.YLabel, LogX: logX,
+				}, ps...); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments: plotting:", err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestBuildWorkloadCategory(t *testing.T) {
+	w, err := buildWorkload("H", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Apps) != 16 {
+		t.Errorf("apps = %d, want 16", len(w.Apps))
+	}
+}
+
+func TestBuildWorkloadUniform(t *testing.T) {
+	w, err := buildWorkload("uniform:mcf", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range w.Apps {
+		if p == nil || p.Name != "mcf" {
+			t.Fatal("uniform workload wrong")
+		}
+	}
+}
+
+func TestBuildWorkloadSingle(t *testing.T) {
+	w, err := buildWorkload("single:gromacs", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := 0
+	for _, p := range w.Apps {
+		if p != nil {
+			active++
+		}
+	}
+	if active != 1 {
+		t.Errorf("single workload has %d active apps", active)
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	for _, spec := range []string{"ZZ", "uniform:nope", "single:nope"} {
+		if _, err := buildWorkload(spec, 16, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

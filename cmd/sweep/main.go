@@ -1,0 +1,61 @@
+// Command sweep runs the §6.4 parameter-sensitivity studies: it sweeps
+// one controller parameter (or the epoch length) over a congested
+// workload and prints throughput at each setting.
+//
+//	sweep -param alpha_starve
+//	sweep -param epoch -cycles 300000
+//	sweep -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"nocsim/internal/exp"
+)
+
+func main() {
+	var (
+		param   = flag.String("param", "", "parameter to sweep: alpha_starve beta_starve gamma_starve alpha_throt beta_throt gamma_throt epoch")
+		all     = flag.Bool("all", false, "sweep every parameter")
+		cycles  = flag.Int64("cycles", 150_000, "cycles per run")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker shards")
+	)
+	flag.Parse()
+
+	sc := exp.DefaultScale()
+	sc.Cycles = *cycles
+	sc.Epoch = *cycles / 10
+	sc.Seed = *seed
+	sc.Workers = *workers
+
+	run := func(id string) {
+		d, ok := exp.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: no driver %q\n", id)
+			os.Exit(1)
+		}
+		d(sc).Render(os.Stdout)
+	}
+
+	switch {
+	case *all:
+		run("sens")
+		run("epoch")
+	case *param == "epoch":
+		run("epoch")
+	case *param != "":
+		r, ok := exp.SweepParam(*param, sc)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q\n", *param)
+			os.Exit(1)
+		}
+		r.Render(os.Stdout)
+	default:
+		fmt.Fprintln(os.Stderr, "sweep: pass -param <name> or -all")
+		os.Exit(2)
+	}
+}

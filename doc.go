@@ -1,0 +1,19 @@
+// Package nocsim reproduces "On-Chip Networks from a Networking
+// Perspective: Congestion and Scalability in Many-Core Interconnects"
+// (Nychis, Fallin, Moscibroda, Mutlu, Seshan — SIGCOMM 2012) as a
+// complete, from-scratch Go system:
+//
+//   - internal/noc/bless — the bufferless deflection-routed NoC (FLIT-BLESS)
+//   - internal/noc/buffered — the virtual-channel buffered baseline
+//   - internal/cpu, internal/cache, internal/trace — the closed-loop
+//     CMP model (out-of-order cores, private L1s, calibrated traces)
+//   - internal/core — the paper's contribution: application-aware,
+//     starvation-driven source throttling (Algorithms 1-3)
+//   - internal/exp — drivers regenerating every table and figure
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go exercise one experiment per
+// published table/figure at a reduced scale; cmd/experiments runs them
+// at any scale up to the paper's own.
+package nocsim

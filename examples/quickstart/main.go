@@ -1,0 +1,48 @@
+// Quickstart: assemble a 4x4 bufferless CMP running a mixed workload,
+// turn the paper's congestion controller on, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"nocsim/internal/core"
+	"nocsim/internal/sim"
+	"nocsim/internal/workload"
+)
+
+func main() {
+	const cycles = 200_000
+
+	// A 16-core workload mixing heavy, medium and light applications,
+	// like the paper's HML category.
+	cat, _ := workload.CategoryByName("HML")
+	w := workload.Generate(cat, 16, 7)
+	fmt.Println("workload:", w.Names())
+
+	params := core.DefaultParams()
+	params.Epoch = cycles / 10
+
+	run := func(ctl sim.ControllerKind) sim.Metrics {
+		s := sim.New(sim.Config{
+			Apps:       w.Apps,
+			Controller: ctl,
+			Params:     params,
+			Seed:       1,
+		})
+		s.Run(cycles)
+		return s.Metrics()
+	}
+
+	base := run(sim.NoControl)
+	fmt.Printf("\nbaseline BLESS:      throughput %.2f IPC, utilization %.2f, starvation %.2f, latency %.1f cyc\n",
+		base.SystemThroughput, base.NetUtilization, base.StarvationRate, base.AvgNetLatency)
+
+	ctl := run(sim.Central)
+	fmt.Printf("BLESS-Throttling:    throughput %.2f IPC, utilization %.2f, starvation %.2f, latency %.1f cyc\n",
+		ctl.SystemThroughput, ctl.NetUtilization, ctl.StarvationRate, ctl.AvgNetLatency)
+
+	fmt.Printf("\nsystem throughput change: %+.1f%%\n",
+		100*(ctl.SystemThroughput-base.SystemThroughput)/base.SystemThroughput)
+}

@@ -1,0 +1,151 @@
+// Package app defines the application workload profiles used throughout
+// the evaluation. The paper drives its simulator with PinPoints traces of
+// SPEC CPU2006 plus desktop/workstation/server applications; here each
+// application is a synthetic profile calibrated to reproduce the IPF
+// (instructions-per-flit) mean and variance that the paper's Table 1
+// reports for the real trace, including the temporal phase behaviour of
+// Fig. 6. IPF is a pure program property (it depends only on the L1 miss
+// rate), so matching it reproduces the signal the paper's congestion
+// controller actually consumes.
+package app
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class is the network-intensity level used to build workload categories
+// (§6.1): H (Heavy) for IPF < 2, M (Medium) for 2–100, L (Light) > 100.
+type Class int
+
+const (
+	// Heavy applications have IPF below 2 (very network-intensive).
+	Heavy Class = iota
+	// Medium applications have IPF between 2 and 100.
+	Medium
+	// Light applications have IPF above 100 (CPU-bound).
+	Light
+)
+
+func (c Class) String() string {
+	switch c {
+	case Heavy:
+		return "H"
+	case Medium:
+		return "M"
+	case Light:
+		return "L"
+	}
+	return "?"
+}
+
+// ClassOf returns the intensity class of an IPF value (§6.1's bands).
+func ClassOf(ipf float64) Class {
+	switch {
+	case ipf < 2:
+		return Heavy
+	case ipf <= 100:
+		return Medium
+	default:
+		return Light
+	}
+}
+
+// Profile describes one application.
+type Profile struct {
+	// Name is the benchmark name as in Table 1.
+	Name string
+	// IPFMean and IPFVar are the instructions-per-flit statistics the
+	// synthetic trace is calibrated to (Table 1).
+	IPFMean float64
+	IPFVar  float64
+}
+
+// Class returns the profile's intensity class.
+func (p Profile) Class() Class { return ClassOf(p.IPFMean) }
+
+func (p Profile) String() string {
+	return fmt.Sprintf("%s(IPF %.1f±%.1f, %v)", p.Name, p.IPFMean, math.Sqrt(p.IPFVar), p.Class())
+}
+
+// Table1 lists every application of the paper's Table 1 with its mean
+// IPF and IPF variance.
+var Table1 = []Profile{
+	{Name: "matlab", IPFMean: 0.4, IPFVar: 0.4},
+	{Name: "health", IPFMean: 0.9, IPFVar: 0.1},
+	{Name: "mcf", IPFMean: 1.0, IPFVar: 0.3},
+	{Name: "art.ref.train", IPFMean: 1.3, IPFVar: 1.3},
+	{Name: "lbm", IPFMean: 1.6, IPFVar: 0.3},
+	{Name: "soplex", IPFMean: 1.7, IPFVar: 0.9},
+	{Name: "libquantum", IPFMean: 2.1, IPFVar: 0.6},
+	{Name: "GemsFDTD", IPFMean: 2.2, IPFVar: 1.4},
+	{Name: "leslie3d", IPFMean: 3.1, IPFVar: 1.3},
+	{Name: "milc", IPFMean: 3.8, IPFVar: 1.1},
+	{Name: "mcf2", IPFMean: 5.5, IPFVar: 17.4},
+	{Name: "tpcc", IPFMean: 6.0, IPFVar: 7.1},
+	{Name: "xalancbmk", IPFMean: 6.2, IPFVar: 6.1},
+	{Name: "vpr", IPFMean: 6.4, IPFVar: 0.3},
+	{Name: "astar", IPFMean: 8.0, IPFVar: 0.8},
+	{Name: "hmmer", IPFMean: 9.6, IPFVar: 1.1},
+	{Name: "sphinx3", IPFMean: 11.8, IPFVar: 95.2},
+	{Name: "cactus", IPFMean: 14.6, IPFVar: 4.0},
+	{Name: "gromacs", IPFMean: 19.4, IPFVar: 12.2},
+	{Name: "bzip2", IPFMean: 65.5, IPFVar: 238.1},
+	{Name: "xml_trace", IPFMean: 108.9, IPFVar: 339.1},
+	{Name: "gobmk", IPFMean: 140.8, IPFVar: 1092.8},
+	{Name: "sjeng", IPFMean: 141.8, IPFVar: 51.5},
+	{Name: "wrf", IPFMean: 151.6, IPFVar: 357.1},
+	{Name: "crafty", IPFMean: 157.2, IPFVar: 119.0},
+	{Name: "gcc", IPFMean: 285.8, IPFVar: 81.5},
+	{Name: "h264ref", IPFMean: 310.0, IPFVar: 1937.4},
+	{Name: "namd", IPFMean: 684.3, IPFVar: 942.2},
+	{Name: "omnetpp", IPFMean: 804.4, IPFVar: 3702.0},
+	{Name: "dealII", IPFMean: 2804.8, IPFVar: 4267.8},
+	{Name: "calculix", IPFMean: 3106.5, IPFVar: 4100.6},
+	{Name: "tonto", IPFMean: 3823.5, IPFVar: 4863.9},
+	{Name: "perlbench", IPFMean: 9803.8, IPFVar: 8856.1},
+	{Name: "povray", IPFMean: 20708.5, IPFVar: 1501.8},
+}
+
+// ByName returns the Table 1 profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Table1 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// MustByName is ByName that panics on unknown names.
+func MustByName(name string) Profile {
+	p, ok := ByName(name)
+	if !ok {
+		panic("app: unknown application " + name)
+	}
+	return p
+}
+
+// ByClass returns the Table 1 profiles in the given class, sorted by
+// ascending IPF.
+func ByClass(c Class) []Profile {
+	var out []Profile
+	for _, p := range Table1 {
+		if p.Class() == c {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IPFMean < out[j].IPFMean })
+	return out
+}
+
+// Synthetic builds an unnamed profile with the given IPF statistics,
+// used for controlled experiments such as Fig. 11/12's IPF grid.
+func Synthetic(ipfMean, ipfVar float64) Profile {
+	return Profile{
+		Name:    fmt.Sprintf("synthetic-ipf%g", ipfMean),
+		IPFMean: ipfMean,
+		IPFVar:  ipfVar,
+	}
+}

@@ -1,0 +1,93 @@
+package app
+
+import "testing"
+
+func TestTable1Complete(t *testing.T) {
+	if len(Table1) != 34 {
+		t.Fatalf("Table1 has %d applications, want 34", len(Table1))
+	}
+	seen := map[string]bool{}
+	for _, p := range Table1 {
+		if p.Name == "" || p.IPFMean <= 0 || p.IPFVar < 0 {
+			t.Errorf("malformed profile %+v", p)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestClassBoundaries(t *testing.T) {
+	cases := []struct {
+		ipf  float64
+		want Class
+	}{
+		{0.4, Heavy}, {1.99, Heavy}, {2.0, Medium}, {65.5, Medium},
+		{100.0, Medium}, {100.1, Light}, {20708.5, Light},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.ipf); got != c.want {
+			t.Errorf("ClassOf(%v) = %v, want %v", c.ipf, got, c.want)
+		}
+	}
+}
+
+func TestPaperExamples(t *testing.T) {
+	mcf := MustByName("mcf")
+	if mcf.IPFMean != 1.0 || mcf.Class() != Heavy {
+		t.Errorf("mcf profile wrong: %+v", mcf)
+	}
+	gromacs := MustByName("gromacs")
+	if gromacs.IPFMean != 19.4 || gromacs.Class() != Medium {
+		t.Errorf("gromacs profile wrong: %+v", gromacs)
+	}
+	povray := MustByName("povray")
+	if povray.IPFMean != 20708.5 || povray.Class() != Light {
+		t.Errorf("povray profile wrong: %+v", povray)
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName found a nonexistent app")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustByName did not panic on unknown name")
+		}
+	}()
+	MustByName("nonexistent")
+}
+
+func TestByClassPartition(t *testing.T) {
+	total := 0
+	for _, c := range []Class{Heavy, Medium, Light} {
+		ps := ByClass(c)
+		total += len(ps)
+		for i, p := range ps {
+			if p.Class() != c {
+				t.Errorf("ByClass(%v) returned %v-class %s", c, p.Class(), p.Name)
+			}
+			if i > 0 && ps[i-1].IPFMean > p.IPFMean {
+				t.Errorf("ByClass(%v) not sorted at %d", c, i)
+			}
+		}
+	}
+	if total != len(Table1) {
+		t.Errorf("classes partition %d apps, want %d", total, len(Table1))
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Heavy.String() != "H" || Medium.String() != "M" || Light.String() != "L" {
+		t.Error("Class.String mismatch")
+	}
+}
+
+func TestSynthetic(t *testing.T) {
+	p := Synthetic(10, 4)
+	if p.IPFMean != 10 || p.IPFVar != 4 || p.Class() != Medium {
+		t.Errorf("Synthetic profile wrong: %+v", p)
+	}
+}

@@ -1,0 +1,401 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nocsim/internal/rng"
+	"nocsim/internal/topology"
+)
+
+func TestL1Defaults(t *testing.T) {
+	c := NewL1(L1Config{})
+	if c.Sets() != 1024 || c.Ways() != 4 || c.BlockBytes() != 32 {
+		t.Errorf("default geometry sets=%d ways=%d block=%d, want 1024/4/32",
+			c.Sets(), c.Ways(), c.BlockBytes())
+	}
+}
+
+func TestL1HitAfterMiss(t *testing.T) {
+	c := NewL1(L1Config{})
+	if c.Access(0x1000) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(0x101f) {
+		t.Error("same 32B block must hit")
+	}
+	if c.Access(0x1020) {
+		t.Error("adjacent block must miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestL1LRUEviction(t *testing.T) {
+	// 2-way, 2-set toy cache: 4 blocks of 32B, sets selected by bit 5.
+	c := NewL1(L1Config{SizeBytes: 128, Ways: 2, BlockBytes: 32})
+	// Three distinct blocks in set 0: 0x000, 0x040, 0x080.
+	c.Access(0x000)
+	c.Access(0x040)
+	c.Access(0x000) // touch 0x000 so 0x040 is LRU
+	c.Access(0x080) // evicts 0x040
+	if !c.Probe(0x000) {
+		t.Error("MRU line evicted")
+	}
+	if c.Probe(0x040) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Probe(0x080) {
+		t.Error("newly inserted line missing")
+	}
+}
+
+func TestL1ProbeDoesNotAllocate(t *testing.T) {
+	c := NewL1(L1Config{})
+	if c.Probe(0x40) {
+		t.Error("probe hit on empty cache")
+	}
+	if c.Probe(0x40) {
+		t.Error("probe must not allocate")
+	}
+	if c.Hits()+c.Misses() != 0 {
+		t.Error("probe must not count as an access")
+	}
+}
+
+// Property: working sets that fit in the cache always hit after one pass.
+func TestL1FittingWorkingSetAlwaysHits(t *testing.T) {
+	c := NewL1(L1Config{SizeBytes: 4096, Ways: 4, BlockBytes: 32})
+	blocks := 4096 / 32
+	for i := 0; i < blocks; i++ {
+		c.Access(uint64(i * 32))
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < blocks; i++ {
+			if !c.Access(uint64(i * 32)) {
+				t.Fatalf("resident block %d missed on pass %d", i, pass)
+			}
+		}
+	}
+}
+
+func TestL1StreamingAlwaysMisses(t *testing.T) {
+	c := NewL1(L1Config{})
+	addr := uint64(0)
+	for i := 0; i < 10000; i++ {
+		if c.Access(addr) {
+			t.Fatalf("fresh block hit at %#x", addr)
+		}
+		addr += 32
+	}
+	if c.MissRate() != 1 {
+		t.Errorf("streaming miss rate %v, want 1", c.MissRate())
+	}
+}
+
+func TestL1Reset(t *testing.T) {
+	c := NewL1(L1Config{})
+	c.Access(0x40)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("counters survive Reset")
+	}
+	if c.Probe(0x40) {
+		t.Error("contents survive Reset")
+	}
+}
+
+func TestL1PanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two block size did not panic")
+		}
+	}()
+	NewL1(L1Config{BlockBytes: 24})
+}
+
+func TestXORInterleaveInRangeAndUniform(t *testing.T) {
+	m := NewXORInterleave(16, 32)
+	counts := make([]int, 16)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		h := m.Home(0, uint64(i*32))
+		if h < 0 || h >= 16 {
+			t.Fatalf("home %d out of range", h)
+		}
+		counts[h]++
+	}
+	want := float64(draws) / 16
+	for n, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("node %d got %d blocks, want about %.0f", n, c, want)
+		}
+	}
+}
+
+func TestXORInterleaveDeterministic(t *testing.T) {
+	m := NewXORInterleave(64, 32)
+	f := func(addr uint64) bool {
+		return m.Home(3, addr) == m.Home(9, addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error("XOR mapping must depend only on the address:", err)
+	}
+}
+
+func TestLocalityMeanDistance(t *testing.T) {
+	top := topology.NewSquare(topology.Mesh, 64)
+	for _, mean := range []float64{1, 2, 4, 8} {
+		m := NewLocality(LocalityConfig{Topology: top, MeanHops: mean, Seed: 7})
+		src := top.Node(32, 32) // central node: no clamping distortion
+		const draws = 20000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			dst := m.Home(src, uint64(i))
+			sum += float64(top.Distance(src, dst))
+		}
+		got := sum / draws
+		if math.Abs(got-mean) > 0.15*mean+0.15 {
+			t.Errorf("mean hops %v: measured %v", mean, got)
+		}
+	}
+}
+
+func TestLocalityTailMatchesPaper(t *testing.T) {
+	// §3.2: lambda=1 places 95% of requests within 3 hops, 99% within 5.
+	top := topology.NewSquare(topology.Mesh, 64)
+	m := NewLocality(LocalityConfig{Topology: top, MeanHops: 1, Seed: 3})
+	src := top.Node(32, 32)
+	const draws = 50000
+	within3, within5 := 0, 0
+	for i := 0; i < draws; i++ {
+		d := top.Distance(src, m.Home(src, uint64(i)))
+		if d <= 3 {
+			within3++
+		}
+		if d <= 5 {
+			within5++
+		}
+	}
+	if p := float64(within3) / draws; p < 0.93 {
+		t.Errorf("P(d<=3) = %v, want >= 0.93 (paper: 95%%)", p)
+	}
+	if p := float64(within5) / draws; p < 0.98 {
+		t.Errorf("P(d<=5) = %v, want >= 0.98 (paper: 99%%)", p)
+	}
+}
+
+func TestLocalityEdgeNodesClamped(t *testing.T) {
+	top := topology.NewSquare(topology.Mesh, 4)
+	m := NewLocality(LocalityConfig{Topology: top, MeanHops: 8, Seed: 1})
+	for i := 0; i < 5000; i++ {
+		h := m.Home(0, uint64(i))
+		if h < 0 || h >= 16 {
+			t.Fatalf("home %d out of range", h)
+		}
+	}
+}
+
+func TestLocalityPowerLaw(t *testing.T) {
+	top := topology.NewSquare(topology.Mesh, 64)
+	m := NewLocality(LocalityConfig{Topology: top, Kind: PowerLaw, MeanHops: 2, Alpha: 2, Seed: 5})
+	src := top.Node(32, 32)
+	const draws = 20000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(top.Distance(src, m.Home(src, uint64(i))))
+	}
+	got := sum / draws
+	// Heavy tail truncated by the mesh; accept a broad band around mean.
+	if got < 1 || got > 4 {
+		t.Errorf("power-law mean distance %v, want in [1,4]", got)
+	}
+}
+
+func TestLocalityDeterministicPerSeed(t *testing.T) {
+	top := topology.NewSquare(topology.Mesh, 8)
+	a := NewLocality(LocalityConfig{Topology: top, Seed: 42})
+	b := NewLocality(LocalityConfig{Topology: top, Seed: 42})
+	for i := 0; i < 1000; i++ {
+		if a.Home(5, uint64(i)) != b.Home(5, uint64(i)) {
+			t.Fatal("equal seeds must give equal draw sequences")
+		}
+	}
+}
+
+func TestNodesAtRingComplete(t *testing.T) {
+	top := topology.NewSquare(topology.Mesh, 8)
+	m := NewLocality(LocalityConfig{Topology: top, Seed: 1})
+	for src := 0; src < 64; src += 13 {
+		for d := 1; d <= 6; d++ {
+			ring := m.nodesAt(nil, src, d)
+			// Cross-check against brute force.
+			want := 0
+			for n := 0; n < 64; n++ {
+				if top.Distance(src, n) == d {
+					want++
+				}
+			}
+			if len(ring) != want {
+				t.Errorf("src %d dist %d: ring has %d nodes, want %d", src, d, len(ring), want)
+			}
+			for _, n := range ring {
+				if top.Distance(src, int(n)) != d {
+					t.Errorf("src %d: node %d not at distance %d", src, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestFixedMapper(t *testing.T) {
+	m := Fixed{Dst: 7}
+	if m.Home(3, 0xdead) != 7 {
+		t.Error("Fixed mapper must always return Dst")
+	}
+}
+
+func TestLocalityZeroDistanceIsSelf(t *testing.T) {
+	// With a tiny mean, most draws round to distance 0 = local slice.
+	top := topology.NewSquare(topology.Mesh, 8)
+	m := NewLocality(LocalityConfig{Topology: top, MeanHops: 0.05, Seed: 9})
+	self := 0
+	for i := 0; i < 1000; i++ {
+		if m.Home(27, uint64(i)) == 27 {
+			self++
+		}
+	}
+	if self < 900 {
+		t.Errorf("tiny mean should map mostly to self; got %d/1000", self)
+	}
+}
+
+func BenchmarkL1Access(b *testing.B) {
+	c := NewL1(L1Config{})
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095])
+	}
+}
+
+func BenchmarkLocalityHome(b *testing.B) {
+	top := topology.NewSquare(topology.Mesh, 64)
+	m := NewLocality(LocalityConfig{Topology: top, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Home(2080, uint64(i))
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	// 2-way, 2-set toy cache; set 0 holds blocks 0x000, 0x040, 0x080.
+	c := NewL1(L1Config{SizeBytes: 128, Ways: 2, BlockBytes: 32})
+	c.AccessRW(0x000, true) // dirty
+	c.AccessRW(0x040, false)
+	c.AccessRW(0x040, false)                  // make 0x000 LRU
+	_, wbAddr, wb := c.AccessRW(0x080, false) // evicts dirty 0x000
+	if !wb || wbAddr != 0x000 {
+		t.Errorf("expected writeback of 0x000, got wb=%v addr=%#x", wb, wbAddr)
+	}
+	if c.Writebacks() != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks())
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := NewL1(L1Config{SizeBytes: 128, Ways: 2, BlockBytes: 32})
+	c.AccessRW(0x000, false)
+	c.AccessRW(0x040, false)
+	_, _, wb := c.AccessRW(0x080, false)
+	if wb {
+		t.Error("clean eviction must not write back")
+	}
+}
+
+func TestStoreHitDirtiesLine(t *testing.T) {
+	c := NewL1(L1Config{SizeBytes: 128, Ways: 2, BlockBytes: 32})
+	c.AccessRW(0x000, false) // clean allocate
+	c.AccessRW(0x000, true)  // store hit dirties
+	c.AccessRW(0x040, false)
+	c.AccessRW(0x040, false)
+	_, wbAddr, wb := c.AccessRW(0x080, false)
+	if !wb || wbAddr != 0 {
+		t.Errorf("store-hit-dirtied line must write back: wb=%v addr=%#x", wb, wbAddr)
+	}
+}
+
+func TestWarmDoesNotDirtyOrCount(t *testing.T) {
+	c := NewL1(L1Config{SizeBytes: 128, Ways: 2, BlockBytes: 32})
+	c.Warm(0x000)
+	c.Warm(0x040)
+	if c.Hits()+c.Misses()+c.Writebacks() != 0 {
+		t.Error("Warm must not count")
+	}
+	_, _, wb := c.AccessRW(0x080, false)
+	if wb {
+		t.Error("warmed lines must be clean")
+	}
+}
+
+func TestResetClearsDirty(t *testing.T) {
+	c := NewL1(L1Config{SizeBytes: 128, Ways: 2, BlockBytes: 32})
+	c.AccessRW(0x000, true)
+	c.Reset()
+	c.AccessRW(0x040, false)
+	c.AccessRW(0x080, false)
+	_, _, wb := c.AccessRW(0x0c0, false)
+	if wb {
+		t.Error("Reset must clear dirty bits")
+	}
+	if c.Writebacks() != 0 {
+		t.Error("Reset must clear the writeback counter")
+	}
+}
+
+func TestGroupedMapperStaysInGroup(t *testing.T) {
+	// Two groups: nodes 0-7 and 8-15.
+	group := make([]int, 16)
+	for i := 8; i < 16; i++ {
+		group[i] = 1
+	}
+	m := NewGrouped(group, 3)
+	for src := 0; src < 16; src++ {
+		for i := 0; i < 200; i++ {
+			h := m.Home(src, uint64(i))
+			if (src < 8) != (h < 8) {
+				t.Fatalf("src %d mapped outside its group: %d", src, h)
+			}
+		}
+	}
+}
+
+func TestGroupedMapperCoversGroup(t *testing.T) {
+	group := []int{0, 0, 0, 0}
+	m := NewGrouped(group, 5)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[m.Home(0, uint64(i))] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("group coverage %d members, want 4", len(seen))
+	}
+}
+
+func TestGroupedPanicsOnEmptyGroup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sparse group ids did not panic")
+		}
+	}()
+	NewGrouped([]int{0, 2}, 1) // group 1 empty
+}

@@ -1,0 +1,283 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"nocsim/internal/rng"
+	"nocsim/internal/topology"
+)
+
+// Mapper decides which node's shared-L2 slice services a given L1 miss.
+type Mapper interface {
+	// Home returns the destination node for a miss on addr issued by src.
+	Home(src int, addr uint64) int
+}
+
+// XORInterleave implements the paper's default L2 address mapping
+// (Table 2: "per-block interleaving, XOR mapping"): consecutive blocks
+// are spread across all nodes, with the block bits XOR-folded so that
+// strided access patterns do not collide on one slice.
+type XORInterleave struct {
+	nodes      int
+	blockShift uint
+}
+
+// NewXORInterleave maps blocks of blockBytes across nodes.
+func NewXORInterleave(nodes, blockBytes int) *XORInterleave {
+	if nodes <= 0 {
+		panic("cache: NewXORInterleave needs nodes > 0")
+	}
+	bb := uint(0)
+	for 1<<bb < blockBytes {
+		bb++
+	}
+	return &XORInterleave{nodes: nodes, blockShift: bb}
+}
+
+// Home XOR-folds the block number and reduces it modulo the node count.
+func (m *XORInterleave) Home(_ int, addr uint64) int {
+	b := addr >> m.blockShift
+	b ^= b >> 17
+	b ^= b >> 9
+	b *= 0x9e3779b97f4a7c15 // mix so low-entropy block streams spread evenly
+	b ^= b >> 33
+	return int(b % uint64(m.nodes))
+}
+
+// DistanceKind selects the distance distribution of a locality mapper.
+type DistanceKind int
+
+const (
+	// Exponential draws hop distances from Exp(mean); with mean 1.0 this
+	// places 95% of requests within 3 hops and 99% within 5 (§3.2).
+	Exponential DistanceKind = iota
+	// PowerLaw draws from a Pareto distribution; the paper reports it
+	// "behaved similarly".
+	PowerLaw
+)
+
+// Locality implements §3.2's randomized data mapping: each request's
+// destination is drawn at a random hop distance around the requester,
+// modelling intelligent data placement plus a small long-distance tail.
+// As in the paper, destinations are drawn per request ("the destinations
+// for each data request are simply mapped according to the
+// distribution"), which also keeps memory flat on long runs.
+//
+// All per-source state (random stream, scratch buffer) is isolated, so
+// concurrent Home calls for distinct sources are safe.
+type Locality struct {
+	top        *topology.Topology
+	kind       DistanceKind
+	mean       float64
+	alpha      float64
+	blockShift uint
+	srcs       []*rng.Source
+	// scratch[src] holds candidate nodes at one distance during a draw.
+	scratch [][]int32
+}
+
+// LocalityConfig parameterises a Locality mapper.
+type LocalityConfig struct {
+	Topology *topology.Topology
+	// Kind selects the distance distribution; default Exponential.
+	Kind DistanceKind
+	// MeanHops is 1/lambda, the average request hop distance; 0 means 1.
+	MeanHops float64
+	// Alpha is the Pareto shape for PowerLaw; 0 means 2.
+	Alpha float64
+	// BlockBytes is the cache block size; 0 means 32.
+	BlockBytes int
+	// Seed derives the per-source random streams.
+	Seed uint64
+}
+
+// NewLocality constructs the locality mapper.
+func NewLocality(cfg LocalityConfig) *Locality {
+	if cfg.Topology == nil {
+		panic("cache: LocalityConfig.Topology is required")
+	}
+	if cfg.MeanHops == 0 {
+		cfg.MeanHops = 1
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2
+	}
+	if cfg.BlockBytes == 0 {
+		cfg.BlockBytes = 32
+	}
+	bb := uint(0)
+	for 1<<bb < cfg.BlockBytes {
+		bb++
+	}
+	n := cfg.Topology.Nodes()
+	root := rng.New(cfg.Seed ^ 0x10ca11)
+	m := &Locality{
+		top:        cfg.Topology,
+		kind:       cfg.Kind,
+		mean:       cfg.MeanHops,
+		alpha:      cfg.Alpha,
+		blockShift: bb,
+		srcs:       make([]*rng.Source, n),
+		scratch:    make([][]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		m.srcs[i] = root.SplitIndex(i)
+	}
+	return m
+}
+
+// Home draws the home slice for src's request at the configured
+// distance distribution. The address is ignored by design (§3.2).
+func (m *Locality) Home(src int, _ uint64) int {
+	return m.draw(src)
+}
+
+// draw picks a destination at a random distance from src.
+func (m *Locality) draw(src int) int {
+	r := m.srcs[src]
+	var d int
+	switch m.kind {
+	case PowerLaw:
+		// Pareto with xm chosen so the mean matches MeanHops when
+		// alpha > 1: mean = alpha*xm/(alpha-1).
+		xm := m.mean * (m.alpha - 1) / m.alpha
+		if xm <= 0 {
+			xm = 0.5
+		}
+		d = int(math.Round(r.Pareto(m.alpha, xm)))
+	default:
+		d = int(math.Round(r.Exp(m.mean)))
+	}
+	if d == 0 {
+		return src // local slice services the miss
+	}
+	maxD := m.maxDistance(src)
+	if d > maxD {
+		d = maxD
+	}
+	m.scratch[src] = m.nodesAt(m.scratch[src][:0], src, d)
+	ring := m.scratch[src]
+	// A ring at distance d>=1 within the mesh is never empty once d is
+	// clamped to the maximum reachable distance.
+	return int(ring[r.Intn(len(ring))])
+}
+
+// maxDistance returns the largest hop distance reachable from src.
+func (m *Locality) maxDistance(src int) int {
+	x, y := m.top.Coord(src)
+	w, h := m.top.Width(), m.top.Height()
+	if m.top.Kind() == topology.Torus {
+		return w/2 + h/2
+	}
+	dx := x
+	if w-1-x > dx {
+		dx = w - 1 - x
+	}
+	dy := y
+	if h-1-y > dy {
+		dy = h - 1 - y
+	}
+	return dx + dy
+}
+
+// nodesAt appends every node at exactly hop distance d from src.
+func (m *Locality) nodesAt(buf []int32, src, d int) []int32 {
+	x, y := m.top.Coord(src)
+	w, h := m.top.Width(), m.top.Height()
+	if m.top.Kind() == topology.Torus {
+		// Small meshes only for torus locality runs: scan all nodes.
+		for n := 0; n < m.top.Nodes(); n++ {
+			if m.top.Distance(src, n) == d {
+				buf = append(buf, int32(n))
+			}
+		}
+		return buf
+	}
+	for dx := -d; dx <= d; dx++ {
+		nx := x + dx
+		if nx < 0 || nx >= w {
+			continue
+		}
+		rem := d - abs(dx)
+		ny := y + rem
+		if ny >= 0 && ny < h {
+			buf = append(buf, int32(ny*w+nx))
+		}
+		if rem != 0 {
+			ny = y - rem
+			if ny >= 0 && ny < h {
+				buf = append(buf, int32(ny*w+nx))
+			}
+		}
+	}
+	return buf
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Fixed maps every miss from a source to one fixed destination; useful
+// for directed tests and hotspot experiments.
+type Fixed struct {
+	Dst int
+}
+
+// Home returns the fixed destination.
+func (m Fixed) Home(int, uint64) int { return m.Dst }
+
+// Grouped models multithreaded applications (§7 "Traffic Engineering"):
+// nodes belong to thread groups that share a working set, so each
+// node's misses are serviced uniformly by its own group's members —
+// heavily regional traffic that forms hot spots where groups sit.
+type Grouped struct {
+	// group[node] identifies the node's thread group.
+	group []int32
+	// members[g] lists the nodes of group g.
+	members [][]int32
+	srcs    []*rng.Source
+}
+
+// NewGrouped builds the group-local mapper from a per-node group
+// assignment (values must be dense, 0..G-1).
+func NewGrouped(group []int, seed uint64) *Grouped {
+	g := &Grouped{
+		group: make([]int32, len(group)),
+		srcs:  make([]*rng.Source, len(group)),
+	}
+	maxG := 0
+	for _, v := range group {
+		if v < 0 {
+			panic("cache: negative group id")
+		}
+		if v > maxG {
+			maxG = v
+		}
+	}
+	g.members = make([][]int32, maxG+1)
+	for n, v := range group {
+		g.group[n] = int32(v)
+		g.members[v] = append(g.members[v], int32(n))
+	}
+	for gi, m := range g.members {
+		if len(m) == 0 {
+			panic(fmt.Sprintf("cache: group %d has no members", gi))
+		}
+	}
+	root := rng.New(seed ^ 0x96099)
+	for i := range g.srcs {
+		g.srcs[i] = root.SplitIndex(i)
+	}
+	return g
+}
+
+// Home draws a uniform member of src's group (possibly src itself: the
+// shared working set is partly local).
+func (g *Grouped) Home(src int, _ uint64) int {
+	m := g.members[g.group[src]]
+	return int(m[g.srcs[src].Intn(len(m))])
+}

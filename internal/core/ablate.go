@@ -1,0 +1,110 @@
+package core
+
+import "math"
+
+// This file holds the ablation controllers benchmarked against the full
+// mechanism (see DESIGN.md §4). Each removes exactly one design choice:
+// Unaware removes application awareness (whom to throttle), and
+// LatencyTriggered removes the starvation signal (when to throttle).
+
+// Unaware is the application-unaware ablation: detection is identical
+// to the full controller (starvation thresholds, Equation 1), but when
+// the network is congested every node is throttled at one homogeneous
+// rate, as a traditional network would. §4 predicts — and the ablation
+// benchmark confirms — that this forgoes most of the gain because
+// throttling cache-friendly applications hurts them without relieving
+// congestion.
+type Unaware struct {
+	policy *Policy
+	params Params
+	// Rate is the homogeneous throttling rate applied when congested.
+	Rate float64
+}
+
+// NewUnaware builds the unaware controller; rate is the homogeneous
+// throttling rate (the §3.1 static sweep peaks near 0.4–0.6).
+func NewUnaware(policy *Policy, params Params, rate float64) *Unaware {
+	return &Unaware{policy: policy, params: params, Rate: rate}
+}
+
+// Update applies one epoch: same congestion detection as Algorithm 1,
+// homogeneous response.
+func (u *Unaware) Update(ipf []float64) Decision {
+	n := u.policy.T.Nodes()
+	congested := false
+	for i := 0; i < n; i++ {
+		v := ipf[i]
+		if !(v > 0) {
+			v = u.params.IPFCap
+		}
+		if u.policy.M.Rate(i) > u.params.StarveThreshold(v) {
+			congested = true
+			break
+		}
+	}
+	d := Decision{Congested: congested, ControlPackets: 2 * n}
+	r := 0.0
+	if congested {
+		r = u.Rate
+		d.ThrottledNodes = n
+	}
+	for i := 0; i < n; i++ {
+		u.policy.T.SetRate(i, r)
+	}
+	return d
+}
+
+// LatencyTriggered is the latency-signal ablation: it throttles the
+// same nodes at the same rates as Algorithm 1, but detects congestion
+// from average in-network latency instead of starvation. §3.1 shows
+// network latency stays comparatively flat in a bufferless NoC even
+// under heavy congestion, so this detector reacts late or not at all.
+type LatencyTriggered struct {
+	policy *Policy
+	params Params
+	// LatencyThresh is the average per-flit network latency (cycles)
+	// above which the network is declared congested.
+	LatencyThresh float64
+	rates         []float64
+}
+
+// NewLatencyTriggered builds the latency-triggered controller.
+func NewLatencyTriggered(policy *Policy, params Params, thresh float64) *LatencyTriggered {
+	return &LatencyTriggered{
+		policy:        policy,
+		params:        params,
+		LatencyThresh: thresh,
+		rates:         make([]float64, policy.T.Nodes()),
+	}
+}
+
+// Update applies one epoch given the epoch's mean network latency and
+// per-node IPF readings.
+func (l *LatencyTriggered) Update(avgNetLatency float64, ipf []float64) Decision {
+	n := l.policy.T.Nodes()
+	congested := avgNetLatency > l.LatencyThresh
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := ipf[i]
+		if !(v > 0) || math.IsNaN(v) {
+			v = l.params.IPFCap
+		}
+		l.rates[i] = v
+		sum += v
+	}
+	mean := sum / float64(n)
+	d := Decision{Congested: congested, MeanIPF: mean, ControlPackets: 2 * n}
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if congested && l.rates[i] < mean {
+			r = l.params.ThrottleRate(l.rates[i])
+		}
+		l.rates[i] = r
+		l.policy.T.SetRate(i, r)
+		if r > 0 {
+			d.ThrottledNodes++
+		}
+	}
+	d.Rates = l.rates
+	return d
+}

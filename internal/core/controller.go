@@ -1,0 +1,190 @@
+package core
+
+import "math"
+
+// Params are Algorithm 1's tuning constants. The defaults are the
+// paper's empirically chosen values (§6.1); §6.4 sweeps each.
+type Params struct {
+	// AlphaStarve scales the congestion-detection threshold with the
+	// node's network intensity (threshold grows with alpha/IPF so that
+	// naturally starving network-intensive applications do not trip
+	// detection spuriously).
+	AlphaStarve float64
+	// BetaStarve is the threshold's lower bound.
+	BetaStarve float64
+	// GammaStarve is the threshold's upper bound.
+	GammaStarve float64
+	// AlphaThrot scales throttling rate with network intensity.
+	AlphaThrot float64
+	// BetaThrot is the minimum applied throttling rate.
+	BetaThrot float64
+	// GammaThrot caps the throttling rate so intensive applications are
+	// never fully starved.
+	GammaThrot float64
+	// Epoch is T, the controller period in cycles.
+	Epoch int64
+	// IPFCap bounds measured IPF when a node sent no traffic in an
+	// epoch (IPF would be infinite); it only needs to exceed every real
+	// application's IPF.
+	IPFCap float64
+	// MinSigma floors the congestion-detection threshold. The monitor's
+	// starvation rate is quantized to 1/W (W=128): for a light
+	// application (large IPF) Equation 1's threshold falls below that
+	// quantum, so a single starved cycle — measurement noise — would
+	// flag the whole network congested and throttle the heavy
+	// applications at full rate. Requiring at least two starved cycles
+	// per window (1.5/W) filters the noise without touching real
+	// detections. 0 means 1.5/128.
+	MinSigma float64
+}
+
+// DefaultParams returns the paper's §6.1 parameter set: alpha_starve
+// 0.4, beta_starve 0.0, gamma_starve 0.7, alpha_throt 0.9, beta_throt
+// 0.20, gamma_throt 0.75, T = 100k cycles.
+func DefaultParams() Params {
+	return Params{
+		AlphaStarve: 0.4,
+		BetaStarve:  0.0,
+		GammaStarve: 0.7,
+		AlphaThrot:  0.9,
+		BetaThrot:   0.20,
+		GammaThrot:  0.75,
+		Epoch:       100_000,
+		IPFCap:      1e7,
+		MinSigma:    1.5 / float64(DefaultWindow),
+	}
+}
+
+// StarveThreshold returns the congestion-detection threshold for a node
+// with the given IPF: min(beta + alpha/IPF, gamma) (Equation 1), floored
+// at MinSigma (the monitor's measurement-noise quantum).
+func (p Params) StarveThreshold(ipf float64) float64 {
+	t := math.Min(p.BetaStarve+p.AlphaStarve/ipf, p.GammaStarve)
+	if t < p.MinSigma {
+		t = p.MinSigma
+	}
+	return t
+}
+
+// ThrottleRate returns the rate applied to a throttled node:
+// min(beta + alpha/IPF, gamma) (Equation 2).
+func (p Params) ThrottleRate(ipf float64) float64 {
+	return math.Min(p.BetaThrot+p.AlphaThrot/ipf, p.GammaThrot)
+}
+
+// Decision is the outcome of one controller epoch, for logging and
+// tests.
+type Decision struct {
+	// Congested is true when at least one node exceeded its starvation
+	// threshold, activating throttling network-wide.
+	Congested bool
+	// MeanIPF is the across-node average IPF used as the throttling
+	// criterion.
+	MeanIPF float64
+	// Rates[i] is the throttling rate applied to node i this epoch.
+	Rates []float64
+	// ThrottledNodes counts nodes with a non-zero rate.
+	ThrottledNodes int
+	// ControlPackets is the coordination cost in packets: one report
+	// from and one rate-setting to every node (§6.6: "only 2n packets
+	// ... every 100k cycles").
+	ControlPackets int
+}
+
+// Controller is Algorithm 1: the centrally-coordinated software that
+// periodically turns per-node (sigma, IPF) readings into per-node
+// throttling rates. The coordination is feasible on-chip because the
+// topology is static and small-diameter (§2.1), and it is cheap: 2n
+// control packets per epoch and a trivial computation.
+type Controller struct {
+	params Params
+	policy *Policy
+
+	epochs    int64
+	decisions int64 // epochs with throttling active
+	rates     []float64
+}
+
+// NewController wires a controller to the hardware policy it drives.
+func NewController(policy *Policy, params Params) *Controller {
+	if params.Epoch <= 0 {
+		params.Epoch = DefaultParams().Epoch
+	}
+	if params.IPFCap <= 0 {
+		params.IPFCap = DefaultParams().IPFCap
+	}
+	if params.MinSigma == 0 {
+		params.MinSigma = DefaultParams().MinSigma
+	}
+	return &Controller{
+		params: params,
+		policy: policy,
+		rates:  make([]float64, policy.T.Nodes()),
+	}
+}
+
+// Params returns the controller's parameter set.
+func (c *Controller) Params() Params { return c.params }
+
+// Epochs returns how many times Update has run.
+func (c *Controller) Epochs() int64 { return c.epochs }
+
+// CongestedEpochs returns how many epochs activated throttling.
+func (c *Controller) CongestedEpochs() int64 { return c.decisions }
+
+// Update runs one epoch of Algorithm 1. ipf[i] is node i's measured
+// instructions-per-flit over the elapsed epoch (non-positive or NaN
+// values are treated as IPFCap: the node sent no traffic). It reads
+// each node's starvation rate from the monitor, decides the congestion
+// state, and programs the throttler.
+func (c *Controller) Update(ipf []float64) Decision {
+	n := c.policy.T.Nodes()
+	if len(ipf) != n {
+		panic("core: Update needs one IPF measurement per node")
+	}
+	c.epochs++
+
+	// Sanitise IPF readings and compute the mean (the throttling
+	// criterion's threshold).
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := ipf[i]
+		if !(v > 0) || v > c.params.IPFCap || math.IsNaN(v) {
+			v = c.params.IPFCap
+		}
+		c.rates[i] = v // reuse as scratch for sanitised IPF
+		sum += v
+	}
+	meanIPF := sum / float64(n)
+
+	// Determine congestion state: any node over its threshold.
+	congested := false
+	for i := 0; i < n; i++ {
+		sigma := c.policy.M.Rate(i)
+		if sigma > c.params.StarveThreshold(c.rates[i]) {
+			congested = true
+			break
+		}
+	}
+
+	// Set throttling rates: when congested, throttle the
+	// network-intensive half (IPF below average), proportionally to
+	// intensity; otherwise release everyone.
+	d := Decision{Congested: congested, MeanIPF: meanIPF, ControlPackets: 2 * n}
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if congested && c.rates[i] < meanIPF {
+			r = c.params.ThrottleRate(c.rates[i])
+		}
+		c.rates[i] = r
+		c.policy.T.SetRate(i, r)
+		if r > 0 {
+			d.ThrottledNodes++
+		}
+	}
+	if congested {
+		c.decisions++
+	}
+	d.Rates = c.rates
+	return d
+}

@@ -1,0 +1,104 @@
+package core
+
+// Distributed is the §6.6 comparison controller, a "TCP-like" congestion
+// response with no application awareness and no central coordination:
+//
+//  1. a node whose own starvation rate exceeds SigmaThresh sets a
+//     "congested" bit on every packet that passes through its router;
+//  2. a node that receives a packet with the congested bit set
+//     self-throttles, backing off multiplicatively; absent further
+//     signals its rate decays additively each local epoch.
+//
+// The paper found this mechanism far less effective than the central,
+// IPF-aware controller because it throttles whoever happens to see a
+// marked packet rather than the applications that cause congestion.
+// The backoff constants are not specified in the paper; the defaults
+// here are a conventional AIMD setting and are swept in the benchmarks.
+type Distributed struct {
+	M *Monitor
+	T *Throttler
+
+	// SigmaThresh is the local starvation rate above which a node marks
+	// passing traffic.
+	SigmaThresh float64
+	// Increase is the multiplicative backoff: on a congestion signal,
+	// rate <- min(MaxRate, rate*Increase + Step).
+	Increase float64
+	// Step seeds the backoff from zero.
+	Step float64
+	// Decay is subtracted from the rate each local epoch without a
+	// signal.
+	Decay float64
+	// MaxRate caps the self-imposed throttling rate.
+	MaxRate float64
+
+	rates    []float64
+	signaled []bool
+	signals  int64
+}
+
+// NewDistributed builds the distributed policy for n nodes with the
+// default constants (threshold 0.35, backoff *1.5+0.2 capped at 0.75,
+// decay 0.1).
+func NewDistributed(n int) *Distributed {
+	return &Distributed{
+		M:           NewMonitor(n, 0),
+		T:           NewThrottler(n),
+		SigmaThresh: 0.35,
+		Increase:    1.5,
+		Step:        0.2,
+		Decay:       0.1,
+		MaxRate:     0.75,
+		rates:       make([]float64, n),
+		signaled:    make([]bool, n),
+	}
+}
+
+// Allow consults the deterministic gate.
+func (d *Distributed) Allow(node int) bool { return d.T.Allow(node) }
+
+// Tick feeds the starvation window (network-refused cycles only).
+func (d *Distributed) Tick(node int, wanted, injected, throttled bool) {
+	d.M.Tick(node, wanted && !injected && !throttled)
+}
+
+// MarkCongested reports whether node is currently starving past the
+// threshold; the fabric then sets the congestion bit on departing flits.
+func (d *Distributed) MarkCongested(node int) bool {
+	return d.M.Rate(node) > d.SigmaThresh
+}
+
+// OnSignal is called by the system when node receives a packet whose
+// congestion bit is set. The response is applied at the next Epoch call
+// (one reaction per local epoch, like one backoff per RTT).
+func (d *Distributed) OnSignal(node int) {
+	d.signaled[node] = true
+	d.signals++
+}
+
+// Signals returns the number of congestion signals received so far.
+func (d *Distributed) Signals() int64 { return d.signals }
+
+// Rate returns node's current self-imposed throttling rate.
+func (d *Distributed) Rate(node int) float64 { return d.rates[node] }
+
+// Epoch applies each node's pending backoff or decay and programs the
+// throttler. Call it periodically (the experiments use the same 100k
+// cycle period as the central controller's epoch).
+func (d *Distributed) Epoch() {
+	for i := range d.rates {
+		if d.signaled[i] {
+			d.rates[i] = d.rates[i]*d.Increase + d.Step
+			if d.rates[i] > d.MaxRate {
+				d.rates[i] = d.MaxRate
+			}
+			d.signaled[i] = false
+		} else {
+			d.rates[i] -= d.Decay
+			if d.rates[i] < 0 {
+				d.rates[i] = 0
+			}
+		}
+		d.T.SetRate(i, d.rates[i])
+	}
+}

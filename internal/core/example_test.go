@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nocsim/internal/core"
+)
+
+// The full mechanism in miniature: hardware instruments feed the
+// central controller, which programs per-node throttling rates.
+func Example() {
+	const nodes = 4
+	policy := core.NewPolicy(nodes, 128)
+
+	// Hardware side, each cycle: the fabric reports injection outcomes.
+	// Node 0 (a heavy application) is starved half the time.
+	for cycle := 0; cycle < 128; cycle++ {
+		policy.Tick(0, true, cycle%2 == 0, false)
+		for n := 1; n < nodes; n++ {
+			policy.Tick(n, false, false, false)
+		}
+	}
+
+	// Software side, each epoch: collect IPF, decide, program rates.
+	ctl := core.NewController(policy, core.DefaultParams())
+	ipf := []float64{1.0, 2.0, 500, 800} // node 0/1 intensive, 2/3 light
+	d := ctl.Update(ipf)
+
+	fmt.Printf("congested: %v\n", d.Congested)
+	fmt.Printf("node 0 rate: %.2f\n", d.Rates[0])
+	fmt.Printf("node 3 rate: %.2f\n", d.Rates[3])
+	// Output:
+	// congested: true
+	// node 0 rate: 0.75
+	// node 3 rate: 0.00
+}
+
+// Equation 1: the congestion-detection threshold scales with an
+// application's network intensity.
+func ExampleParams_StarveThreshold() {
+	p := core.DefaultParams()
+	fmt.Printf("IPF 1 (mcf-like):    %.3f\n", p.StarveThreshold(1))
+	fmt.Printf("IPF 0.4 (capped):    %.3f\n", p.StarveThreshold(0.4))
+	// Output:
+	// IPF 1 (mcf-like):    0.400
+	// IPF 0.4 (capped):    0.700
+}
+
+// Equation 2: more intensive applications are throttled harder, capped
+// so they are never fully starved.
+func ExampleParams_ThrottleRate() {
+	p := core.DefaultParams()
+	fmt.Printf("IPF 1:   %.2f\n", p.ThrottleRate(1))
+	fmt.Printf("IPF 9:   %.2f\n", p.ThrottleRate(9))
+	// Output:
+	// IPF 1:   0.75
+	// IPF 9:   0.30
+}
+
+// Algorithm 3's deterministic gate blocks exactly the configured
+// fraction of injection opportunities.
+func ExampleThrottler() {
+	t := core.NewThrottler(1)
+	t.SetRate(0, 0.25)
+	blocked := 0
+	for i := 0; i < core.MaxCount; i++ {
+		if !t.Allow(0) {
+			blocked++
+		}
+	}
+	fmt.Printf("blocked %d of %d opportunities\n", blocked, core.MaxCount)
+	// Output:
+	// blocked 32 of 128 opportunities
+}

@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: the
+// application-aware, starvation-driven source-throttling congestion
+// control mechanism for bufferless NoCs (§5), together with the static
+// throttling used in §3.1/Fig. 5 and the distributed "TCP-like"
+// comparison controller of §6.6.
+//
+// The mechanism has three parts, mapped one-to-one onto the paper's
+// algorithms:
+//
+//   - Monitor (Algorithm 2, per-node hardware): a W-cycle shift window
+//     of starved bits whose running sum yields the starvation rate σ.
+//   - Throttler (Algorithm 3, per-node hardware): a deterministic
+//     injection gate that blocks a configured fraction of injection
+//     opportunities.
+//   - Controller (Algorithm 1, software, centrally coordinated): every
+//     T cycles it collects each node's σ and IPF (instructions per
+//     flit), decides whether the network is congested, and sets each
+//     node's throttling rate — only nodes with below-average IPF (the
+//     network-intensive applications) are throttled, and harder the
+//     more intensive they are.
+package core
+
+// DefaultWindow is W, the starvation-rate window in cycles (§6.1).
+const DefaultWindow = 128
+
+// Monitor is the per-node starvation-rate instrument of Algorithm 2:
+// sigma[i] = (1/W) * sum over the last W cycles of starved(i).
+//
+// Hardware cost (§6.5): a W-bit shift register and an up-down counter
+// per node. With W=128 that is 128 bits of storage; together with the
+// Throttler's 7-bit free-running counter and 14-bit rate register this
+// is the paper's "149 bits, two counters and a comparator".
+//
+// Tick must be called once per node per cycle. Distinct nodes may be
+// ticked concurrently.
+type Monitor struct {
+	window int
+	words  int // 64-bit words per node
+	bits   []uint64
+	sums   []int32
+	pos    []int32
+}
+
+// NewMonitor creates a Monitor for n nodes with the given window size
+// (0 means DefaultWindow). Window must be a multiple of 64.
+func NewMonitor(n, window int) *Monitor {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	if window <= 0 || window%64 != 0 {
+		panic("core: monitor window must be a positive multiple of 64")
+	}
+	words := window / 64
+	return &Monitor{
+		window: window,
+		words:  words,
+		bits:   make([]uint64, n*words),
+		sums:   make([]int32, n),
+		pos:    make([]int32, n),
+	}
+}
+
+// Window returns W.
+func (m *Monitor) Window() int { return m.window }
+
+// Nodes returns the node count.
+func (m *Monitor) Nodes() int { return len(m.sums) }
+
+// Tick records whether node was starved this cycle (wanted to inject
+// but could not), aging out the bit from W cycles ago.
+func (m *Monitor) Tick(node int, starved bool) {
+	p := int(m.pos[node])
+	word := node*m.words + p/64
+	mask := uint64(1) << uint(p%64)
+	if m.bits[word]&mask != 0 {
+		m.bits[word] &^= mask
+		m.sums[node]--
+	}
+	if starved {
+		m.bits[word] |= mask
+		m.sums[node]++
+	}
+	p++
+	if p == m.window {
+		p = 0
+	}
+	m.pos[node] = int32(p)
+}
+
+// Rate returns node's current starvation rate sigma in [0,1].
+func (m *Monitor) Rate(node int) float64 {
+	return float64(m.sums[node]) / float64(m.window)
+}
+
+// Rates appends all nodes' starvation rates to buf and returns it.
+func (m *Monitor) Rates(buf []float64) []float64 {
+	for i := range m.sums {
+		buf = append(buf, m.Rate(i))
+	}
+	return buf
+}
+
+// Reset clears all windows.
+func (m *Monitor) Reset() {
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+	for i := range m.sums {
+		m.sums[i] = 0
+		m.pos[i] = 0
+	}
+}
+
+// HardwareBitsPerNode is the per-node storage cost of the full
+// mechanism as itemised in §6.5: the W-bit starvation window (W=128),
+// the 7-bit free-running injection counter, and a 14-bit throttling-rate
+// register — 149 bits, two counters, and one comparator.
+const HardwareBitsPerNode = DefaultWindow + 7 + 14

@@ -1,0 +1,30 @@
+package core
+
+// Policy bundles the per-node hardware instruments — starvation Monitor
+// and injection Throttler — into a noc.InjectionPolicy. It is the
+// mechanism the centrally-coordinated Controller drives; it never marks
+// congestion bits (that is the distributed variant's tool).
+type Policy struct {
+	M *Monitor
+	T *Throttler
+}
+
+// NewPolicy creates the hardware-side policy for n nodes.
+func NewPolicy(n, window int) *Policy {
+	return &Policy{M: NewMonitor(n, window), T: NewThrottler(n)}
+}
+
+// Allow consults Algorithm 3's deterministic gate.
+func (p *Policy) Allow(node int) bool { return p.T.Allow(node) }
+
+// Tick feeds Algorithm 2's starvation window: a starved cycle is one
+// in which the node wanted to inject but the network refused (§3.1).
+// Cycles blocked by the node's own throttle are voluntary restraint and
+// do not count — otherwise the controller would latch on through its
+// own throttling and Fig. 9's starvation reduction would invert.
+func (p *Policy) Tick(node int, wanted, injected, throttled bool) {
+	p.M.Tick(node, wanted && !injected && !throttled)
+}
+
+// MarkCongested is always false for the central mechanism.
+func (p *Policy) MarkCongested(int) bool { return false }

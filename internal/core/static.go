@@ -1,0 +1,38 @@
+package core
+
+// Static is the homogeneous/static throttling policy used in the
+// motivation experiments: §3.1's uniform static-throttling sweep
+// (Fig. 2(c)) and §4's selective 90% throttling of individual
+// applications (Fig. 5). Rates are set once (or whenever the experiment
+// wants) and are not driven by any feedback loop. The attached Monitor
+// still records starvation so the experiments can report it.
+type Static struct {
+	M *Monitor
+	T *Throttler
+}
+
+// NewStatic builds a static policy for n nodes with all rates zero.
+func NewStatic(n int) *Static {
+	return &Static{M: NewMonitor(n, 0), T: NewThrottler(n)}
+}
+
+// SetAll applies one throttling rate to every node.
+func (s *Static) SetAll(rate float64) {
+	for i := 0; i < s.T.Nodes(); i++ {
+		s.T.SetRate(i, rate)
+	}
+}
+
+// SetNode applies a throttling rate to one node.
+func (s *Static) SetNode(node int, rate float64) { s.T.SetRate(node, rate) }
+
+// Allow consults the deterministic gate.
+func (s *Static) Allow(node int) bool { return s.T.Allow(node) }
+
+// Tick feeds the starvation window (network-refused cycles only).
+func (s *Static) Tick(node int, wanted, injected, throttled bool) {
+	s.M.Tick(node, wanted && !injected && !throttled)
+}
+
+// MarkCongested is always false: static throttling has no signalling.
+func (s *Static) MarkCongested(int) bool { return false }

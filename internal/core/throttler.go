@@ -1,0 +1,67 @@
+package core
+
+// MaxCount is Algorithm 3's MAX_COUNT: the period, in injection
+// opportunities, of the deterministic throttle pattern. 128 keeps the
+// hardware to a free-running 7-bit counter and one comparator (§6.5).
+const MaxCount = 128
+
+// Throttler is the per-node injection gate of Algorithm 3. For a node
+// with throttling rate r, injection is blocked on the first
+// round(r*MaxCount) of every MaxCount injection opportunities:
+//
+//	inj_count <- (inj_count + 1) mod MAX_COUNT
+//	allow iff inj_count >= throttle_rate * MAX_COUNT
+//
+// Allow must be called exactly when the paper's algorithm samples the
+// counter: the node is trying to inject this cycle AND the router could
+// accept the flit. The fabrics guarantee that call discipline.
+//
+// Distinct nodes may be gated concurrently.
+type Throttler struct {
+	count []int32
+	// thresh[node] = round(rate*MaxCount); block while count < thresh.
+	thresh []int32
+}
+
+// NewThrottler creates a Throttler for n nodes with all rates zero.
+func NewThrottler(n int) *Throttler {
+	return &Throttler{count: make([]int32, n), thresh: make([]int32, n)}
+}
+
+// Nodes returns the node count.
+func (t *Throttler) Nodes() int { return len(t.count) }
+
+// SetRate sets node's throttling rate in [0,1]: the long-run fraction
+// of injection opportunities that will be blocked.
+func (t *Throttler) SetRate(node int, r float64) {
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	t.thresh[node] = int32(r*MaxCount + 0.5)
+}
+
+// Rate returns node's current throttling rate.
+func (t *Throttler) Rate(node int) float64 {
+	return float64(t.thresh[node]) / MaxCount
+}
+
+// Allow advances node's injection counter and reports whether this
+// injection opportunity is permitted.
+func (t *Throttler) Allow(node int) bool {
+	c := t.count[node] + 1
+	if c == MaxCount {
+		c = 0
+	}
+	t.count[node] = c
+	return c >= t.thresh[node]
+}
+
+// ResetRates zeroes every node's throttling rate.
+func (t *Throttler) ResetRates() {
+	for i := range t.thresh {
+		t.thresh[i] = 0
+	}
+}

@@ -1,0 +1,172 @@
+// Package cpu models the out-of-order processor cores of the simulated
+// CMP at the level of detail the paper's closed-loop evaluation needs
+// (Table 2: 3-wide issue, one memory instruction per cycle, 128-entry
+// instruction window, in-order retirement).
+//
+// The model captures the property the paper leans on throughout: cores
+// are self-throttling (§3.1). An instruction retires only when its data
+// has arrived, the window cannot accept new instructions when full, and
+// therefore a core can have at most Window outstanding requests before
+// it stalls and stops loading the network.
+package cpu
+
+import (
+	"fmt"
+
+	"nocsim/internal/trace"
+)
+
+// MemBackend services the core's memory references. The system simulator
+// implements it with the L1 model, the address mapper, and the NoC.
+type MemBackend interface {
+	// Access issues a memory reference by core; store marks a write.
+	// It returns hit=true when the reference hits in the private cache
+	// (data ready after the core's hit latency); otherwise it returns a
+	// token identifying the outstanding miss, whose data arrives via
+	// Core.Complete.
+	Access(core int, addr uint64, store bool) (hit bool, token uint64)
+}
+
+// Config parameterises a core.
+type Config struct {
+	// Window is the instruction window size; 0 means 128.
+	Window int
+	// IssueWidth is instructions issued (and retired) per cycle; 0
+	// means 3.
+	IssueWidth int
+	// MemPerCycle is the memory-instruction issue limit; 0 means 1.
+	MemPerCycle int
+	// HitLatency is the L1 hit service time in cycles; 0 means 2.
+	HitLatency int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Window == 0 {
+		c.Window = 128
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 3
+	}
+	if c.MemPerCycle == 0 {
+		c.MemPerCycle = 1
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 2
+	}
+}
+
+// waiting marks a window entry blocked on an outstanding miss.
+const waiting = int64(-1)
+
+// Core is one processor core replaying a trace. The instruction stream
+// may come from a live synthetic generator or from a recorded trace
+// file (trace.Replay) — anything implementing trace.Source.
+type Core struct {
+	id      int
+	cfg     Config
+	gen     trace.Source
+	backend MemBackend
+
+	// Window ring: readyAt[i] is the cycle entry i's result is ready, or
+	// `waiting` for an outstanding miss.
+	readyAt []int64
+	head    int
+	count   int
+
+	// tokens maps outstanding miss tokens to ring slots.
+	tokens map[uint64]int
+
+	// One-instruction lookahead so a memory instruction that cannot
+	// issue this cycle (mem slot used) is not lost.
+	pending    trace.Instr
+	hasPending bool
+
+	retired int64
+	stalled int64 // cycles with zero issue because the window was full
+}
+
+// New builds a core with the given id replaying gen through backend.
+func New(id int, cfg Config, gen trace.Source, backend MemBackend) *Core {
+	cfg.setDefaults()
+	return &Core{
+		id:      id,
+		cfg:     cfg,
+		gen:     gen,
+		backend: backend,
+		readyAt: make([]int64, cfg.Window),
+		tokens:  make(map[uint64]int),
+	}
+}
+
+// ID returns the core's node id.
+func (c *Core) ID() int { return c.id }
+
+// Retired returns the cumulative retired-instruction count.
+func (c *Core) Retired() int64 { return c.retired }
+
+// StalledCycles returns cycles in which the full window blocked issue.
+func (c *Core) StalledCycles() int64 { return c.stalled }
+
+// Outstanding returns the number of in-flight misses.
+func (c *Core) Outstanding() int { return len(c.tokens) }
+
+// WindowOccupancy returns the number of window entries in use.
+func (c *Core) WindowOccupancy() int { return c.count }
+
+// Complete delivers the data for an outstanding miss token; the entry
+// becomes retirable next cycle.
+func (c *Core) Complete(token uint64, cycle int64) {
+	slot, ok := c.tokens[token]
+	if !ok {
+		panic(fmt.Sprintf("cpu: core %d completing unknown token %d", c.id, token))
+	}
+	delete(c.tokens, token)
+	c.readyAt[slot] = cycle + 1
+}
+
+// Step advances the core one cycle: retire from the head in order, then
+// issue new instructions subject to the width and memory-port limits.
+func (c *Core) Step(cycle int64) {
+	// Retire.
+	for r := 0; r < c.cfg.IssueWidth && c.count > 0; r++ {
+		ra := c.readyAt[c.head]
+		if ra == waiting || ra > cycle {
+			break
+		}
+		c.head = (c.head + 1) % c.cfg.Window
+		c.count--
+		c.retired++
+	}
+
+	// Issue.
+	if c.count == c.cfg.Window {
+		c.stalled++
+		return
+	}
+	memIssued := 0
+	for i := 0; i < c.cfg.IssueWidth && c.count < c.cfg.Window; i++ {
+		if !c.hasPending {
+			c.pending = c.gen.Next()
+			c.hasPending = true
+		}
+		if c.pending.IsMem && memIssued >= c.cfg.MemPerCycle {
+			break // memory port exhausted; retry next cycle
+		}
+		in := c.pending
+		c.hasPending = false
+		slot := (c.head + c.count) % c.cfg.Window
+		c.count++
+		if !in.IsMem {
+			c.readyAt[slot] = cycle + 1
+			continue
+		}
+		memIssued++
+		hit, token := c.backend.Access(c.id, in.Addr, in.IsStore)
+		if hit {
+			c.readyAt[slot] = cycle + c.cfg.HitLatency
+		} else {
+			c.readyAt[slot] = waiting
+			c.tokens[token] = slot
+		}
+	}
+}

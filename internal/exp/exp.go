@@ -1,0 +1,229 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named driver that assembles the
+// right workloads, runs the closed-loop simulator, and emits the same
+// rows/series the paper plots, as structured Results that render to
+// aligned text.
+//
+// Runs are scaled: the paper simulates 10M cycles per workload and 875
+// workloads on hardware-years of compute; the default Scale reproduces
+// every experiment's *shape* (who wins, approximate factors, where
+// crossovers fall) in minutes on a laptop. PaperScale selects the
+// paper's full parameters for long runs.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"nocsim/internal/core"
+	"nocsim/internal/sim"
+	"nocsim/internal/workload"
+)
+
+// Scale sets the cost/fidelity trade-off of every experiment.
+type Scale struct {
+	// Cycles is the simulated length of each run.
+	Cycles int64
+	// Epoch is the controller period (the paper uses Cycles/100).
+	Epoch int64
+	// Workloads is the batch size for the scatter/category figures
+	// (the paper uses 700 16-core + 175 64-core workloads).
+	Workloads int
+	// MaxNodes caps the scaling experiments (the paper goes to 4096).
+	MaxNodes int
+	// Workers shards the per-cycle loops of large fabrics.
+	Workers int
+	// Seed roots all randomness.
+	Seed uint64
+}
+
+// DefaultScale finishes the full suite in minutes on a laptop while
+// preserving every qualitative result.
+func DefaultScale() Scale {
+	return Scale{
+		Cycles:    150_000,
+		Epoch:     15_000,
+		Workloads: 21, // 3 per category
+		MaxNodes:  1024,
+		Workers:   runtime.NumCPU(),
+		Seed:      42,
+	}
+}
+
+// PaperScale is the paper's own configuration (§6.1): 10M cycles, 100
+// controller epochs, 875 workloads, up to 4096 nodes. Budget hours.
+func PaperScale() Scale {
+	return Scale{
+		Cycles:    10_000_000,
+		Epoch:     100_000,
+		Workloads: 875,
+		MaxNodes:  4096,
+		Workers:   runtime.NumCPU(),
+		Seed:      42,
+	}
+}
+
+func (s Scale) params() core.Params {
+	p := core.DefaultParams()
+	p.Epoch = s.Epoch
+	return p
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named curve or scatter.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is a rendered table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Result is one regenerated figure or table.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Table  *Table
+	Notes  []string
+}
+
+// Render writes the result as aligned text.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != nil {
+		renderTable(w, r.Table)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "-- series %q (x=%s, y=%s)\n", s.Name, r.XLabel, r.YLabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "   %12.4f  %12.4f\n", p.X, p.Y)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func renderTable(w io.Writer, t *Table) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Driver runs one experiment at a scale.
+type Driver func(Scale) *Result
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]Driver{}
+	order      []string
+)
+
+func register(id string, d Driver) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[id]; dup {
+		panic("exp: duplicate experiment " + id)
+	}
+	registry[id] = d
+	order = append(order, id)
+}
+
+// IDs lists every registered experiment in registration order.
+func IDs() []string {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := append([]string(nil), order...)
+	return out
+}
+
+// Lookup returns the named experiment driver.
+func Lookup(id string) (Driver, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	d, ok := registry[id]
+	return d, ok
+}
+
+// runBaseline runs a workload on the open (uncontrolled) BLESS system.
+func runBaseline(w workload.Workload, width, height int, sc Scale) sim.Metrics {
+	s := sim.New(sim.Config{
+		Width: width, Height: height,
+		Apps:    w.Apps,
+		Params:  sc.params(),
+		Workers: workersFor(width*height, sc),
+		Seed:    sc.Seed ^ w.Seed,
+	})
+	s.Run(sc.Cycles)
+	return s.Metrics()
+}
+
+// runControlled runs a workload under the central mechanism.
+func runControlled(w workload.Workload, width, height int, sc Scale) sim.Metrics {
+	s := sim.New(sim.Config{
+		Width: width, Height: height,
+		Apps:       w.Apps,
+		Controller: sim.Central,
+		Params:     sc.params(),
+		Workers:    workersFor(width*height, sc),
+		Seed:       sc.Seed ^ w.Seed,
+	})
+	s.Run(sc.Cycles)
+	return s.Metrics()
+}
+
+// workersFor avoids goroutine overhead on small meshes.
+func workersFor(nodes int, sc Scale) int {
+	if nodes < 256 || sc.Workers <= 1 {
+		return 1
+	}
+	return sc.Workers
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/noc/bless"
+	"nocsim/internal/stats"
+	"nocsim/internal/topology"
+	"nocsim/internal/traffic"
+	"nocsim/internal/workload"
+)
+
+func init() {
+	register("fairness", fairness)
+	register("adaptive", adaptiveRouting)
+}
+
+// fairness quantifies §6.2's "Fairness In Throttling" claim with the
+// standard slowdown metrics: across congested workloads, the mechanism
+// must not worsen maximum slowdown or unfairness (max/min slowdown)
+// while improving throughput — the Fig. 11 result, summarised.
+func fairness(sc Scale) *Result {
+	t := &Table{Header: []string{
+		"workload", "maxSD base", "maxSD ctl", "unfair base", "unfair ctl",
+		"HS base", "HS ctl",
+	}}
+	cats := []string{"H", "HM", "HL"}
+	var worseMax int
+	for i, cname := range cats {
+		cat, _ := workload.CategoryByName(cname)
+		w := workload.Generate(cat, 16, sc.Seed+uint64(700+i))
+		base := runBaseline(w, 4, 4, sc)
+		ctl := runControlled(w, 4, 4, sc)
+		alone := make([]float64, 16)
+		for n, p := range w.Apps {
+			if p != nil {
+				alone[n] = aloneIPC(*p, 4, sc)
+			}
+		}
+		sdBase := stats.Slowdowns(base.IPC, alone)
+		sdCtl := stats.Slowdowns(ctl.IPC, alone)
+		if stats.MaxSlowdown(sdCtl) > stats.MaxSlowdown(sdBase)*1.05 {
+			worseMax++
+		}
+		t.Rows = append(t.Rows, []string{
+			cname,
+			f2(stats.MaxSlowdown(sdBase)), f2(stats.MaxSlowdown(sdCtl)),
+			f2(stats.Unfairness(sdBase)), f2(stats.Unfairness(sdCtl)),
+			f2(stats.HarmonicSpeedup(sdBase)), f2(stats.HarmonicSpeedup(sdCtl)),
+		})
+	}
+	return &Result{
+		ID:    "fairness",
+		Title: "Fairness of the mechanism: slowdown metrics with and without throttling",
+		Table: t,
+		Notes: []string{
+			fmt.Sprintf("workloads where max slowdown worsened >5%%: %d of %d", worseMax, len(cats)),
+			"paper §6.2/Fig.11: throttling does not unfairly penalise any application",
+		},
+	}
+}
+
+// adaptiveRouting evaluates the §7 "Traffic Engineering" extension:
+// locally congestion-aware productive-port selection against strict XY,
+// open-loop, on the patterns where path diversity matters.
+func adaptiveRouting(sc Scale) *Result {
+	warm, meas := sweepCycles(sc)
+	mk := func(adaptive bool) func() noc.Network {
+		return func() noc.Network {
+			return bless.New(bless.Config{
+				Topology: topology.NewSquare(topology.Mesh, 8),
+				Adaptive: adaptive,
+			})
+		}
+	}
+	r := &Result{
+		ID:     "adaptive",
+		Title:  "Adaptive (congestion-aware) routing vs strict XY (8x8 BLESS, open loop)",
+		XLabel: "offered load (flits/node/cycle)",
+		YLabel: "avg packet latency (cycles)",
+	}
+	patterns := []struct {
+		name string
+		mk   func(noc.Network) traffic.Pattern
+	}{
+		{"transpose", func(n noc.Network) traffic.Pattern { return traffic.Transpose{Top: n.Topology()} }},
+		{"hotspot", func(n noc.Network) traffic.Pattern {
+			return traffic.Hotspot{Nodes: n.Topology().Nodes(), Hot: 27, Frac: 0.15}
+		}},
+	}
+	for _, pat := range patterns {
+		for _, mode := range []struct {
+			name     string
+			adaptive bool
+		}{{"xy", false}, {"adaptive", true}} {
+			pts := traffic.Sweep(mk(mode.adaptive), pat.mk, sweepRates, 1, warm, meas, sc.Seed)
+			s := Series{Name: pat.name + "/" + mode.name}
+			for _, p := range pts {
+				s.Points = append(s.Points, Point{X: p.Offered, Y: p.Latency})
+			}
+			r.Series = append(r.Series, s)
+			r.Notes = append(r.Notes, fmt.Sprintf("%s/%s saturation: %.2f",
+				pat.name, mode.name, traffic.Saturation(pts, 60)))
+		}
+	}
+	return r
+}

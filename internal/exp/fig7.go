@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"nocsim/internal/app"
+	"nocsim/internal/sim"
+	"nocsim/internal/stats"
+	"nocsim/internal/workload"
+)
+
+func init() {
+	register("fig7", fig7)
+	register("fig8", fig8)
+	register("fig9", fig9)
+	register("fig10", fig10)
+}
+
+// gainRun holds one workload's baseline/controlled pair.
+type gainRun struct {
+	w        workload.Workload
+	size     int // mesh edge
+	base     sim.Metrics
+	ctl      sim.Metrics
+	baseStar float64 // workload-average starvation (baseline)
+	ctlStar  float64
+}
+
+var (
+	gainMu   sync.Mutex
+	gainMemo = map[string][]gainRun{}
+)
+
+// runGainBatch runs the §6.2 batch: Workloads workloads, split between
+// 4x4 and 8x8 (the paper: 700 16-core + 175 64-core), each on baseline
+// BLESS and on BLESS-Throttling. Memoized per scale: Figs. 7-10 share it.
+func runGainBatch(sc Scale) []gainRun {
+	key := fmt.Sprintf("%d/%d/%d/%d", sc.Cycles, sc.Epoch, sc.Workloads, sc.Seed)
+	gainMu.Lock()
+	if g, ok := gainMemo[key]; ok {
+		gainMu.Unlock()
+		return g
+	}
+	gainMu.Unlock()
+
+	n16 := sc.Workloads * 4 / 5 // the paper's 4:1 split of 16- vs 64-core
+	if n16 < 1 {
+		n16 = 1
+	}
+	var runs []gainRun
+	batch16 := workload.Batch(n16, 16, sc.Seed)
+	batch64 := workload.Batch(sc.Workloads-n16, 64, sc.Seed+777)
+	for _, w := range batch16 {
+		runs = append(runs, gainRun{w: w, size: 4})
+	}
+	for _, w := range batch64 {
+		runs = append(runs, gainRun{w: w, size: 8})
+	}
+	for i := range runs {
+		r := &runs[i]
+		r.base = runBaseline(r.w, r.size, r.size, sc)
+		r.ctl = runControlled(r.w, r.size, r.size, sc)
+		r.baseStar = r.base.StarvationRate
+		r.ctlStar = r.ctl.StarvationRate
+	}
+	gainMu.Lock()
+	gainMemo[key] = runs
+	gainMu.Unlock()
+	return runs
+}
+
+// fig7 reproduces Figure 7: per-workload percentage improvement in
+// overall system throughput (Central vs baseline), scattered against
+// the workload's baseline network utilization. Gains concentrate in
+// congested workloads (paper: up to 27.6%, avg 14.7% above 0.7 util).
+func fig7(sc Scale) *Result {
+	runs := runGainBatch(sc)
+	s := Series{Name: "4x4 and 8x8 workloads"}
+	var congested []float64
+	best := 0.0
+	for _, r := range runs {
+		g := stats.PercentGain(r.base.SystemThroughput, r.ctl.SystemThroughput)
+		s.Points = append(s.Points, Point{X: r.base.NetUtilization, Y: g})
+		if r.base.NetUtilization > 0.7 {
+			congested = append(congested, g)
+		}
+		if g > best {
+			best = g
+		}
+	}
+	return &Result{
+		ID:     "fig7",
+		Title:  "Improvement in overall system throughput (BLESS-Throttling vs BLESS)",
+		XLabel: "baseline average network utilization",
+		YLabel: "% improvement",
+		Series: []Series{s},
+		Notes: []string{
+			fmt.Sprintf("max improvement %.1f%% (paper: 27.6%%)", best),
+			fmt.Sprintf("average over congested (util>0.7) workloads %.1f%% (paper: 14.7%%)", stats.Mean(congested)),
+		},
+	}
+}
+
+// fig8 reproduces Figure 8: min/avg/max throughput improvement per
+// workload category, for 4x4 and 8x8 separately.
+func fig8(sc Scale) *Result {
+	runs := runGainBatch(sc)
+	t := &Table{Header: []string{"category", "mesh", "min %", "avg %", "max %", "n"}}
+	cats := append([]string{"All"}, catNames()...)
+	for _, cat := range cats {
+		for _, size := range []int{4, 8} {
+			var gains []float64
+			for _, r := range runs {
+				if r.size != size {
+					continue
+				}
+				if cat != "All" && r.w.Category != cat {
+					continue
+				}
+				gains = append(gains, stats.PercentGain(r.base.SystemThroughput, r.ctl.SystemThroughput))
+			}
+			if len(gains) == 0 {
+				continue
+			}
+			min, avg, max := stats.MinAvgMax(gains)
+			t.Rows = append(t.Rows, []string{
+				cat, fmt.Sprintf("%dx%d", size, size),
+				f1(min), f1(avg), f1(max), fmt.Sprint(len(gains)),
+			})
+		}
+	}
+	return &Result{
+		ID:    "fig8",
+		Title: "System throughput improvement breakdown by workload category",
+		Table: t,
+		Notes: []string{
+			"paper Fig.8: largest gains for H and HM categories; ~0 for L and ML (network adequately provisioned)",
+		},
+	}
+}
+
+func catNames() []string {
+	var out []string
+	for _, c := range workload.Categories {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// fig9 reproduces Figure 9: the CDF of workload-average starvation
+// rates over congested workloads (baseline utilization > 0.6), with and
+// without the mechanism.
+func fig9(sc Scale) *Result {
+	runs := runGainBatch(sc)
+	var base, ctl stats.CDF
+	for _, r := range runs {
+		if r.base.NetUtilization <= 0.6 {
+			continue
+		}
+		base.Add(r.baseStar)
+		ctl.Add(r.ctlStar)
+	}
+	mk := func(name string, c *stats.CDF) Series {
+		s := Series{Name: name}
+		for _, p := range c.Points(20) {
+			s.Points = append(s.Points, Point{X: p[0], Y: p[1]})
+		}
+		return s
+	}
+	return &Result{
+		ID:     "fig9",
+		Title:  "CDF of average starvation rates (congested workloads, baseline util > 0.6)",
+		XLabel: "average starvation rate",
+		YLabel: "CDF",
+		Series: []Series{mk("BLESS-Throttling", &ctl), mk("BLESS", &base)},
+		Notes: []string{
+			fmt.Sprintf("median starvation: baseline %.3f vs throttled %.3f (the paper's CDF shifts left the same way)",
+				base.Quantile(0.5), ctl.Quantile(0.5)),
+			fmt.Sprintf("P90 starvation: baseline %.3f vs throttled %.3f", base.Quantile(0.9), ctl.Quantile(0.9)),
+		},
+	}
+}
+
+// aloneIPC measures each application's IPC running alone at the centre
+// of the given mesh; memoized per (app, size, scale).
+var (
+	aloneMu   sync.Mutex
+	aloneMemo = map[string]float64{}
+)
+
+func aloneIPC(p app.Profile, size int, sc Scale) float64 {
+	key := fmt.Sprintf("%s/%d/%d/%d", p.Name, size, sc.Cycles, sc.Seed)
+	aloneMu.Lock()
+	if v, ok := aloneMemo[key]; ok {
+		aloneMu.Unlock()
+		return v
+	}
+	aloneMu.Unlock()
+	pos := size*size/2 + size/2
+	w := workload.Single(p, size*size, pos)
+	s := sim.New(sim.Config{
+		Width: size, Height: size,
+		Apps:   w.Apps,
+		Params: sc.params(),
+		Seed:   sc.Seed + 900,
+	})
+	s.Run(sc.Cycles)
+	v := s.Metrics().IPC[pos]
+	aloneMu.Lock()
+	aloneMemo[key] = v
+	aloneMu.Unlock()
+	return v
+}
+
+// fig10 reproduces Figure 10: weighted-speedup improvement scattered
+// against baseline utilization. WS = sum_i IPC_shared,i / IPC_alone,i;
+// improving it shows the mechanism is not gaming raw throughput by
+// starving slow applications (§6.2).
+func fig10(sc Scale) *Result {
+	runs := runGainBatch(sc)
+	s := Series{Name: "4x4 and 8x8 workloads"}
+	best := 0.0
+	for _, r := range runs {
+		alone := make([]float64, len(r.w.Apps))
+		for i, p := range r.w.Apps {
+			if p != nil {
+				alone[i] = aloneIPC(*p, r.size, sc)
+			}
+		}
+		wsBase := sim.WeightedSpeedup(r.base.IPC, alone)
+		wsCtl := sim.WeightedSpeedup(r.ctl.IPC, alone)
+		g := stats.PercentGain(wsBase, wsCtl)
+		s.Points = append(s.Points, Point{X: r.base.NetUtilization, Y: g})
+		if g > best {
+			best = g
+		}
+	}
+	return &Result{
+		ID:     "fig10",
+		Title:  "Improvement in weighted speedup (BLESS-Throttling vs BLESS)",
+		XLabel: "baseline average network utilization",
+		YLabel: "WS % improvement",
+		Series: []Series{s},
+		Notes: []string{
+			fmt.Sprintf("max WS improvement %.1f%% (paper: 17.2%%/18.2%% on 4x4/8x8)", best),
+		},
+	}
+}

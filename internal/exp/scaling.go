@@ -1,0 +1,259 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"nocsim/internal/power"
+	"nocsim/internal/sim"
+	"nocsim/internal/workload"
+)
+
+func init() {
+	register("fig3", fig3)
+	register("fig4", fig4)
+	register("fig13", fig13)
+	register("fig14", fig14)
+	register("fig15", fig15)
+	register("fig16", fig16)
+}
+
+// meshSizes returns the square mesh edge lengths for the scaling
+// studies: 16, 64, 256, 1024, 4096 cores, capped by the scale.
+func meshSizes(sc Scale) []int {
+	var out []int
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		if k*k <= sc.MaxNodes {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// archRun is one (size, architecture) measurement of the Fig. 13-16
+// comparison, on a high-intensity workload with exponential locality.
+type archRun struct {
+	nodes int
+	m     sim.Metrics
+	pwr   power.Report
+}
+
+type scalingData struct {
+	bless, throttled, buffered []archRun
+}
+
+var (
+	scalingMu   sync.Mutex
+	scalingMemo = map[string]*scalingData{}
+)
+
+// runScaling produces (and memoizes, per scale) the three-architecture
+// scaling comparison that Figs. 13, 14, 15 and 16 all read.
+func runScaling(sc Scale) *scalingData {
+	key := fmt.Sprintf("%d/%d/%d/%d", sc.Cycles, sc.Epoch, sc.MaxNodes, sc.Seed)
+	scalingMu.Lock()
+	if d, ok := scalingMemo[key]; ok {
+		scalingMu.Unlock()
+		return d
+	}
+	scalingMu.Unlock()
+
+	d := &scalingData{}
+	model := power.Default()
+	cat, _ := workload.CategoryByName("H")
+	for _, k := range meshSizes(sc) {
+		nodes := k * k
+		w := workload.Generate(cat, nodes, sc.Seed+uint64(nodes))
+		base := sim.Config{
+			Width: k, Height: k,
+			Apps:    w.Apps,
+			Mapping: sim.ExpMap, MeanHops: 1,
+			Params:  sc.params(),
+			Workers: workersFor(nodes, sc),
+			Seed:    sc.Seed + uint64(nodes),
+		}
+
+		blessCfg := base
+		s := sim.New(blessCfg)
+		s.Run(sc.Cycles)
+		m := s.Metrics()
+		d.bless = append(d.bless, archRun{nodes, m, model.Compute(m.Net, nodes, false)})
+
+		thrCfg := base
+		thrCfg.Controller = sim.Central
+		s = sim.New(thrCfg)
+		s.Run(sc.Cycles)
+		m = s.Metrics()
+		d.throttled = append(d.throttled, archRun{nodes, m, model.Compute(m.Net, nodes, false)})
+
+		bufCfg := base
+		bufCfg.Router = sim.Buffered
+		s = sim.New(bufCfg)
+		s.Run(sc.Cycles)
+		m = s.Metrics()
+		d.buffered = append(d.buffered, archRun{nodes, m, model.Compute(m.Net, nodes, true)})
+	}
+
+	scalingMu.Lock()
+	scalingMemo[key] = d
+	scalingMu.Unlock()
+	return d
+}
+
+func seriesOf(name string, runs []archRun, y func(archRun) float64) Series {
+	s := Series{Name: name}
+	for _, r := range runs {
+		s.Points = append(s.Points, Point{X: float64(r.nodes), Y: y(r)})
+	}
+	return s
+}
+
+// fig3 reproduces Figures 3(a)-(c): on the baseline bufferless NoC with
+// exponential locality (lambda=1), growing the CMP from 16 cores up
+// raises latency and starvation and erodes per-node throughput for
+// high-intensity workloads, while low-intensity workloads stay flat.
+func fig3(sc Scale) *Result {
+	r := &Result{
+		ID:     "fig3",
+		Title:  "Scaling behaviour of baseline BLESS with data locality (lambda=1)",
+		XLabel: "number of cores",
+		YLabel: "latency (cycles) / starvation rate / IPC per node",
+	}
+	for _, intensity := range []string{"H", "L"} {
+		cat, _ := workload.CategoryByName(intensity)
+		lat := Series{Name: "net-latency/" + intensity}
+		sta := Series{Name: "starvation/" + intensity}
+		thr := Series{Name: "ipc-per-node/" + intensity}
+		for _, k := range meshSizes(sc) {
+			nodes := k * k
+			w := workload.Generate(cat, nodes, sc.Seed+uint64(nodes)*3)
+			s := sim.New(sim.Config{
+				Width: k, Height: k,
+				Apps:    w.Apps,
+				Mapping: sim.ExpMap, MeanHops: 1,
+				Params:  sc.params(),
+				Workers: workersFor(nodes, sc),
+				Seed:    sc.Seed + uint64(nodes)*3,
+			})
+			s.Run(sc.Cycles)
+			m := s.Metrics()
+			lat.Points = append(lat.Points, Point{X: float64(nodes), Y: m.AvgNetLatency})
+			sta.Points = append(sta.Points, Point{X: float64(nodes), Y: m.StarvationRate})
+			thr.Points = append(thr.Points, Point{X: float64(nodes), Y: m.ThroughputPerNode})
+		}
+		r.Series = append(r.Series, lat, sta, thr)
+	}
+	r.Notes = append(r.Notes,
+		"paper Fig.3: latency and starvation grow with size under high intensity despite fixed locality; per-node IPC drops")
+	return r
+}
+
+// fig4 reproduces Figure 4: per-node throughput on a large mesh is
+// highly sensitive to the degree of locality (mean hop distance 1..16).
+func fig4(sc Scale) *Result {
+	k := 64
+	for k*k > sc.MaxNodes && k > 4 {
+		k /= 2
+	}
+	nodes := k * k
+	cat, _ := workload.CategoryByName("H")
+	w := workload.Generate(cat, nodes, sc.Seed+404)
+	s := Series{Name: fmt.Sprintf("%dx%d BLESS", k, k)}
+	for _, hops := range []float64{1, 2, 4, 8, 16} {
+		sm := sim.New(sim.Config{
+			Width: k, Height: k,
+			Apps:    w.Apps,
+			Mapping: sim.ExpMap, MeanHops: hops,
+			Params:  sc.params(),
+			Workers: workersFor(nodes, sc),
+			Seed:    sc.Seed + 404,
+		})
+		sm.Run(sc.Cycles)
+		s.Points = append(s.Points, Point{X: hops, Y: sm.Metrics().ThroughputPerNode})
+	}
+	return &Result{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Sensitivity of per-node throughput to degree of locality (%dx%d)", k, k),
+		XLabel: "average hop distance (1/lambda)",
+		YLabel: "throughput (IPC/node)",
+		Series: []Series{s},
+		Notes:  []string{"paper Fig.4: performance is highly sensitive to locality"},
+	}
+}
+
+// fig13 reproduces Figure 13: per-node system throughput with scale for
+// baseline BLESS, BLESS with congestion control, and the buffered NoC.
+// Congestion control restores near-flat scaling, comparable to buffers.
+func fig13(sc Scale) *Result {
+	d := runScaling(sc)
+	return &Result{
+		ID:     "fig13",
+		Title:  "Per-node system throughput with scale (H workload, lambda=1)",
+		XLabel: "number of cores",
+		YLabel: "throughput (IPC/node)",
+		Series: []Series{
+			seriesOf("Buffered", d.buffered, func(r archRun) float64 { return r.m.ThroughputPerNode }),
+			seriesOf("BLESS-Throttling", d.throttled, func(r archRun) float64 { return r.m.ThroughputPerNode }),
+			seriesOf("BLESS", d.bless, func(r archRun) float64 { return r.m.ThroughputPerNode }),
+		},
+		Notes: []string{"paper Fig.13: throttling restores essentially flat per-node throughput"},
+	}
+}
+
+// fig14 reproduces Figure 14: average network latency with scale.
+func fig14(sc Scale) *Result {
+	d := runScaling(sc)
+	return &Result{
+		ID:     "fig14",
+		Title:  "Network latency with scale (H workload, lambda=1)",
+		XLabel: "number of cores",
+		YLabel: "avg net latency (cycles)",
+		Series: []Series{
+			seriesOf("BLESS", d.bless, func(r archRun) float64 { return r.m.AvgNetLatency }),
+			seriesOf("BLESS-Throttling", d.throttled, func(r archRun) float64 { return r.m.AvgNetLatency }),
+			seriesOf("Buffered", d.buffered, func(r archRun) float64 { return r.m.AvgNetLatency }),
+		},
+		Notes: []string{"paper Fig.14: congestion control flattens the latency growth"},
+	}
+}
+
+// fig15 reproduces Figure 15: network utilization with scale.
+func fig15(sc Scale) *Result {
+	d := runScaling(sc)
+	return &Result{
+		ID:     "fig15",
+		Title:  "Network utilization with scale (H workload, lambda=1)",
+		XLabel: "number of cores",
+		YLabel: "network utilization",
+		Series: []Series{
+			seriesOf("BLESS", d.bless, func(r archRun) float64 { return r.m.NetUtilization }),
+			seriesOf("BLESS-Throttling", d.throttled, func(r archRun) float64 { return r.m.NetUtilization }),
+			seriesOf("Buffered", d.buffered, func(r archRun) float64 { return r.m.NetUtilization }),
+		},
+		Notes: []string{"paper Fig.15: throttling holds the network at an efficient operating point"},
+	}
+}
+
+// fig16 reproduces Figure 16: percentage reduction in NoC power of the
+// throttled bufferless network, relative to the buffered network and to
+// baseline BLESS, as size grows.
+func fig16(sc Scale) *Result {
+	d := runScaling(sc)
+	vsBuf := Series{Name: "vs Buffered"}
+	vsBless := Series{Name: "vs baseline BLESS"}
+	for i := range d.throttled {
+		n := float64(d.throttled[i].nodes)
+		vsBuf.Points = append(vsBuf.Points, Point{X: n, Y: power.Reduction(d.buffered[i].pwr, d.throttled[i].pwr)})
+		vsBless.Points = append(vsBless.Points, Point{X: n, Y: power.Reduction(d.bless[i].pwr, d.throttled[i].pwr)})
+	}
+	return &Result{
+		ID:     "fig16",
+		Title:  "Reduction in NoC power consumption with scale (BLESS-Throttling)",
+		XLabel: "number of cores",
+		YLabel: "% reduction in power",
+		Series: []Series{vsBuf, vsBless},
+		Notes: []string{
+			"paper Fig.16: up to ~19% vs buffered and ~15% vs baseline BLESS at large sizes",
+		},
+	}
+}

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"fmt"
+
+	"nocsim/internal/sim"
+	"nocsim/internal/stats"
+	"nocsim/internal/workload"
+)
+
+func init() {
+	register("wb", writebackStudy)
+}
+
+// writebackStudy measures the write-traffic extension: with stores
+// dirtying L1 lines and dirty evictions travelling to their home slice
+// as one-way packets, how much extra load does write-back traffic add,
+// and does the congestion controller still deliver its gains on top of
+// it? (The paper's traffic model is request/reply only; this realises
+// the cache-coherence-protocol traffic its §2.1 alludes to.)
+func writebackStudy(sc Scale) *Result {
+	t := &Table{Header: []string{
+		"config", "IPC sum", "utilization", "writebacks", "flits injected",
+	}}
+	cat, _ := workload.CategoryByName("H")
+	w := workload.Generate(cat, 16, sc.Seed+800)
+	var baseOff, baseOn, ctlOn float64
+	run := func(name string, wb bool, ctl sim.ControllerKind) sim.Metrics {
+		s := sim.New(sim.Config{
+			Apps:       w.Apps,
+			Writebacks: wb,
+			Controller: ctl,
+			Params:     sc.params(),
+			Seed:       sc.Seed ^ w.Seed,
+		})
+		s.Run(sc.Cycles)
+		m := s.Metrics()
+		t.Rows = append(t.Rows, []string{
+			name, f2(m.SystemThroughput), f2(m.NetUtilization),
+			fmt.Sprint(m.Writebacks), fmt.Sprint(m.Net.FlitsInjected),
+		})
+		return m
+	}
+	baseOff = run("request/reply only", false, sim.NoControl).SystemThroughput
+	baseOn = run("with writebacks", true, sim.NoControl).SystemThroughput
+	ctlOn = run("writebacks + BLESS-Throttling", true, sim.Central).SystemThroughput
+	return &Result{
+		ID:    "wb",
+		Title: "Write-back traffic extension (H workload, 4x4)",
+		Table: t,
+		Notes: []string{
+			fmt.Sprintf("write traffic costs %.1f%% throughput; throttling recovers %+.1f%% on top",
+				-stats.PercentGain(baseOff, baseOn), stats.PercentGain(baseOn, ctlOn)),
+			"writebacks are throttled like requests (application-generated traffic); replies still bypass",
+		},
+	}
+}

@@ -1,0 +1,594 @@
+// Package bless implements the bufferless deflection-routed on-chip
+// network of Moscibroda & Mutlu's FLIT-BLESS design, the baseline
+// architecture of the paper (§2.2).
+//
+// Routers have no buffers: every flit that arrives at a router in a
+// cycle must leave it on some output link in the same (pipelined) cycle.
+// When several flits contend for one productive output port, the oldest
+// flit wins (Oldest-First arbitration) and the others are deflected to
+// free ports. Because a 2D-mesh router has as many output links as input
+// links, a free port always exists and routers never block or drop.
+// Injection requires a free output link; otherwise the flit waits in the
+// processor-side NIC queue and the cycle counts as starved.
+//
+// The fabric is stepped in two phases per cycle — arbitrate (reads link
+// heads, writes only node-local state) then commit (writes link tails) —
+// which makes large meshes safely parallelisable across worker shards.
+package bless
+
+import (
+	"fmt"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/rng"
+	"nocsim/internal/topology"
+)
+
+// Arbiter selects the contention-resolution policy.
+type Arbiter int
+
+const (
+	// OldestFirst is the paper's baseline: flit age forms a total order,
+	// the oldest contender wins each port, ties are impossible (§2.2).
+	// The globally oldest flit always takes a productive port, so it
+	// always makes progress: the network is livelock-free.
+	OldestFirst Arbiter = iota
+	// Random arbitration is the ablation: winners are picked uniformly.
+	// It loses the livelock-freedom argument and ages packets unfairly.
+	Random
+)
+
+func (a Arbiter) String() string {
+	if a == Random {
+		return "random"
+	}
+	return "oldest-first"
+}
+
+// Config parameterises the fabric.
+type Config struct {
+	// Topology is required.
+	Topology *topology.Topology
+	// HopLatency is the pipeline depth of one hop in cycles (router
+	// pipeline + link). The paper's Table 2 uses 2-cycle routers and
+	// 1-cycle links; 0 means the default of 3.
+	HopLatency int
+	// EjectWidth is the number of flits a node can eject per cycle; 0
+	// means 2 (a 2-flit-wide NI datapath). Arrivals beyond it are
+	// deflected (§2.2). Width 1 makes ejection the system bottleneck
+	// under multi-flit reply traffic — deflection storms around
+	// destinations inflate latency far beyond the paper's flat Fig. 2(a)
+	// curve — so the wider NI is the faithful default.
+	EjectWidth int
+	// InjectWidth is the number of flits a node can inject per cycle;
+	// 0 means 1.
+	InjectWidth int
+	// Policy gates and observes injection; nil means noc.Open{}.
+	Policy noc.InjectionPolicy
+	// Arb selects the arbitration policy.
+	Arb Arbiter
+	// SideBuffer enables MinBD-style minimal buffering (Fallin et al.,
+	// NOCS 2012, cited as [22]): a small per-router side buffer that
+	// absorbs up to one would-be-deflected flit per cycle and
+	// re-injects it when an output port is free (with priority over NI
+	// injection). 0 disables it; MinBD uses 4 flits.
+	SideBuffer int
+	// Adaptive replaces strict XY routing with locally congestion-aware
+	// productive-port selection (§7 "Traffic Engineering"): among the
+	// productive directions, a flit takes the one whose output port has
+	// been least busy recently, steering around hot regions. Routing
+	// stays minimal (only productive ports are preferred), so delivery
+	// guarantees are unchanged.
+	Adaptive bool
+	// Seed seeds the Random arbiter's per-node streams.
+	Seed uint64
+	// Workers shards the per-cycle node loop; 0 means 1 (sequential).
+	// When >1, Policy must tolerate concurrent calls for distinct nodes.
+	Workers int
+}
+
+const maxDirs = int(topology.NumDirs)
+
+// slot is one pipeline stage of a link.
+type slot struct {
+	f  noc.Flit
+	ok bool
+}
+
+// Fabric is the bufferless network. It implements noc.Network.
+type Fabric struct {
+	top    *topology.Topology
+	cfg    Config
+	policy noc.InjectionPolicy
+	cycle  int64
+	depth  int
+
+	nics []*noc.NIC
+	// in holds, for node n and arrival direction d, the d-th incoming
+	// link's pipeline: in[(n*4+d)*depth + stage]. Entry (cycle%depth) is
+	// read at the head in the cycle it arrives and rewritten at the tail
+	// for arrival depth cycles later. Each link has one writer (the
+	// upstream node) and one reader (node n).
+	in []slot
+
+	// outBuf[(n*4)+d] carries phase-1 port assignments to phase 2.
+	outBuf []slot
+
+	// side[n*SideBuffer ...] are the per-node MinBD side buffers (ring
+	// per node); sideHead/sideCount index them. Empty when disabled.
+	side      []noc.Flit
+	sideHead  []int32
+	sideCount []int32
+
+	// load[(n*4)+d] is an exponentially-decayed busy count per output
+	// port, the local congestion estimate adaptive routing consults.
+	// Only node n's phase-1 shard touches its row.
+	load []uint32
+
+	// order/route scratch is per shard to allow parallel stepping.
+	shards []shard
+
+	stats    noc.Stats
+	inflight int64
+
+	randSrc []*rng.Source // per node, Random arbiter only
+}
+
+// shard is per-worker scratch and statistics.
+type shard struct {
+	stats noc.Stats
+	_     [40]byte // pad to a cache line to avoid false sharing
+}
+
+// New constructs a bufferless fabric.
+func New(cfg Config) *Fabric {
+	if cfg.Topology == nil {
+		panic("bless: Config.Topology is required")
+	}
+	if cfg.HopLatency <= 0 {
+		cfg.HopLatency = 3
+	}
+	if cfg.EjectWidth <= 0 {
+		cfg.EjectWidth = 2
+	}
+	if cfg.InjectWidth <= 0 {
+		cfg.InjectWidth = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = noc.Open{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	n := cfg.Topology.Nodes()
+	f := &Fabric{
+		top:    cfg.Topology,
+		cfg:    cfg,
+		policy: cfg.Policy,
+		depth:  cfg.HopLatency,
+		nics:   make([]*noc.NIC, n),
+		in:     make([]slot, n*maxDirs*cfg.HopLatency),
+		outBuf: make([]slot, n*maxDirs),
+		shards: make([]shard, cfg.Workers),
+	}
+	for i := range f.nics {
+		f.nics[i] = noc.NewNIC(i)
+	}
+	if cfg.Arb == Random {
+		root := rng.New(cfg.Seed ^ 0xb1e55)
+		f.randSrc = make([]*rng.Source, n)
+		for i := range f.randSrc {
+			f.randSrc[i] = root.SplitIndex(i)
+		}
+	}
+	if cfg.SideBuffer > 0 {
+		f.side = make([]noc.Flit, n*cfg.SideBuffer)
+		f.sideHead = make([]int32, n)
+		f.sideCount = make([]int32, n)
+	}
+	if cfg.Adaptive {
+		f.load = make([]uint32, n*maxDirs)
+	}
+	f.stats.Links = cfg.Topology.Links()
+	return f
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() *topology.Topology { return f.top }
+
+// Cycle returns the number of completed cycles.
+func (f *Fabric) Cycle() int64 { return f.cycle }
+
+// NIC returns node i's network interface.
+func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
+
+// Stats returns the accumulated counters, merging worker shards.
+func (f *Fabric) Stats() noc.Stats {
+	s := f.stats
+	for i := range f.shards {
+		sh := f.shards[i].stats
+		s.FlitsInjected += sh.FlitsInjected
+		s.FlitsEjected += sh.FlitsEjected
+		s.PacketsDelivered += sh.PacketsDelivered
+		s.Deflections += sh.Deflections
+		s.LinkTraversals += sh.LinkTraversals
+		s.NetFlitLatencySum += sh.NetFlitLatencySum
+		s.QueueLatencySum += sh.QueueLatencySum
+		s.PacketLatencySum += sh.PacketLatencySum
+		s.StarvedCycles += sh.StarvedCycles
+		s.ThrottledCycles += sh.ThrottledCycles
+		s.WantedCycles += sh.WantedCycles
+		s.BufferReads += sh.BufferReads
+		s.BufferWrites += sh.BufferWrites
+		s.CrossbarTraversals += sh.CrossbarTraversals
+		s.Arbitrations += sh.Arbitrations
+	}
+	s.Cycles = f.cycle
+	return s
+}
+
+// Drained reports whether no flit is in flight or queued.
+func (f *Fabric) Drained() bool {
+	if f.inflight != 0 {
+		return false
+	}
+	for _, nic := range f.nics {
+		if nic.HasTraffic() || nic.PendingPackets() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InFlight returns the number of flits currently inside the network.
+func (f *Fabric) InFlight() int64 { return f.inflight }
+
+// Step advances one cycle: phase 1 arbitrates every router, phase 2
+// commits the chosen outputs onto the link pipelines.
+func (f *Fabric) Step() {
+	nodes := f.top.Nodes()
+	if f.cfg.Workers <= 1 || nodes < f.cfg.Workers*4 {
+		f.phase1(0, nodes, &f.shards[0])
+		f.phase2(0, nodes, &f.shards[0])
+	} else {
+		f.parallel(func(lo, hi int, sh *shard) { f.phase1(lo, hi, sh) })
+		f.parallel(func(lo, hi int, sh *shard) { f.phase2(lo, hi, sh) })
+	}
+	f.updateInflight()
+	f.cycle++
+}
+
+func (f *Fabric) parallel(fn func(lo, hi int, sh *shard)) {
+	nodes := f.top.Nodes()
+	w := f.cfg.Workers
+	per := (nodes + w - 1) / w
+	done := make(chan struct{}, w)
+	for i := 0; i < w; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > nodes {
+			hi = nodes
+		}
+		go func(lo, hi int, sh *shard) {
+			if lo < hi {
+				fn(lo, hi, sh)
+			}
+			done <- struct{}{}
+		}(lo, hi, &f.shards[i])
+	}
+	for i := 0; i < w; i++ {
+		<-done
+	}
+}
+
+// phase1 reads link heads for nodes [lo,hi), arbitrates, ejects, injects,
+// and records the chosen outputs in outBuf. It writes only node-local
+// state (its own in-slots, its outBuf row, its NIC) and shard counters.
+func (f *Fabric) phase1(lo, hi int, sh *shard) {
+	stage := int(f.cycle % int64(f.depth))
+	st := &sh.stats
+	var arr [maxDirs]noc.Flit
+	var ord [maxDirs]int
+	for node := lo; node < hi; node++ {
+		// Collect arrivals at the head stage and clear the slots.
+		na := 0
+		base := node * maxDirs
+		for d := 0; d < maxDirs; d++ {
+			s := &f.in[(base+d)*f.depth+stage]
+			if s.ok {
+				arr[na] = s.f
+				na++
+				s.ok = false
+			}
+		}
+		st.Arbitrations += int64(na)
+
+		// Order contenders. Oldest-First sorts by the age total order;
+		// Random shuffles.
+		for i := 0; i < na; i++ {
+			ord[i] = i
+		}
+		if f.cfg.Arb == OldestFirst {
+			for i := 1; i < na; i++ { // insertion sort, na <= 4
+				j := i
+				for j > 0 && noc.Older(&arr[ord[j]], &arr[ord[j-1]]) {
+					ord[j], ord[j-1] = ord[j-1], ord[j]
+					j--
+				}
+			}
+		} else if na > 1 {
+			src := f.randSrc[node]
+			for i := na - 1; i > 0; i-- {
+				j := src.Intn(i + 1)
+				ord[i], ord[j] = ord[j], ord[i]
+			}
+		}
+
+		// Eject up to EjectWidth arrivals destined here, in priority
+		// order; the rest must be routed onward (deflected past their
+		// destination, as FLIT-BLESS does under ejection contention).
+		out := f.outBuf[base : base+maxDirs]
+		for d := range out {
+			out[d].ok = false
+		}
+		nic := f.nics[node]
+		ejected := 0
+		var used [maxDirs]bool
+		for k := 0; k < na; k++ {
+			fl := &arr[ord[k]]
+			if int(fl.Dst) == node && ejected < f.cfg.EjectWidth {
+				ejected++
+				st.FlitsEjected++
+				st.CrossbarTraversals++
+				st.NetFlitLatencySum += f.cycle - fl.Inject
+				if _, done := nic.Receive(fl, f.cycle); done {
+					st.PacketsDelivered++
+					st.PacketLatencySum += f.cycle - fl.Enq
+				}
+				fl.Dst = -1 // consumed marker
+				continue
+			}
+		}
+
+		// Assign output ports in priority order. With MinBD side
+		// buffering, one would-be-deflected flit per cycle is absorbed
+		// into the side buffer instead of misrouting.
+		sideSlot := f.side != nil && f.sideCount[node] < int32(f.cfg.SideBuffer)
+		for k := 0; k < na; k++ {
+			fl := &arr[ord[k]]
+			if fl.Dst == -1 {
+				continue
+			}
+			f.assignPort(node, fl, &used, out, st, &sideSlot)
+		}
+
+		// Side-buffer re-injection: one buffered flit per cycle re-enters
+		// when a port is free, with priority over NI injection (MinBD).
+		f.reinjectSide(node, &used, out, st)
+
+		// Injection: the node may inject while an output link is free.
+		f.inject(node, nic, &used, out, st)
+
+		// Distributed congestion signalling: mark every departing flit.
+		if f.policy.MarkCongested(node) {
+			for d := range out {
+				if out[d].ok {
+					out[d].f.CongBit = true
+				}
+			}
+		}
+
+		// Adaptive routing's local congestion estimate: decay every 64
+		// cycles, count this cycle's busy output ports.
+		if f.load != nil {
+			if f.cycle&63 == 0 {
+				for d := 0; d < maxDirs; d++ {
+					f.load[base+d] -= f.load[base+d] >> 1
+				}
+			}
+			for d := 0; d < maxDirs; d++ {
+				if out[d].ok {
+					f.load[base+d]++
+				}
+			}
+		}
+	}
+}
+
+// assignPort gives fl an output direction: its XY choice if free, else
+// a free productive direction, else — if a side-buffer slot is
+// available this cycle — the side buffer, else the least-harmful free
+// direction (a deflection).
+func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []slot, st *noc.Stats, sideSlot *bool) {
+	if int(fl.Dst) != node {
+		if d := f.desiredPort(node, int(fl.Dst), used); d != topology.Invalid {
+			used[d] = true
+			out[d] = slot{f: *fl, ok: true}
+			st.CrossbarTraversals++
+			return
+		}
+	}
+	// Absorb into the side buffer instead of deflecting, when enabled
+	// and not already used this cycle.
+	if *sideSlot {
+		*sideSlot = false
+		d := f.cfg.SideBuffer
+		idx := node*d + int(f.sideHead[node]+f.sideCount[node])%d
+		f.side[idx] = *fl
+		f.sideCount[node]++
+		st.BufferWrites++
+		return
+	}
+
+	// Deflect to the free valid port that hurts least (smallest
+	// resulting distance to the destination). One always exists: the
+	// number of flits needing ports never exceeds the node's degree.
+	best := topology.Invalid
+	bestDist := int(^uint(0) >> 1)
+	for d := topology.Port(0); d < topology.NumDirs; d++ {
+		if used[d] || !f.top.HasPort(node, d) {
+			continue
+		}
+		dist := 0
+		if int(fl.Dst) != node {
+			dist = f.top.Distance(f.top.Neighbor(node, d), int(fl.Dst))
+		}
+		if dist < bestDist {
+			best = d
+			bestDist = dist
+		}
+	}
+	if best == topology.Invalid {
+		panic(fmt.Sprintf("bless: no free port at node %d for flit %v->%v", node, fl.Src, fl.Dst))
+	}
+	used[best] = true
+	out[best] = slot{f: *fl, ok: true}
+	st.CrossbarTraversals++
+	st.Deflections++
+}
+
+// reinjectSide moves the side buffer's head flit back into the router
+// when an output port is free (one per cycle, before NI injection).
+func (f *Fabric) reinjectSide(node int, used *[maxDirs]bool, out []slot, st *noc.Stats) {
+	if f.side == nil || f.sideCount[node] == 0 {
+		return
+	}
+	d := f.cfg.SideBuffer
+	head := &f.side[node*d+int(f.sideHead[node])]
+	dir := f.freePortToward(node, int(head.Dst), used)
+	if dir == topology.Invalid {
+		return
+	}
+	used[dir] = true
+	out[dir] = slot{f: *head, ok: true}
+	f.sideHead[node] = (f.sideHead[node] + 1) % int32(d)
+	f.sideCount[node]--
+	st.BufferReads++
+	st.CrossbarTraversals++
+}
+
+// inject moves up to InjectWidth flits from the NIC into free output
+// ports, consulting the policy for request flits, and reports the
+// starvation outcome.
+func (f *Fabric) inject(node int, nic *noc.NIC, used *[maxDirs]bool, out []slot, st *noc.Stats) {
+	wanted := false
+	injected := false
+	throttled := false
+	for w := 0; w < f.cfg.InjectWidth; w++ {
+		head := nic.Head()
+		if head == nil {
+			break
+		}
+		wanted = true
+		dir := f.freePortToward(node, int(head.Dst), used)
+		if dir == topology.Invalid {
+			break // no free output link: starved
+		}
+		if noc.ThrottledKind(head.Kind) && !f.policy.Allow(node) {
+			throttled = true
+			break // blocked by Algorithm 3's gate, not by the network
+		}
+		fl := nic.Pop()
+		fl.Inject = f.cycle
+		used[dir] = true
+		out[dir] = slot{f: fl, ok: true}
+		st.FlitsInjected++
+		st.QueueLatencySum += f.cycle - fl.Enq
+		st.CrossbarTraversals++
+		injected = true
+	}
+	if wanted {
+		st.WantedCycles++
+		if !injected {
+			if throttled {
+				st.ThrottledCycles++
+			} else {
+				st.StarvedCycles++
+			}
+		}
+	}
+	f.policy.Tick(node, wanted, injected, throttled)
+}
+
+// desiredPort returns fl's preferred free productive output direction:
+// strict XY first under the default routing, or the least-recently-busy
+// productive port under adaptive routing. Invalid means no productive
+// port is free.
+func (f *Fabric) desiredPort(node, dst int, used *[maxDirs]bool) topology.Port {
+	if f.load == nil {
+		// Strict XY, falling back to any free productive direction.
+		if w := f.top.XYRoute(node, dst); w != topology.Local && !used[w] && f.top.HasPort(node, w) {
+			return w
+		}
+		var buf [maxDirs]topology.Port
+		for _, d := range f.top.ProductiveDirs(buf[:0], node, dst) {
+			if !used[d] {
+				return d
+			}
+		}
+		return topology.Invalid
+	}
+	// Adaptive: least-loaded free productive direction.
+	var buf [maxDirs]topology.Port
+	best := topology.Invalid
+	bestLoad := ^uint32(0)
+	for _, d := range f.top.ProductiveDirs(buf[:0], node, dst) {
+		if used[d] {
+			continue
+		}
+		if l := f.load[node*maxDirs+int(d)]; l < bestLoad {
+			best = d
+			bestLoad = l
+		}
+	}
+	return best
+}
+
+// freePortToward returns a free output direction, preferring productive
+// directions toward dst, or Invalid if every valid port is taken.
+func (f *Fabric) freePortToward(node, dst int, used *[maxDirs]bool) topology.Port {
+	if dst != node {
+		if d := f.desiredPort(node, dst, used); d != topology.Invalid {
+			return d
+		}
+	}
+	for d := topology.Port(0); d < topology.NumDirs; d++ {
+		if !used[d] && f.top.HasPort(node, d) {
+			return d
+		}
+	}
+	return topology.Invalid
+}
+
+// phase2 commits outBuf onto the link pipelines for nodes [lo,hi). The
+// target ring slot (cycle%depth) was already consumed by its reader in
+// phase 1 of this cycle and will be read again depth cycles from now.
+func (f *Fabric) phase2(lo, hi int, sh *shard) {
+	stage := int(f.cycle % int64(f.depth))
+	st := &sh.stats
+	for node := lo; node < hi; node++ {
+		base := node * maxDirs
+		for d := 0; d < maxDirs; d++ {
+			o := &f.outBuf[base+d]
+			if !o.ok {
+				continue
+			}
+			o.ok = false
+			nb := f.top.Neighbor(node, topology.Port(d))
+			ad := topology.Opposite(topology.Port(d))
+			idx := (nb*maxDirs+int(ad))*f.depth + stage
+			f.in[idx] = slot{f: o.f, ok: true}
+			st.LinkTraversals++
+		}
+	}
+}
+
+// updateInflight recomputes the in-flight counter from shard totals.
+func (f *Fabric) updateInflight() {
+	var inj, ej int64
+	for i := range f.shards {
+		inj += f.shards[i].stats.FlitsInjected
+		ej += f.shards[i].stats.FlitsEjected
+	}
+	f.inflight = inj - ej
+}

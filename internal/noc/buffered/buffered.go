@@ -1,0 +1,736 @@
+// Package buffered implements the virtual-channel input-buffered router
+// baseline the paper compares against in §6.3 (footnote 5: "routers have
+// 4 VCs/input and 4 flits of buffering per VC"), with credit-based flow
+// control, wormhole switching, and XY dimension-order routing.
+//
+// Pipeline per cycle: receive → route computation → VC allocation →
+// switch allocation → link/credit commit. Arbitration at both allocators
+// is Oldest-First on the front flit, mirroring the bufferless fabric's
+// priority discipline so the two architectures differ only in buffering.
+//
+// XY routing on a mesh is acyclic, so credit-based flow control is
+// deadlock-free without extra VC disciplines; the package therefore
+// supports mesh topologies only.
+package buffered
+
+import (
+	"fmt"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/topology"
+)
+
+// Config parameterises the fabric.
+type Config struct {
+	// Topology is required and must be a mesh.
+	Topology *topology.Topology
+	// VCs is the number of virtual channels per input port; 0 means 4.
+	VCs int
+	// BufDepth is the per-VC buffer depth in flits; 0 means 4.
+	BufDepth int
+	// HopLatency is the link pipeline depth in cycles; 0 means 3,
+	// matching the bufferless fabric (2-cycle router + 1-cycle link).
+	HopLatency int
+	// EjectWidth is the number of flits the Local (ejection) output
+	// port can grant per cycle; 0 means 2, matching the bufferless
+	// fabric's NI datapath width.
+	EjectWidth int
+	// Policy gates and observes injection; nil means noc.Open{}.
+	Policy noc.InjectionPolicy
+	// Workers shards the per-cycle node loop; 0 means 1.
+	Workers int
+}
+
+const (
+	maxDirs = int(topology.NumDirs)
+	// localVCReq and localVCRep are the two injection-side pseudo-VCs:
+	// one bound to the NIC request queue, one to the reply queue, so
+	// that replies never sit behind throttled requests.
+	localVCReq = 0
+	localVCRep = 1
+	numLocalVC = 2
+)
+
+// inVC is the state of one input virtual channel.
+type inVC struct {
+	buf    []noc.Flit // ring of cap BufDepth
+	head   int
+	count  int
+	route  topology.Port
+	routed bool
+	outVC  int8 // allocated downstream VC, -1 if none
+}
+
+func (v *inVC) front() *noc.Flit { return &v.buf[v.head] }
+
+func (v *inVC) push(f noc.Flit) {
+	v.buf[(v.head+v.count)%len(v.buf)] = f
+	v.count++
+}
+
+func (v *inVC) pop() noc.Flit {
+	f := v.buf[v.head]
+	v.head = (v.head + 1) % len(v.buf)
+	v.count--
+	return f
+}
+
+// outVC tracks one output virtual channel: whether a packet currently
+// owns it, and the downstream buffer credit balance.
+type outVC struct {
+	busy    bool
+	credits int
+}
+
+// router is the per-node state.
+type router struct {
+	// in[dir*VCs+vc] are the four direction input ports.
+	in []inVC
+	// local[vc] is the injection pseudo-port: route/outVC state for the
+	// packet at the front of the corresponding NIC queue.
+	local [numLocalVC]struct {
+		route  topology.Port
+		routed bool
+		outVC  int8
+	}
+	// out[dir*VCs+vc] is the output VC state toward each neighbour.
+	out []outVC
+}
+
+type flitSlot struct {
+	f  noc.Flit
+	ok bool
+}
+
+// creditSlot carries at most one credit per link per cycle (switch
+// allocation frees at most one buffer slot per input port per cycle).
+type creditSlot struct {
+	vc int8 // -1 means none
+}
+
+type shard struct {
+	stats noc.Stats
+	_     [40]byte
+}
+
+// Fabric is the buffered VC network. It implements noc.Network.
+type Fabric struct {
+	top    *topology.Topology
+	cfg    Config
+	policy noc.InjectionPolicy
+	cycle  int64
+	depth  int
+	vcs    int
+
+	nics    []*noc.NIC
+	routers []router
+
+	// Link pipelines, indexed like the bufferless fabric:
+	// flitIn[(node*4+arrivalDir)*depth+stage], single writer (upstream),
+	// single reader (node).
+	flitIn []flitSlot
+	// creditIn[(node*4+outDir)*depth+stage]: credits returning to node's
+	// output port outDir, written by the downstream neighbour.
+	creditIn []creditSlot
+
+	// Phase-1 → phase-2 buffers.
+	outFlit   []flitSlot   // [node*4+dir]
+	outCredit []creditSlot // [node*4+dir]: credit to send upstream on arrival dir
+
+	shards []shard
+	stats  noc.Stats
+
+	inflight int64
+}
+
+// New constructs a buffered VC fabric.
+func New(cfg Config) *Fabric {
+	if cfg.Topology == nil {
+		panic("buffered: Config.Topology is required")
+	}
+	if cfg.Topology.Kind() != topology.Mesh {
+		panic("buffered: only mesh topologies are supported (XY+credits is deadlock-free only on acyclic channel graphs)")
+	}
+	if cfg.VCs <= 0 {
+		cfg.VCs = 4
+	}
+	if cfg.VCs > 8 {
+		panic("buffered: at most 8 VCs per input port are supported")
+	}
+	if cfg.BufDepth <= 0 {
+		cfg.BufDepth = 4
+	}
+	if cfg.HopLatency <= 0 {
+		cfg.HopLatency = 3
+	}
+	if cfg.EjectWidth <= 0 {
+		cfg.EjectWidth = 2
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = noc.Open{}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	n := cfg.Topology.Nodes()
+	f := &Fabric{
+		top:       cfg.Topology,
+		cfg:       cfg,
+		policy:    cfg.Policy,
+		depth:     cfg.HopLatency,
+		vcs:       cfg.VCs,
+		nics:      make([]*noc.NIC, n),
+		routers:   make([]router, n),
+		flitIn:    make([]flitSlot, n*maxDirs*cfg.HopLatency),
+		creditIn:  make([]creditSlot, n*maxDirs*cfg.HopLatency),
+		outFlit:   make([]flitSlot, n*maxDirs),
+		outCredit: make([]creditSlot, n*maxDirs),
+		shards:    make([]shard, cfg.Workers),
+	}
+	for i := range f.creditIn {
+		f.creditIn[i].vc = -1
+	}
+	for i := range f.outCredit {
+		f.outCredit[i].vc = -1
+	}
+	for i := range f.nics {
+		f.nics[i] = noc.NewNIC(i)
+	}
+	for i := range f.routers {
+		r := &f.routers[i]
+		r.in = make([]inVC, maxDirs*cfg.VCs)
+		r.out = make([]outVC, maxDirs*cfg.VCs)
+		for j := range r.in {
+			r.in[j].buf = make([]noc.Flit, cfg.BufDepth)
+			r.in[j].outVC = -1
+		}
+		for j := range r.out {
+			r.out[j].credits = cfg.BufDepth
+		}
+		for v := range r.local {
+			r.local[v].outVC = -1
+		}
+	}
+	f.stats.Links = cfg.Topology.Links()
+	return f
+}
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() *topology.Topology { return f.top }
+
+// Cycle returns the number of completed cycles.
+func (f *Fabric) Cycle() int64 { return f.cycle }
+
+// NIC returns node i's network interface.
+func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
+
+// Stats returns the accumulated counters, merging worker shards.
+func (f *Fabric) Stats() noc.Stats {
+	s := f.stats
+	for i := range f.shards {
+		sh := f.shards[i].stats
+		s.FlitsInjected += sh.FlitsInjected
+		s.FlitsEjected += sh.FlitsEjected
+		s.PacketsDelivered += sh.PacketsDelivered
+		s.LinkTraversals += sh.LinkTraversals
+		s.NetFlitLatencySum += sh.NetFlitLatencySum
+		s.QueueLatencySum += sh.QueueLatencySum
+		s.PacketLatencySum += sh.PacketLatencySum
+		s.StarvedCycles += sh.StarvedCycles
+		s.ThrottledCycles += sh.ThrottledCycles
+		s.WantedCycles += sh.WantedCycles
+		s.BufferReads += sh.BufferReads
+		s.BufferWrites += sh.BufferWrites
+		s.CrossbarTraversals += sh.CrossbarTraversals
+		s.Arbitrations += sh.Arbitrations
+	}
+	s.Cycles = f.cycle
+	return s
+}
+
+// InFlight returns the number of flits inside the network (buffers and
+// links).
+func (f *Fabric) InFlight() int64 { return f.inflight }
+
+// Drained reports whether no flit is in flight or queued.
+func (f *Fabric) Drained() bool {
+	if f.inflight != 0 {
+		return false
+	}
+	for _, nic := range f.nics {
+		if nic.HasTraffic() || nic.PendingPackets() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances one cycle.
+func (f *Fabric) Step() {
+	nodes := f.top.Nodes()
+	if f.cfg.Workers <= 1 || nodes < f.cfg.Workers*4 {
+		f.phase1(0, nodes, &f.shards[0])
+		f.phase2(0, nodes, &f.shards[0])
+	} else {
+		f.parallel(func(lo, hi int, sh *shard) { f.phase1(lo, hi, sh) })
+		f.parallel(func(lo, hi int, sh *shard) { f.phase2(lo, hi, sh) })
+	}
+	f.updateInflight()
+	f.cycle++
+}
+
+func (f *Fabric) parallel(fn func(lo, hi int, sh *shard)) {
+	nodes := f.top.Nodes()
+	w := f.cfg.Workers
+	per := (nodes + w - 1) / w
+	done := make(chan struct{}, w)
+	for i := 0; i < w; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > nodes {
+			hi = nodes
+		}
+		go func(lo, hi int, sh *shard) {
+			if lo < hi {
+				fn(lo, hi, sh)
+			}
+			done <- struct{}{}
+		}(lo, hi, &f.shards[i])
+	}
+	for i := 0; i < w; i++ {
+		<-done
+	}
+}
+
+func (f *Fabric) updateInflight() {
+	var inj, ej int64
+	for i := range f.shards {
+		inj += f.shards[i].stats.FlitsInjected
+		ej += f.shards[i].stats.FlitsEjected
+	}
+	f.inflight = inj - ej
+}
+
+// inputRef identifies a switch-allocation candidate: a direction input VC
+// (dir in 0..3) or the local injection port (dir == localDir).
+const localDir = maxDirs
+
+type inputRef struct {
+	dir int
+	vc  int
+}
+
+func (f *Fabric) phase1(lo, hi int, sh *shard) {
+	stage := int(f.cycle % int64(f.depth))
+	st := &sh.stats
+	for node := lo; node < hi; node++ {
+		r := &f.routers[node]
+		base := node * maxDirs
+
+		// 1. Receive arriving flits into input buffers; consume credits.
+		for d := 0; d < maxDirs; d++ {
+			fs := &f.flitIn[(base+d)*f.depth+stage]
+			if fs.ok {
+				fs.ok = false
+				vc := &r.in[d*f.vcs+int(fs.f.VC)]
+				if vc.count >= len(vc.buf) {
+					panic(fmt.Sprintf("buffered: input buffer overflow at node %d dir %d vc %d", node, d, fs.f.VC))
+				}
+				vc.push(fs.f)
+				st.BufferWrites++
+			}
+			cs := &f.creditIn[(base+d)*f.depth+stage]
+			if cs.vc >= 0 {
+				r.out[d*f.vcs+int(cs.vc)].credits++
+				cs.vc = -1
+			}
+		}
+
+		// 2. Route computation for fronts that are heads and unrouted.
+		for i := range r.in {
+			vc := &r.in[i]
+			if vc.count > 0 && !vc.routed && vc.front().Index == 0 {
+				vc.route = f.top.XYRoute(node, int(vc.front().Dst))
+				vc.routed = true
+			}
+		}
+		nic := f.nics[node]
+		f.routeLocal(node, nic)
+
+		// 3. VC allocation: oldest-first over head flits needing an
+		// output VC. Local ejection (route == Local) needs no VC.
+		f.allocVCs(node, nic, st)
+
+		// 4. Switch allocation. Input-port stage: each of the 4+1 ports
+		// nominates its oldest ready VC; output-port stage: each output
+		// grants its oldest requester.
+		var granted [maxDirs + 1]inputRef // winner per output port; Local output at index maxDirs
+		for i := range granted {
+			granted[i] = inputRef{dir: -1}
+		}
+		var nominee [maxDirs + 1]inputRef
+		for i := range nominee {
+			nominee[i] = inputRef{dir: -1}
+		}
+		wanted, injected, throttled := false, false, false
+
+		// Nominate per input port.
+		for d := 0; d < maxDirs; d++ {
+			best := -1
+			for v := 0; v < f.vcs; v++ {
+				vc := &r.in[d*f.vcs+v]
+				if !f.vcReady(r, vc) {
+					continue
+				}
+				if best < 0 || noc.Older(vc.front(), r.in[d*f.vcs+best].front()) {
+					best = v
+				}
+			}
+			if best >= 0 {
+				nominee[d] = inputRef{dir: d, vc: best}
+				st.Arbitrations++
+			}
+		}
+		// Local injection port nomination: replies first.
+		if nic.HasTraffic() {
+			wanted = true
+			lv, thr := f.localReady(node, r, nic)
+			throttled = thr
+			if lv >= 0 {
+				nominee[localDir] = inputRef{dir: localDir, vc: lv}
+				st.Arbitrations++
+			}
+		}
+
+		// Output-port grant: oldest requester wins each direction; the
+		// Local (ejection) port grants up to EjectWidth requesters,
+		// matching the bufferless fabric's NI datapath width.
+		var localReq [maxDirs + 1]inputRef
+		nLocal := 0
+		for _, nom := range nominee {
+			if nom.dir < 0 {
+				continue
+			}
+			route, fl := f.candidate(node, r, nic, nom)
+			if route == topology.Local {
+				localReq[nLocal] = nom
+				nLocal++
+				continue
+			}
+			out := int(route)
+			cur := granted[out]
+			if cur.dir < 0 {
+				granted[out] = nom
+				continue
+			}
+			_, curFl := f.candidate(node, r, nic, cur)
+			if noc.Older(fl, curFl) {
+				granted[out] = nom
+			}
+		}
+		// Oldest-first among ejection requesters, up to EjectWidth.
+		for i := 1; i < nLocal; i++ {
+			j := i
+			for j > 0 {
+				_, a := f.candidate(node, r, nic, localReq[j])
+				_, b := f.candidate(node, r, nic, localReq[j-1])
+				if !noc.Older(a, b) {
+					break
+				}
+				localReq[j], localReq[j-1] = localReq[j-1], localReq[j]
+				j--
+			}
+		}
+		if nLocal > f.cfg.EjectWidth {
+			nLocal = f.cfg.EjectWidth
+		}
+		localGrant := localReq[:nLocal]
+
+		// Traverse: pop winners, emit flits/credits, update VC state.
+		for out, g := range granted[:maxDirs] {
+			if g.dir < 0 {
+				continue
+			}
+			if g.dir == localDir {
+				injected = f.traverseLocal(node, r, nic, g.vc, topology.Port(out), st) || injected
+			} else {
+				f.traverseDir(node, r, nic, g, topology.Port(out), st)
+			}
+		}
+		for _, g := range localGrant {
+			if g.dir == localDir {
+				injected = f.traverseLocal(node, r, nic, g.vc, topology.Local, st) || injected
+			} else {
+				f.traverseDir(node, r, nic, g, topology.Local, st)
+			}
+		}
+
+		if wanted {
+			st.WantedCycles++
+			if !injected {
+				if throttled {
+					st.ThrottledCycles++
+				} else {
+					st.StarvedCycles++
+				}
+			}
+		}
+		f.policy.Tick(node, wanted, injected, throttled)
+
+		// Distributed congestion marking on departures.
+		if f.policy.MarkCongested(node) {
+			for d := 0; d < maxDirs; d++ {
+				if f.outFlit[base+d].ok {
+					f.outFlit[base+d].f.CongBit = true
+				}
+			}
+		}
+	}
+}
+
+// outPort maps a granted-slot index back to a port number (maxDirs means
+// the Local ejection port).
+func outPort(i int) topology.Port {
+	if i == maxDirs {
+		return topology.Local
+	}
+	return topology.Port(i)
+}
+
+// routeLocal computes routes for the packets at the front of the NIC
+// queues. State for a queue whose packet is mid-flight is left alone;
+// packets enqueue atomically, so a queue never empties mid-packet.
+func (f *Fabric) routeLocal(node int, nic *noc.NIC) {
+	r := &f.routers[node]
+	for v := 0; v < numLocalVC; v++ {
+		fl := f.localFront(nic, v)
+		if fl == nil {
+			continue
+		}
+		if !r.local[v].routed && fl.Index == 0 {
+			r.local[v].route = f.top.XYRoute(node, int(fl.Dst))
+			r.local[v].routed = true
+		}
+	}
+}
+
+// localFront returns the front flit of the NIC queue bound to local VC v.
+func (f *Fabric) localFront(nic *noc.NIC, v int) *noc.Flit {
+	if v == localVCRep {
+		return nic.HeadReply()
+	}
+	return nic.HeadRequest()
+}
+
+// localPop removes the front flit of the NIC queue bound to local VC v.
+func (f *Fabric) localPop(nic *noc.NIC, v int) noc.Flit {
+	if v == localVCRep {
+		return nic.PopReply()
+	}
+	return nic.PopRequest()
+}
+
+// allocVCs performs output-VC allocation, oldest-first across all head
+// flits (direction VCs and the local port) that need one.
+func (f *Fabric) allocVCs(node int, nic *noc.NIC, st *noc.Stats) {
+	r := &f.routers[node]
+	type req struct {
+		ref inputRef
+		fl  *noc.Flit
+	}
+	var reqs [maxDirs*8 + numLocalVC]req
+	n := 0
+	for d := 0; d < maxDirs; d++ {
+		for v := 0; v < f.vcs; v++ {
+			vc := &r.in[d*f.vcs+v]
+			if vc.count > 0 && vc.routed && vc.outVC < 0 &&
+				vc.route != topology.Local && vc.front().Index == 0 {
+				reqs[n] = req{ref: inputRef{dir: d, vc: v}, fl: vc.front()}
+				n++
+			}
+		}
+	}
+	for v := 0; v < numLocalVC; v++ {
+		fl := f.localFront(nic, v)
+		if fl != nil && r.local[v].routed && r.local[v].outVC < 0 &&
+			r.local[v].route != topology.Local && fl.Index == 0 {
+			reqs[n] = req{ref: inputRef{dir: localDir, vc: v}, fl: fl}
+			n++
+		}
+	}
+	// Oldest-first insertion sort (n is small).
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && noc.Older(reqs[j].fl, reqs[j-1].fl) {
+			reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
+			j--
+		}
+	}
+	for i := 0; i < n; i++ {
+		ref := reqs[i].ref
+		var route topology.Port
+		if ref.dir == localDir {
+			route = r.local[ref.vc].route
+		} else {
+			route = r.in[ref.dir*f.vcs+ref.vc].route
+		}
+		// Find a free output VC on the routed port.
+		for ov := 0; ov < f.vcs; ov++ {
+			o := &r.out[int(route)*f.vcs+ov]
+			if !o.busy {
+				o.busy = true
+				if ref.dir == localDir {
+					r.local[ref.vc].outVC = int8(ov)
+				} else {
+					r.in[ref.dir*f.vcs+ref.vc].outVC = int8(ov)
+				}
+				st.Arbitrations++
+				break
+			}
+		}
+	}
+}
+
+// vcReady reports whether a direction input VC can traverse the switch
+// this cycle: non-empty, routed, and either ejecting locally or holding
+// an output VC with a credit.
+func (f *Fabric) vcReady(r *router, vc *inVC) bool {
+	if vc.count == 0 || !vc.routed {
+		return false
+	}
+	if vc.route == topology.Local {
+		return true
+	}
+	if vc.outVC < 0 {
+		return false
+	}
+	return r.out[int(vc.route)*f.vcs+int(vc.outVC)].credits > 0
+}
+
+// localReady returns the local pseudo-VC able to inject this cycle,
+// reply VC first, or -1. Requests additionally pass the injection
+// policy (Algorithm 3: consulted only when the network could accept the
+// flit); throttled reports that the policy — rather than VC/credit
+// availability — blocked an otherwise-ready injection.
+func (f *Fabric) localReady(node int, r *router, nic *noc.NIC) (v int, throttled bool) {
+	for _, v := range [...]int{localVCRep, localVCReq} {
+		fl := f.localFront(nic, v)
+		if fl == nil || !r.local[v].routed {
+			continue
+		}
+		if r.local[v].route != topology.Local {
+			if r.local[v].outVC < 0 {
+				continue
+			}
+			if r.out[int(r.local[v].route)*f.vcs+int(r.local[v].outVC)].credits <= 0 {
+				continue
+			}
+		}
+		if noc.ThrottledKind(fl.Kind) && fl.Index == 0 && !f.policy.Allow(node) {
+			throttled = true
+			continue
+		}
+		return v, false
+	}
+	return -1, throttled
+}
+
+// candidate returns the route and front flit for a nominated input.
+func (f *Fabric) candidate(node int, r *router, nic *noc.NIC, ref inputRef) (topology.Port, *noc.Flit) {
+	if ref.dir == localDir {
+		return r.local[ref.vc].route, f.localFront(nic, ref.vc)
+	}
+	vc := &r.in[ref.dir*f.vcs+ref.vc]
+	return vc.route, vc.front()
+}
+
+// traverseDir moves the winning flit of a direction input VC through the
+// switch: eject locally or forward downstream, returning a credit
+// upstream and releasing per-packet state on the tail flit.
+func (f *Fabric) traverseDir(node int, r *router, nic *noc.NIC, g inputRef, out topology.Port, st *noc.Stats) {
+	vc := &r.in[g.dir*f.vcs+g.vc]
+	fl := vc.pop()
+	st.BufferReads++
+	st.CrossbarTraversals++
+	// Return a credit to the upstream router for the freed slot.
+	f.outCredit[node*maxDirs+g.dir] = creditSlot{vc: int8(g.vc)}
+	if out == topology.Local {
+		st.FlitsEjected++
+		st.NetFlitLatencySum += f.cycle - fl.Inject
+		if _, done := nic.Receive(&fl, f.cycle); done {
+			st.PacketsDelivered++
+			st.PacketLatencySum += f.cycle - fl.Enq
+		}
+	} else {
+		ovc := vc.outVC
+		r.out[int(out)*f.vcs+int(ovc)].credits--
+		fl.VC = ovc
+		f.outFlit[node*maxDirs+int(out)] = flitSlot{f: fl, ok: true}
+	}
+	if fl.Index == fl.Len-1 { // tail: release the packet's allocations
+		if out != topology.Local {
+			r.out[int(out)*f.vcs+int(vc.outVC)].busy = false
+		}
+		vc.outVC = -1
+		vc.routed = false
+	}
+}
+
+// traverseLocal injects the front flit of a NIC queue. Returns true when
+// a flit entered the network.
+func (f *Fabric) traverseLocal(node int, r *router, nic *noc.NIC, v int, out topology.Port, st *noc.Stats) bool {
+	fl := f.localPop(nic, v)
+	fl.Inject = f.cycle
+	st.FlitsInjected++
+	st.QueueLatencySum += f.cycle - fl.Enq
+	st.CrossbarTraversals++
+	if out == topology.Local {
+		// Self-addressed packet: immediately delivered.
+		st.FlitsEjected++
+		if _, done := nic.Receive(&fl, f.cycle); done {
+			st.PacketsDelivered++
+			st.PacketLatencySum += f.cycle - fl.Enq
+		}
+	} else {
+		ovc := r.local[v].outVC
+		r.out[int(out)*f.vcs+int(ovc)].credits--
+		fl.VC = ovc
+		f.outFlit[node*maxDirs+int(out)] = flitSlot{f: fl, ok: true}
+	}
+	if fl.Index == fl.Len-1 {
+		if out != topology.Local {
+			r.out[int(out)*f.vcs+int(r.local[v].outVC)].busy = false
+		}
+		r.local[v].outVC = -1
+		r.local[v].routed = false
+	}
+	return true
+}
+
+// phase2 commits outgoing flits and credits onto the link pipelines.
+func (f *Fabric) phase2(lo, hi int, sh *shard) {
+	stage := int(f.cycle % int64(f.depth))
+	st := &sh.stats
+	for node := lo; node < hi; node++ {
+		base := node * maxDirs
+		for d := 0; d < maxDirs; d++ {
+			o := &f.outFlit[base+d]
+			if o.ok {
+				o.ok = false
+				nb := f.top.Neighbor(node, topology.Port(d))
+				ad := topology.Opposite(topology.Port(d))
+				f.flitIn[(nb*maxDirs+int(ad))*f.depth+stage] = flitSlot{f: o.f, ok: true}
+				st.LinkTraversals++
+			}
+			c := &f.outCredit[base+d]
+			if c.vc >= 0 {
+				// Credit for a flit received on arrival dir d goes back
+				// to Neighbor(node,d)'s output port Opposite(d).
+				nb := f.top.Neighbor(node, topology.Port(d))
+				od := topology.Opposite(topology.Port(d))
+				f.creditIn[(nb*maxDirs+int(od))*f.depth+stage] = creditSlot{vc: c.vc}
+				c.vc = -1
+			}
+		}
+	}
+}

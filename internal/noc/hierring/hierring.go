@@ -1,0 +1,316 @@
+// Package hierring implements a bufferless hierarchical ring
+// interconnect in the style the paper cites as [21] (Fallin et al., "A
+// high-performance hierarchical ring on-chip interconnect with low-cost
+// routers"): nodes sit on small local rings; local rings are joined by
+// one global ring through bridge routers holding small transfer FIFOs.
+//
+// Ring stops are even cheaper than deflection routers: a flit on a ring
+// simply circulates one stop per cycle until it reaches its destination
+// (or its bridge), so there is no routing, no arbitration and no
+// deflection — the only buffering in the network is the bridges'
+// transfer FIFOs. A flit whose bridge FIFO is full keeps circulating
+// and tries again next lap, which preserves losslessness without
+// blocking the ring.
+//
+// The fabric implements noc.Network so the open-loop traffic harness
+// drives it directly. Rings have no 2D geometry: Topology() exposes the
+// node-ID space as a 1xN line for harness compatibility — use
+// ID-based patterns (uniform, hotspot, bit-complement), not
+// coordinate-based ones.
+package hierring
+
+import (
+	"fmt"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/topology"
+)
+
+// Config parameterises the hierarchy.
+type Config struct {
+	// Nodes is the total node count; required.
+	Nodes int
+	// GroupSize is the number of nodes per local ring; 0 means 8.
+	// Nodes must be a multiple of GroupSize.
+	GroupSize int
+	// BridgeFIFO is the depth of each bridge transfer FIFO; 0 means 4.
+	BridgeFIFO int
+	// Policy gates and observes injection; nil means noc.Open{}.
+	Policy noc.InjectionPolicy
+}
+
+// slot is one ring position.
+type slot struct {
+	f  noc.Flit
+	ok bool
+}
+
+// fifo is a small ring buffer of flits.
+type fifo struct {
+	buf   []noc.Flit
+	head  int
+	count int
+}
+
+func (q *fifo) full() bool  { return q.count == len(q.buf) }
+func (q *fifo) empty() bool { return q.count == 0 }
+func (q *fifo) push(f noc.Flit) {
+	q.buf[(q.head+q.count)%len(q.buf)] = f
+	q.count++
+}
+func (q *fifo) pop() noc.Flit {
+	f := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return f
+}
+
+// Fabric is the hierarchical ring network. It implements noc.Network.
+type Fabric struct {
+	cfg    Config
+	policy noc.InjectionPolicy
+	lineTo *topology.Topology // 1xN placeholder for the harness
+	cycle  int64
+
+	nics []*noc.NIC
+
+	// local[g] has GroupSize node stops followed by one bridge stop.
+	local [][]slot
+	// global has one stop per local ring (its bridge).
+	global []slot
+	// l2g/g2l are each bridge's transfer FIFOs.
+	l2g, g2l []fifo
+
+	// scratch rings for the per-cycle rotation.
+	scratchL [][]slot
+	scratchG []slot
+
+	stats    noc.Stats
+	inflight int64
+}
+
+// New constructs the fabric.
+func New(cfg Config) *Fabric {
+	if cfg.Nodes <= 0 {
+		panic("hierring: Config.Nodes is required")
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 8
+	}
+	if cfg.GroupSize < 2 || cfg.Nodes%cfg.GroupSize != 0 {
+		panic(fmt.Sprintf("hierring: %d nodes not divisible into rings of %d", cfg.Nodes, cfg.GroupSize))
+	}
+	if cfg.BridgeFIFO <= 0 {
+		cfg.BridgeFIFO = 4
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = noc.Open{}
+	}
+	groups := cfg.Nodes / cfg.GroupSize
+	f := &Fabric{
+		cfg:    cfg,
+		policy: cfg.Policy,
+		lineTo: topology.New(topology.Mesh, cfg.Nodes, 1),
+		nics:   make([]*noc.NIC, cfg.Nodes),
+		local:  make([][]slot, groups),
+		global: make([]slot, max(groups, 2)),
+		l2g:    make([]fifo, groups),
+		g2l:    make([]fifo, groups),
+	}
+	for i := range f.nics {
+		f.nics[i] = noc.NewNIC(i)
+	}
+	stops := cfg.GroupSize + 1 // node stops + bridge stop
+	f.scratchL = make([][]slot, groups)
+	for g := range f.local {
+		f.local[g] = make([]slot, stops)
+		f.scratchL[g] = make([]slot, stops)
+		f.l2g[g] = fifo{buf: make([]noc.Flit, cfg.BridgeFIFO)}
+		f.g2l[g] = fifo{buf: make([]noc.Flit, cfg.BridgeFIFO)}
+	}
+	f.scratchG = make([]slot, len(f.global))
+	// Links: each ring stop's forward link plus the global ring's.
+	f.stats.Links = groups*stops + len(f.global)
+	return f
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ring returns the local ring index of a node.
+func (f *Fabric) ring(node int) int { return node / f.cfg.GroupSize }
+
+// stopOf returns a node's stop index on its local ring.
+func (f *Fabric) stopOf(node int) int { return node % f.cfg.GroupSize }
+
+// nodeAt returns the node at a local ring stop (stops < GroupSize).
+func (f *Fabric) nodeAt(g, stop int) int { return g*f.cfg.GroupSize + stop }
+
+// Topology returns a 1xN line standing in for the node-ID space.
+func (f *Fabric) Topology() *topology.Topology { return f.lineTo }
+
+// Cycle returns completed cycles.
+func (f *Fabric) Cycle() int64 { return f.cycle }
+
+// NIC returns node i's network interface.
+func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
+
+// Stats returns the accumulated counters.
+func (f *Fabric) Stats() noc.Stats {
+	s := f.stats
+	s.Cycles = f.cycle
+	return s
+}
+
+// InFlight returns flits inside rings and FIFOs.
+func (f *Fabric) InFlight() int64 { return f.inflight }
+
+// Drained reports whether nothing is queued or in flight.
+func (f *Fabric) Drained() bool {
+	if f.inflight != 0 {
+		return false
+	}
+	for _, nic := range f.nics {
+		if nic.HasTraffic() || nic.PendingPackets() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Step advances the fabric one cycle: every ring rotates one stop, with
+// ejection, bridge transfer, and injection happening as slots pass.
+func (f *Fabric) Step() {
+	groups := len(f.local)
+	stops := f.cfg.GroupSize + 1
+	bridgeStop := f.cfg.GroupSize
+
+	// Local rings: the flit that was at stop s-1 arrives at stop s.
+	for g := 0; g < groups; g++ {
+		cur, next := f.local[g], f.scratchL[g]
+		for s := 0; s < stops; s++ {
+			in := cur[(s-1+stops)%stops]
+			if in.ok {
+				f.stats.LinkTraversals++
+			}
+			if s == bridgeStop {
+				next[s] = f.bridgeLocal(g, in)
+			} else {
+				next[s] = f.nodeStop(f.nodeAt(g, s), in)
+			}
+		}
+		f.local[g], f.scratchL[g] = next, cur
+	}
+
+	// Global ring.
+	gstops := len(f.global)
+	for s := 0; s < gstops; s++ {
+		in := f.global[(s-1+gstops)%gstops]
+		if in.ok {
+			f.stats.LinkTraversals++
+		}
+		if s < groups {
+			f.scratchG[s] = f.bridgeGlobal(s, in)
+		} else {
+			f.scratchG[s] = in // filler stop on tiny configurations
+		}
+	}
+	f.global, f.scratchG = f.scratchG, f.global
+
+	f.cycle++
+}
+
+// nodeStop processes a local ring stop: eject a flit addressed here,
+// then inject into an empty slot.
+func (f *Fabric) nodeStop(node int, in slot) slot {
+	nic := f.nics[node]
+	if in.ok && int(in.f.Dst) == node {
+		f.stats.FlitsEjected++
+		f.stats.CrossbarTraversals++
+		f.stats.NetFlitLatencySum += f.cycle - in.f.Inject
+		if _, done := nic.Receive(&in.f, f.cycle); done {
+			f.stats.PacketsDelivered++
+			f.stats.PacketLatencySum += f.cycle - in.f.Enq
+		}
+		f.inflight--
+		in = slot{}
+	}
+
+	head := nic.Head()
+	wanted := head != nil
+	injected := false
+	throttled := false
+	if wanted && !in.ok {
+		if noc.ThrottledKind(head.Kind) && !f.policy.Allow(node) {
+			throttled = true
+		} else {
+			fl := nic.Pop()
+			fl.Inject = f.cycle
+			f.stats.FlitsInjected++
+			f.stats.QueueLatencySum += f.cycle - fl.Enq
+			f.stats.CrossbarTraversals++
+			f.inflight++
+			in = slot{f: fl, ok: true}
+			injected = true
+		}
+	}
+	if wanted {
+		f.stats.WantedCycles++
+		if !injected {
+			if throttled {
+				f.stats.ThrottledCycles++
+			} else {
+				f.stats.StarvedCycles++
+			}
+		}
+	}
+	f.policy.Tick(node, wanted, injected, throttled)
+
+	if in.ok && f.policy.MarkCongested(node) {
+		in.f.CongBit = true
+	}
+	return in
+}
+
+// bridgeLocal processes a local ring's bridge stop: flits leaving the
+// ring drop into the local-to-global FIFO (or keep circulating when it
+// is full); an empty slot picks up the next global-to-local arrival.
+func (f *Fabric) bridgeLocal(g int, in slot) slot {
+	if in.ok && f.ring(int(in.f.Dst)) != g {
+		if !f.l2g[g].full() {
+			f.l2g[g].push(in.f)
+			f.stats.BufferWrites++
+			in = slot{}
+		}
+		// else: circulate another lap.
+	}
+	if !in.ok && !f.g2l[g].empty() {
+		fl := f.g2l[g].pop()
+		f.stats.BufferReads++
+		in = slot{f: fl, ok: true}
+	}
+	return in
+}
+
+// bridgeGlobal processes ring g's stop on the global ring: flits for
+// ring g drop into its global-to-local FIFO; an empty slot picks up the
+// next local-to-global departure.
+func (f *Fabric) bridgeGlobal(g int, in slot) slot {
+	if in.ok && f.ring(int(in.f.Dst)) == g {
+		if !f.g2l[g].full() {
+			f.g2l[g].push(in.f)
+			f.stats.BufferWrites++
+			in = slot{}
+		}
+	}
+	if !in.ok && !f.l2g[g].empty() {
+		fl := f.l2g[g].pop()
+		f.stats.BufferReads++
+		in = slot{f: fl, ok: true}
+	}
+	return in
+}

@@ -1,0 +1,194 @@
+package hierring
+
+import (
+	"testing"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/rng"
+)
+
+func runUntilDrained(t *testing.T, f *Fabric, maxCycles int) {
+	t.Helper()
+	for i := 0; i < maxCycles; i++ {
+		if f.Drained() {
+			return
+		}
+		f.Step()
+	}
+	t.Fatalf("not drained after %d cycles (inflight=%d)", maxCycles, f.InFlight())
+}
+
+func TestSameRingDelivery(t *testing.T) {
+	f := New(Config{Nodes: 16, GroupSize: 8})
+	f.NIC(1).Send(5, noc.Request, 7, 1, 0)
+	runUntilDrained(t, f, 200)
+	d := f.NIC(5).Delivered()
+	if len(d) != 1 || d[0].Token != 7 {
+		t.Fatalf("delivered %v", d)
+	}
+	// Stops 1 -> 5 on the ring: 4 hops, 1 cycle each.
+	if net := d[0].Eject - d[0].Inject; net != 4 {
+		t.Errorf("same-ring latency %d, want 4", net)
+	}
+}
+
+func TestCrossRingDelivery(t *testing.T) {
+	f := New(Config{Nodes: 16, GroupSize: 8})
+	f.NIC(0).Send(12, noc.Request, 9, 1, 0) // ring 0 -> ring 1
+	runUntilDrained(t, f, 500)
+	d := f.NIC(12).Delivered()
+	if len(d) != 1 || d[0].Token != 9 {
+		t.Fatalf("cross-ring packet not delivered: %v", d)
+	}
+	s := f.Stats()
+	if s.BufferWrites < 2 || s.BufferReads < 2 {
+		t.Errorf("cross-ring traversal must pass both bridge FIFOs: writes %d reads %d",
+			s.BufferWrites, s.BufferReads)
+	}
+}
+
+func TestConservationUnderLoad(t *testing.T) {
+	f := New(Config{Nodes: 32, GroupSize: 8})
+	r := rng.New(3)
+	sent := 0
+	for cycle := 0; cycle < 4000; cycle++ {
+		if cycle < 2000 {
+			for n := 0; n < 32; n++ {
+				if r.Bool(0.1) {
+					dst := r.Intn(32)
+					if dst != n {
+						f.NIC(n).Send(dst, noc.Request, 0, 2, f.Cycle())
+						sent += 2
+					}
+				}
+			}
+		}
+		f.Step()
+	}
+	runUntilDrained(t, f, 400000)
+	s := f.Stats()
+	if s.FlitsInjected != int64(sent) || s.FlitsEjected != int64(sent) {
+		t.Errorf("flits inj=%d ej=%d, want %d", s.FlitsInjected, s.FlitsEjected, sent)
+	}
+	if s.BufferWrites != s.BufferReads {
+		t.Errorf("bridge FIFOs not drained: %d writes, %d reads", s.BufferWrites, s.BufferReads)
+	}
+}
+
+func TestFullBridgeFIFOCirculates(t *testing.T) {
+	// Saturate one ring's outbound bridge: nothing may be lost even
+	// while flits circulate waiting for FIFO space.
+	f := New(Config{Nodes: 16, GroupSize: 8, BridgeFIFO: 2})
+	sent := 0
+	for round := 0; round < 40; round++ {
+		for n := 0; n < 8; n++ { // all of ring 0 floods ring 1
+			f.NIC(n).Send(8+n, noc.Request, 0, 1, f.Cycle())
+			sent++
+		}
+		f.Step()
+	}
+	runUntilDrained(t, f, 100000)
+	if got := f.Stats().FlitsEjected; got != int64(sent) {
+		t.Errorf("ejected %d, want %d", got, sent)
+	}
+}
+
+func TestStarvationWhenRingBusy(t *testing.T) {
+	f := New(Config{Nodes: 16, GroupSize: 8})
+	r := rng.New(5)
+	for cycle := 0; cycle < 3000; cycle++ {
+		for n := 0; n < 16; n++ {
+			if f.NIC(n).QueueLen() < 8 {
+				dst := r.Intn(16)
+				if dst != n {
+					f.NIC(n).Send(dst, noc.Request, 0, 2, f.Cycle())
+				}
+			}
+		}
+		f.Step()
+	}
+	s := f.Stats()
+	if s.StarvedCycles == 0 {
+		t.Error("saturated rings must starve some injections")
+	}
+	if s.StarvedCycles > s.WantedCycles {
+		t.Error("starved exceeds wanted")
+	}
+}
+
+type denyPolicy struct{}
+
+func (denyPolicy) Allow(int) bool             { return false }
+func (denyPolicy) Tick(int, bool, bool, bool) {}
+func (denyPolicy) MarkCongested(int) bool     { return false }
+
+func TestPolicyGatesInjection(t *testing.T) {
+	f := New(Config{Nodes: 16, GroupSize: 8, Policy: denyPolicy{}})
+	f.NIC(0).Send(5, noc.Request, 0, 1, 0)
+	f.NIC(1).Send(6, noc.Reply, 0, 1, 0)
+	for i := 0; i < 300; i++ {
+		f.Step()
+	}
+	if len(f.NIC(5).Delivered()) != 0 {
+		t.Error("request bypassed the policy")
+	}
+	if len(f.NIC(6).Delivered()) != 1 {
+		t.Error("reply must bypass the policy")
+	}
+	if f.Stats().ThrottledCycles == 0 {
+		t.Error("policy blocks must count as throttled cycles")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no nodes":     {},
+		"non-dividing": {Nodes: 10, GroupSize: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	f := New(Config{Nodes: 16})
+	if f.cfg.GroupSize != 8 || f.cfg.BridgeFIFO != 4 {
+		t.Errorf("defaults not applied: %+v", f.cfg)
+	}
+	if f.Topology().Nodes() != 16 {
+		t.Error("placeholder topology must expose the node count")
+	}
+}
+
+func TestLongPacketsReassemble(t *testing.T) {
+	f := New(Config{Nodes: 24, GroupSize: 8})
+	f.NIC(2).Send(20, noc.Reply, 5, 6, 0)
+	runUntilDrained(t, f, 2000)
+	d := f.NIC(20).Delivered()
+	if len(d) != 1 || d[0].Len != 6 {
+		t.Fatalf("want one 6-flit packet, got %v", d)
+	}
+}
+
+func BenchmarkStep32Nodes(b *testing.B) {
+	f := New(Config{Nodes: 32, GroupSize: 8})
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 32; n++ {
+			if f.NIC(n).QueueLen() < 4 {
+				dst := r.Intn(32)
+				if dst != n {
+					f.NIC(n).Send(dst, noc.Request, 0, 2, f.Cycle())
+				}
+			}
+		}
+		f.Step()
+	}
+}

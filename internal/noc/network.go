@@ -1,0 +1,30 @@
+package noc
+
+import "nocsim/internal/topology"
+
+// Network is a cycle-stepped on-chip fabric. Both the bufferless BLESS
+// fabric and the buffered virtual-channel fabric implement it, so the
+// system simulator and the experiment harness are architecture-agnostic.
+//
+// The contract per Step:
+//   - every node's NIC head flit is considered for injection, subject to
+//     the fabric's admission rule and the InjectionPolicy;
+//   - flits arriving at their destination are ejected into the NIC,
+//     which reassembles packets (readable via NIC(i).Delivered());
+//   - Stats counters advance.
+type Network interface {
+	// Step advances the fabric by one clock cycle.
+	Step()
+	// Cycle returns the number of completed cycles.
+	Cycle() int64
+	// NIC returns node i's network interface.
+	NIC(i int) *NIC
+	// Stats returns the accumulated counters. The returned value reflects
+	// all cycles completed so far.
+	Stats() Stats
+	// Topology returns the fabric's topology.
+	Topology() *topology.Topology
+	// Drained reports whether no flit is in flight or queued anywhere;
+	// used by tests and by end-of-run draining.
+	Drained() bool
+}

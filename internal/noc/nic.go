@@ -1,0 +1,193 @@
+package noc
+
+// NIC is a node's network interface. It holds the processor-side
+// injection queues (bufferless routers have no in-network buffers, so
+// flits wait here until an output link is free — §2.2), reassembles
+// arriving flits into packets, and hands completed packets to the node.
+//
+// Two queues are kept: replies bypass requests so that throttling a
+// node's own requests can never block the responses it owes other nodes
+// (§5 "How to Throttle").
+type NIC struct {
+	node int32
+	seq  uint64
+
+	reqQ flitQueue
+	repQ flitQueue
+
+	pending   map[uint64]*pendingPacket
+	delivered []Packet
+}
+
+type pendingPacket struct {
+	got     uint8
+	len     uint8
+	kind    Kind
+	src     int32
+	token   uint64
+	enq     int64
+	inject  int64
+	congBit bool
+}
+
+// flitQueue is a FIFO of flits with amortised O(1) pop.
+type flitQueue struct {
+	buf  []Flit
+	head int
+}
+
+func (q *flitQueue) push(f Flit) { q.buf = append(q.buf, f) }
+func (q *flitQueue) len() int    { return len(q.buf) - q.head }
+func (q *flitQueue) empty() bool { return q.head >= len(q.buf) }
+func (q *flitQueue) peek() *Flit { return &q.buf[q.head] }
+func (q *flitQueue) pop() Flit {
+	f := q.buf[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return f
+}
+
+// NewNIC returns a NIC for the given node ID.
+func NewNIC(node int) *NIC {
+	return &NIC{node: int32(node), pending: make(map[uint64]*pendingPacket)}
+}
+
+// Node returns the node this NIC belongs to.
+func (n *NIC) Node() int { return int(n.node) }
+
+// Send enqueues a packet of nflits flits of the given kind toward dst.
+// cycle timestamps queue entry. It returns the packet's sequence number.
+func (n *NIC) Send(dst int, kind Kind, token uint64, nflits int, cycle int64) uint64 {
+	if nflits < 1 || nflits > 255 {
+		panic("noc: packet length out of range")
+	}
+	n.seq++
+	seq := uint64(n.node)<<40 | n.seq
+	f := Flit{
+		Enq:   cycle,
+		Seq:   seq,
+		Token: token,
+		Src:   n.node,
+		Dst:   int32(dst),
+		Len:   uint8(nflits),
+		Kind:  kind,
+	}
+	q := &n.reqQ
+	if kind != Request && kind != Writeback {
+		q = &n.repQ
+	}
+	for i := 0; i < nflits; i++ {
+		f.Index = uint8(i)
+		q.push(f)
+	}
+	return seq
+}
+
+// QueueLen returns the number of flits waiting for injection.
+func (n *NIC) QueueLen() int { return n.reqQ.len() + n.repQ.len() }
+
+// HasTraffic reports whether any flit is waiting for injection.
+func (n *NIC) HasTraffic() bool { return !n.reqQ.empty() || !n.repQ.empty() }
+
+// Head returns the flit that would be injected next (replies have
+// priority over requests) without removing it, or nil if none.
+func (n *NIC) Head() *Flit {
+	if !n.repQ.empty() {
+		return n.repQ.peek()
+	}
+	if !n.reqQ.empty() {
+		return n.reqQ.peek()
+	}
+	return nil
+}
+
+// Pop removes and returns the head flit. It panics if the NIC is empty.
+func (n *NIC) Pop() Flit {
+	if !n.repQ.empty() {
+		return n.repQ.pop()
+	}
+	return n.reqQ.pop()
+}
+
+// HeadRequest returns the front flit of the request queue, or nil. The
+// buffered fabric binds each injection pseudo-VC to one queue so that a
+// reply arriving mid-packet never interleaves with a request packet's
+// flit stream.
+func (n *NIC) HeadRequest() *Flit {
+	if n.reqQ.empty() {
+		return nil
+	}
+	return n.reqQ.peek()
+}
+
+// HeadReply returns the front flit of the reply/control queue, or nil.
+func (n *NIC) HeadReply() *Flit {
+	if n.repQ.empty() {
+		return nil
+	}
+	return n.repQ.peek()
+}
+
+// PopRequest removes and returns the front request flit.
+func (n *NIC) PopRequest() Flit { return n.reqQ.pop() }
+
+// PopReply removes and returns the front reply/control flit.
+func (n *NIC) PopReply() Flit { return n.repQ.pop() }
+
+// Receive accepts an ejected flit, reassembling it into its packet. When
+// the final flit arrives the completed packet is queued for Delivered and
+// returned with done=true.
+func (n *NIC) Receive(f *Flit, cycle int64) (pkt Packet, done bool) {
+	p := n.pending[f.Seq]
+	if p == nil {
+		p = &pendingPacket{
+			len:    f.Len,
+			kind:   f.Kind,
+			src:    f.Src,
+			token:  f.Token,
+			enq:    f.Enq,
+			inject: f.Inject,
+		}
+		n.pending[f.Seq] = p
+	}
+	p.got++
+	if f.Inject < p.inject {
+		p.inject = f.Inject
+	}
+	if f.CongBit {
+		p.congBit = true
+	}
+	if p.got == p.len {
+		delete(n.pending, f.Seq)
+		pkt = Packet{
+			Seq:     f.Seq,
+			Token:   p.token,
+			Src:     p.src,
+			Dst:     n.node,
+			Len:     p.len,
+			Kind:    p.kind,
+			Enq:     p.enq,
+			Inject:  p.inject,
+			Eject:   cycle,
+			CongBit: p.congBit,
+		}
+		n.delivered = append(n.delivered, pkt)
+		return pkt, true
+	}
+	return Packet{}, false
+}
+
+// Delivered returns the packets completed since the last call and resets
+// the list. The returned slice is only valid until the next call.
+func (n *NIC) Delivered() []Packet {
+	d := n.delivered
+	n.delivered = n.delivered[:0]
+	return d
+}
+
+// PendingPackets returns the number of partially reassembled packets.
+func (n *NIC) PendingPackets() int { return len(n.pending) }

@@ -1,0 +1,141 @@
+// Package plot renders (x, y) series as ASCII scatter charts for the
+// terminal, so cmd/experiments can show a figure's shape — crossovers,
+// saturation knees, scaling trends — without leaving the shell.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named point set.
+type Series struct {
+	Name   string
+	Points [][2]float64 // (x, y)
+}
+
+// markers label up to eight overlaid series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Config sets the canvas geometry.
+type Config struct {
+	// Width and Height are the plot area in characters; 0 means 64x20.
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogX plots x on a log10 scale (useful for core-count sweeps).
+	LogX bool
+}
+
+// Render draws the series onto w.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	width, height := cfg.Width, cfg.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := p[0]
+			if cfg.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, p[1]), math.Max(maxY, p[1])
+			n++
+		}
+	}
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "(no points)")
+		return err
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			x := p[0]
+			if cfg.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			cx := int((x - minX) / (maxX - minX) * float64(width-1))
+			cy := int((p[1] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			if grid[row][cx] != ' ' && grid[row][cx] != mark {
+				grid[row][cx] = '?'
+			} else {
+				grid[row][cx] = mark
+			}
+		}
+	}
+
+	// Legend.
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+
+	// Canvas with a y-axis gutter.
+	for i, row := range grid {
+		label := "         "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g ", minY)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 9), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	lo, hi := minX, maxX
+	if cfg.LogX {
+		lo, hi = math.Pow(10, minX), math.Pow(10, maxX)
+	}
+	xAxis := fmt.Sprintf("%-10.4g%s%10.4g", lo, strings.Repeat(" ", max(1, width-20)), hi)
+	if _, err := fmt.Fprintf(w, "%s %s\n", strings.Repeat(" ", 9), xAxis); err != nil {
+		return err
+	}
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s x: %s   y: %s\n",
+			strings.Repeat(" ", 9), cfg.XLabel, cfg.YLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 40, Height: 10, XLabel: "load", YLabel: "latency"},
+		Series{Name: "a", Points: [][2]float64{{0, 0}, {1, 1}, {2, 4}}},
+		Series{Name: "b", Points: [][2]float64{{0, 4}, {2, 0}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"* a", "o b", "x: load", "y: latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the canvas.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from canvas")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, Config{}, Series{Name: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no points") {
+		t.Error("empty render should say so")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	var buf bytes.Buffer
+	// All points identical: must not divide by zero.
+	err := Render(&buf, Config{Width: 20, Height: 5},
+		Series{Name: "flat", Points: [][2]float64{{1, 1}, {1, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("degenerate plot lost its point")
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 40, Height: 8, LogX: true},
+		Series{Name: "scale", Points: [][2]float64{{16, 1}, {256, 2}, {4096, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Log-x axis labels should show the original values.
+	if !strings.Contains(out, "16") || !strings.Contains(out, "4096") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+	// Points should be roughly evenly spaced: the middle point's column
+	// near the canvas centre. Find rows containing '*'.
+	var cols []int
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			if j := strings.IndexByte(line[i:], '*'); j > 0 {
+				cols = append(cols, j)
+			}
+		}
+	}
+	if len(cols) != 3 {
+		t.Fatalf("found %d plotted points, want 3", len(cols))
+	}
+}
+
+func TestRenderLogXSkipsNonPositive(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{LogX: true},
+		Series{Name: "bad", Points: [][2]float64{{0, 1}, {-5, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no points") {
+		t.Error("non-positive x values must be skipped under LogX")
+	}
+}
+
+func TestCollisionMarker(t *testing.T) {
+	var buf bytes.Buffer
+	err := Render(&buf, Config{Width: 10, Height: 3},
+		Series{Name: "a", Points: [][2]float64{{0, 0}, {1, 1}}},
+		Series{Name: "b", Points: [][2]float64{{0, 0}, {1, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "?") {
+		t.Error("overlapping points from different series should render '?'")
+	}
+}

@@ -1,0 +1,83 @@
+// Package power is the NoC power model used for Fig. 16. It follows the
+// structure of the BLESS router power model the paper cites [20]:
+// dynamic energy is charged per micro-architectural event (buffer write,
+// buffer read, crossbar traversal, arbitration, link traversal) and
+// static (leakage) power per router-cycle, with buffered routers leaking
+// substantially more because buffer storage dominates router area.
+//
+// Absolute units are arbitrary (the paper reports relative reductions);
+// the event-energy ratios are set so that eliminating buffers saves
+// 20-40% of router energy under load, matching the published BLESS
+// results the paper builds on (§2.2).
+package power
+
+import "nocsim/internal/noc"
+
+// Model holds per-event energies and per-router-cycle leakage, in
+// arbitrary consistent units.
+type Model struct {
+	// EBufferWrite and EBufferRead are charged per flit entering/leaving
+	// an input buffer (buffered router only).
+	EBufferWrite, EBufferRead float64
+	// ECrossbar is charged per flit switched to an output or ejected.
+	ECrossbar float64
+	// EArb is charged per arbitration decision.
+	EArb float64
+	// ELink is charged per flit-hop on an inter-router link.
+	ELink float64
+	// StaticBufferless and StaticBuffered are leakage power per router
+	// per cycle; buffered routers leak more (buffer storage is 40-75% of
+	// router area, §2.2).
+	StaticBufferless, StaticBuffered float64
+}
+
+// Default returns the calibrated model.
+func Default() Model {
+	return Model{
+		EBufferWrite:     1.05,
+		EBufferRead:      1.05,
+		ECrossbar:        0.8,
+		EArb:             0.15,
+		ELink:            1.0,
+		StaticBufferless: 0.10,
+		StaticBuffered:   0.40,
+	}
+}
+
+// Report is a power breakdown for one run.
+type Report struct {
+	// Dynamic and Static energies over the run; Total their sum.
+	Dynamic, Static, Total float64
+	// Power is Total / cycles: average power draw.
+	Power float64
+}
+
+// Compute evaluates the model on a fabric's event counters. buffered
+// selects the leakage class.
+func (m Model) Compute(s noc.Stats, nodes int, buffered bool) Report {
+	var r Report
+	r.Dynamic = m.EBufferWrite*float64(s.BufferWrites) +
+		m.EBufferRead*float64(s.BufferReads) +
+		m.ECrossbar*float64(s.CrossbarTraversals) +
+		m.EArb*float64(s.Arbitrations) +
+		m.ELink*float64(s.LinkTraversals)
+	static := m.StaticBufferless
+	if buffered {
+		static = m.StaticBuffered
+	}
+	r.Static = static * float64(nodes) * float64(s.Cycles)
+	r.Total = r.Dynamic + r.Static
+	if s.Cycles > 0 {
+		r.Power = r.Total / float64(s.Cycles)
+	}
+	return r
+}
+
+// Reduction returns the percentage power reduction of `with` relative
+// to `base`: 100*(base-with)/base.
+func Reduction(base, with Report) float64 {
+	if base.Total == 0 {
+		return 0
+	}
+	return 100 * (base.Total - with.Total) / base.Total
+}

@@ -1,0 +1,176 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator with cheap stream splitting.
+//
+// Every stochastic component of the simulator draws from an explicit
+// *rng.Source rather than a global generator, so an entire experiment is
+// reproducible from a single root seed: the simulator derives one
+// independent stream per node, per application, and per mapper by name.
+//
+// The generator is xoshiro256** seeded through splitmix64, following the
+// reference implementations by Blackman and Vigna. It is not
+// cryptographically secure; it is meant for simulation workloads.
+package rng
+
+import "math"
+
+// Source is a deterministic random stream. The zero value is not valid;
+// construct with New or derive with Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next splitmix64 output. It is used
+// only for seeding, as recommended by the xoshiro authors.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give streams that
+// are, for simulation purposes, independent.
+func New(seed uint64) *Source {
+	var s Source
+	x := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&x)
+	}
+	// xoshiro256** state must not be all-zero; splitmix64 guarantees that
+	// for any seed, but keep the guard explicit for clarity.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Split derives a new independent stream from s, keyed by name, without
+// disturbing s's own sequence. Equal names on equal parent states yield
+// equal children, which is what makes experiment components individually
+// reproducible.
+func (s *Source) Split(name string) *Source {
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	x := s.s[0] ^ h
+	child := New(splitmix64(&x))
+	return child
+}
+
+// SplitIndex derives a new independent stream keyed by an integer index.
+func (s *Source) SplitIndex(i int) *Source {
+	x := s.s[0] ^ (uint64(i)+1)*0x9e3779b97f4a7c15
+	return New(splitmix64(&x))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	mid := t & mask
+	c = t >> 32
+	t = aLo*bHi + mid
+	lo |= (t & mask) << 32
+	hi = aHi*bHi + c + (t >> 32)
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	u := s.Float64()
+	// Guard against log(0); Float64 never returns 1, but can return 0.
+	for u == 0 {
+		u = s.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a Pareto(shape alpha, minimum xm) distributed value,
+// used for the power-law locality model.
+func (s *Source) Pareto(alpha, xm float64) float64 {
+	u := s.Float64()
+	for u == 0 {
+		u = s.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (s *Source) Norm(mean, stddev float64) float64 {
+	u1 := s.Float64()
+	for u1 == 0 {
+		u1 = s.Float64()
+	}
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

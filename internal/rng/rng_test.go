@@ -1,0 +1,227 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("node-0")
+	b := root.Split("node-1")
+	a2 := New(7).Split("node-0")
+	for i := 0; i < 100; i++ {
+		av, bv, a2v := a.Uint64(), b.Uint64(), a2.Uint64()
+		if av == bv {
+			t.Fatalf("split children collided at draw %d", i)
+		}
+		if av != a2v {
+			t.Fatalf("equal split names not reproducible at draw %d", i)
+		}
+	}
+}
+
+func TestSplitDoesNotDisturbParent(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	_ = a.Split("x")
+	_ = a.Split("y")
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split mutated parent state")
+		}
+	}
+}
+
+func TestSplitIndex(t *testing.T) {
+	root := New(3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		v := root.SplitIndex(i).Uint64()
+		if seen[v] {
+			t.Fatalf("SplitIndex children collided at index %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(11)
+	f := func(n uint8) bool {
+		m := int(n%100) + 1
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates too far from %f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(17)
+	const mean, draws = 2.5, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	got := sum / draws
+	if math.Abs(got-mean) > 0.05*mean {
+		t.Errorf("Exp sample mean %v, want about %v", got, mean)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(2, 1.5); v < 1.5 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(23)
+	const mean, sd, draws = 4.0, 2.0, 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := s.Norm(mean, sd)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / draws
+	variance := sumSq/draws - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("Norm mean %v, want about %v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Errorf("Norm stddev %v, want about %v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(29)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := s.Perm(m)
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(31)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed multiset: sum %d, want %d", got, sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(37)
+	const p, draws = 0.3, 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bool(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Errorf("Bool(%v) rate %v", p, got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(4096)
+	}
+}

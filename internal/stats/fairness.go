@@ -1,0 +1,68 @@
+package stats
+
+// Fairness metrics for multiprogrammed workloads (§6.2 and §7
+// "Fairness"). Slowdown of application i is IPC_alone,i / IPC_shared,i
+// (>= 1 under interference); the metrics below summarise the slowdown
+// vector the way the architecture literature does.
+
+// Slowdowns returns per-node slowdown alone[i]/shared[i]; entries with
+// zero alone-IPC (idle nodes) are 0 and excluded from the summaries.
+func Slowdowns(shared, alone []float64) []float64 {
+	out := make([]float64, len(shared))
+	for i := range shared {
+		if alone[i] > 0 && shared[i] > 0 {
+			out[i] = alone[i] / shared[i]
+		}
+	}
+	return out
+}
+
+// MaxSlowdown returns the largest slowdown: the worst-treated
+// application's penalty.
+func MaxSlowdown(slowdowns []float64) float64 {
+	max := 0.0
+	for _, s := range slowdowns {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Unfairness is the ratio of the largest to the smallest non-zero
+// slowdown (1 = perfectly fair; Das et al. MICRO'09's metric).
+func Unfairness(slowdowns []float64) float64 {
+	max, min := 0.0, 0.0
+	for _, s := range slowdowns {
+		if s == 0 {
+			continue
+		}
+		if s > max {
+			max = s
+		}
+		if min == 0 || s < min {
+			min = s
+		}
+	}
+	if min == 0 {
+		return 0
+	}
+	return max / min
+}
+
+// HarmonicSpeedup is N / sum(slowdowns): it rewards both throughput and
+// fairness (Luo et al.), complementing weighted speedup.
+func HarmonicSpeedup(slowdowns []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, s := range slowdowns {
+		if s > 0 {
+			sum += s
+			n++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}

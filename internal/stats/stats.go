@@ -1,0 +1,164 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: streaming mean/variance summaries, empirical CDFs
+// (Fig. 9), and min/avg/max aggregation (Fig. 8).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming moments via Welford's algorithm.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds a value into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the population variance.
+func (s *Summary) Var() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// CDF is an empirical cumulative distribution over added samples.
+type CDF struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(x float64) {
+	c.xs = append(c.xs, x)
+	c.sorted = false
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.xs) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.xs)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-quantile (q in [0,1]).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	c.sort()
+	if q <= 0 {
+		return c.xs[0]
+	}
+	if q >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	i := int(q * float64(len(c.xs)-1))
+	return c.xs[i]
+}
+
+// Points samples the CDF at k evenly spaced sample values, returning
+// (x, P(X<=x)) pairs suitable for plotting Fig. 9-style curves.
+func (c *CDF) Points(k int) [][2]float64 {
+	if len(c.xs) == 0 || k <= 0 {
+		return nil
+	}
+	c.sort()
+	out := make([][2]float64, 0, k)
+	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
+	if lo == hi {
+		return [][2]float64{{lo, 1}}
+	}
+	for i := 0; i < k; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(k-1)
+		out = append(out, [2]float64{x, c.At(x)})
+	}
+	return out
+}
+
+// MinAvgMax reduces a slice to its minimum, mean and maximum — the
+// Fig. 8 error-bar triple.
+func MinAvgMax(xs []float64) (min, avg, max float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	min, max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	return min, sum / float64(len(xs)), max
+}
+
+// Mean returns the arithmetic mean of xs (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// PercentGain returns 100*(with-without)/without.
+func PercentGain(without, with float64) float64 {
+	if without == 0 {
+		return 0
+	}
+	return 100 * (with - without) / without
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nocsim/internal/rng"
+)
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 || s.Mean() != 5 {
+		t.Errorf("n=%d mean=%v, want 8/5", s.N(), s.Mean())
+	}
+	if s.Var() != 4 {
+		t.Errorf("var=%v, want 4", s.Var())
+	}
+	if s.Std() != 2 {
+		t.Errorf("std=%v, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty summary must be all zero")
+	}
+}
+
+// Property: streaming summary matches two-pass computation.
+func TestSummaryMatchesTwoPass(t *testing.T) {
+	r := rng.New(1)
+	f := func(n uint8) bool {
+		k := int(n%50) + 1
+		xs := make([]float64, k)
+		var s Summary
+		for i := range xs {
+			xs[i] = r.Norm(10, 5)
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(k)
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(k)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-v) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for _, x := range []float64{1, 2, 3, 4} {
+		c.Add(x)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); got != tc.want {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var c CDF
+	r := rng.New(2)
+	for i := 0; i < 500; i++ {
+		c.Add(r.Float64() * 100)
+	}
+	prev := -1.0
+	for x := 0.0; x <= 100; x += 1 {
+		p := c.At(x)
+		if p < prev {
+			t.Fatalf("CDF decreased at %v: %v < %v", x, p, prev)
+		}
+		prev = p
+	}
+	if c.At(100) != 1 {
+		t.Error("CDF must reach 1 at the max sample")
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("Q(0) = %v, want 1", q)
+	}
+	if q := c.Quantile(1); q != 100 {
+		t.Errorf("Q(1) = %v, want 100", q)
+	}
+	if q := c.Quantile(0.5); math.Abs(q-50) > 2 {
+		t.Errorf("Q(0.5) = %v, want ~50", q)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	for i := 0; i < 10; i++ {
+		c.Add(float64(i))
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d, want 5", len(pts))
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] }) {
+		t.Error("points not sorted by x")
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Error("final point must have P=1")
+	}
+}
+
+func TestCDFPointsDegenerate(t *testing.T) {
+	var c CDF
+	c.Add(3)
+	c.Add(3)
+	pts := c.Points(5)
+	if len(pts) != 1 || pts[0][0] != 3 || pts[0][1] != 1 {
+		t.Errorf("degenerate CDF points = %v", pts)
+	}
+}
+
+func TestMinAvgMax(t *testing.T) {
+	min, avg, max := MinAvgMax([]float64{3, -1, 7, 5})
+	if min != -1 || avg != 3.5 || max != 7 {
+		t.Errorf("MinAvgMax = %v/%v/%v", min, avg, max)
+	}
+	min, avg, max = MinAvgMax(nil)
+	if min != 0 || avg != 0 || max != 0 {
+		t.Error("empty MinAvgMax must be zeros")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean broken")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty must be 0")
+	}
+}
+
+func TestPercentGain(t *testing.T) {
+	if g := PercentGain(10, 12); g != 20 {
+		t.Errorf("gain = %v, want 20", g)
+	}
+	if g := PercentGain(10, 9); g != -10 {
+		t.Errorf("gain = %v, want -10", g)
+	}
+	if g := PercentGain(0, 5); g != 0 {
+		t.Errorf("gain with zero base = %v, want 0", g)
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	shared := []float64{0.5, 1.0, 0}
+	alone := []float64{1.0, 1.0, 0}
+	s := Slowdowns(shared, alone)
+	if s[0] != 2 || s[1] != 1 || s[2] != 0 {
+		t.Errorf("slowdowns = %v", s)
+	}
+}
+
+func TestMaxSlowdownAndUnfairness(t *testing.T) {
+	s := []float64{2, 1, 0, 4}
+	if MaxSlowdown(s) != 4 {
+		t.Errorf("max slowdown = %v, want 4", MaxSlowdown(s))
+	}
+	if Unfairness(s) != 4 {
+		t.Errorf("unfairness = %v, want 4 (4/1, zeros excluded)", Unfairness(s))
+	}
+	if Unfairness(nil) != 0 || MaxSlowdown(nil) != 0 {
+		t.Error("empty slowdowns must give zero metrics")
+	}
+}
+
+func TestHarmonicSpeedup(t *testing.T) {
+	// Two apps both slowed 2x: HS = 2/(2+2) = 0.5.
+	if got := HarmonicSpeedup([]float64{2, 2}); got != 0.5 {
+		t.Errorf("harmonic speedup = %v, want 0.5", got)
+	}
+	// No interference: HS = 1.
+	if got := HarmonicSpeedup([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("harmonic speedup = %v, want 1", got)
+	}
+	if HarmonicSpeedup(nil) != 0 {
+		t.Error("empty harmonic speedup must be 0")
+	}
+}
+
+func TestFairnessPrefersBalance(t *testing.T) {
+	// Same total slowdown, different balance: harmonic speedup equal,
+	// unfairness distinguishes.
+	balanced := []float64{2, 2}
+	skewed := []float64{1, 3}
+	if Unfairness(balanced) >= Unfairness(skewed) {
+		t.Error("unfairness must rank the skewed vector worse")
+	}
+}

@@ -1,0 +1,265 @@
+// Package topology models the regular on-chip network topologies used by
+// the paper: the 2D mesh (the baseline throughout) and the 2D torus
+// (evaluated in §6.3 as yielding the same trends with ~10% higher
+// throughput). It provides node/coordinate arithmetic, per-port neighbour
+// lookup, hop distances, and XY dimension-order routing.
+//
+// Ports are numbered so that a router's output port p connects to the
+// neighbour in direction p, and arrives there on input port Opposite(p).
+// Port Local is the network-interface port used for injection/ejection.
+package topology
+
+import "fmt"
+
+// Port identifies one of a router's five ports.
+type Port int8
+
+// The four mesh directions plus the local network-interface port.
+const (
+	North Port = iota
+	East
+	South
+	West
+	Local
+
+	// NumDirs is the number of inter-router directions (excludes Local).
+	NumDirs = 4
+	// NumPorts includes the local port.
+	NumPorts = 5
+)
+
+// Invalid is returned for a port that does not exist (e.g. off the mesh
+// edge).
+const Invalid Port = -1
+
+func (p Port) String() string {
+	switch p {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	}
+	return "?"
+}
+
+// Opposite returns the direction a flit leaving on p arrives on.
+func Opposite(p Port) Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Invalid
+}
+
+// Kind selects the topology family.
+type Kind int
+
+const (
+	// Mesh is the 2D mesh used for all headline results.
+	Mesh Kind = iota
+	// Torus wraps both dimensions (§6.3 note).
+	Torus
+)
+
+func (k Kind) String() string {
+	if k == Torus {
+		return "torus"
+	}
+	return "mesh"
+}
+
+// Topology is a W×H grid of nodes, mesh or torus.
+type Topology struct {
+	kind   Kind
+	width  int
+	height int
+	// neighbors[node*NumDirs+dir] caches neighbour node IDs, -1 if none.
+	neighbors []int32
+}
+
+// New constructs a width×height topology of the given kind. Width and
+// height must be positive.
+func New(kind Kind, width, height int) *Topology {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("topology: invalid size %dx%d", width, height))
+	}
+	t := &Topology{kind: kind, width: width, height: height}
+	t.neighbors = make([]int32, width*height*NumDirs)
+	for n := 0; n < width*height; n++ {
+		x, y := t.Coord(n)
+		for d := Port(0); d < NumDirs; d++ {
+			t.neighbors[n*NumDirs+int(d)] = int32(t.computeNeighbor(x, y, d))
+		}
+	}
+	return t
+}
+
+// NewSquare constructs a k×k topology.
+func NewSquare(kind Kind, k int) *Topology { return New(kind, k, k) }
+
+// Kind reports the topology family.
+func (t *Topology) Kind() Kind { return t.kind }
+
+// Width returns the number of columns.
+func (t *Topology) Width() int { return t.width }
+
+// Height returns the number of rows.
+func (t *Topology) Height() int { return t.height }
+
+// Nodes returns the total node count.
+func (t *Topology) Nodes() int { return t.width * t.height }
+
+// Links returns the number of unidirectional inter-router links.
+func (t *Topology) Links() int {
+	n := 0
+	for node := 0; node < t.Nodes(); node++ {
+		for d := Port(0); d < NumDirs; d++ {
+			if t.Neighbor(node, d) >= 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Node returns the node ID at (x, y).
+func (t *Topology) Node(x, y int) int { return y*t.width + x }
+
+// Coord returns the (x, y) coordinate of node n.
+func (t *Topology) Coord(n int) (x, y int) { return n % t.width, n / t.width }
+
+func (t *Topology) computeNeighbor(x, y int, d Port) int {
+	nx, ny := x, y
+	switch d {
+	case North:
+		ny--
+	case South:
+		ny++
+	case East:
+		nx++
+	case West:
+		nx--
+	default:
+		return -1
+	}
+	if t.kind == Torus {
+		nx = (nx + t.width) % t.width
+		ny = (ny + t.height) % t.height
+		// A 1-wide or 1-tall torus dimension would connect a node to
+		// itself; treat that as no link, like a mesh edge.
+		if nx == x && ny == y {
+			return -1
+		}
+		return t.Node(nx, ny)
+	}
+	if nx < 0 || nx >= t.width || ny < 0 || ny >= t.height {
+		return -1
+	}
+	return t.Node(nx, ny)
+}
+
+// Neighbor returns the node reached from n in direction d, or -1 if the
+// port is off the edge of a mesh.
+func (t *Topology) Neighbor(n int, d Port) int {
+	return int(t.neighbors[n*NumDirs+int(d)])
+}
+
+// HasPort reports whether node n has a link in direction d.
+func (t *Topology) HasPort(n int, d Port) bool { return t.Neighbor(n, d) >= 0 }
+
+// Distance returns the minimal hop count between nodes a and b.
+func (t *Topology) Distance(a, b int) int {
+	ax, ay := t.Coord(a)
+	bx, by := t.Coord(b)
+	dx := abs(ax - bx)
+	dy := abs(ay - by)
+	if t.kind == Torus {
+		if w := t.width - dx; w < dx {
+			dx = w
+		}
+		if h := t.height - dy; h < dy {
+			dy = h
+		}
+	}
+	return dx + dy
+}
+
+// XYRoute returns the productive output direction from node at toward
+// dst under XY dimension-order routing: correct x first, then y. It
+// returns Local when at == dst. On a torus the shorter wrap direction is
+// taken.
+func (t *Topology) XYRoute(at, dst int) Port {
+	if at == dst {
+		return Local
+	}
+	ax, ay := t.Coord(at)
+	dx, dy := t.Coord(dst)
+	if ax != dx {
+		return t.xDir(ax, dx)
+	}
+	return t.yDir(ay, dy)
+}
+
+func (t *Topology) xDir(ax, dx int) Port {
+	if t.kind == Torus {
+		right := (dx - ax + t.width) % t.width
+		if right <= t.width-right {
+			return East
+		}
+		return West
+	}
+	if dx > ax {
+		return East
+	}
+	return West
+}
+
+func (t *Topology) yDir(ay, dy int) Port {
+	if t.kind == Torus {
+		down := (dy - ay + t.height) % t.height
+		if down <= t.height-down {
+			return South
+		}
+		return North
+	}
+	if dy > ay {
+		return South
+	}
+	return North
+}
+
+// ProductiveDirs appends to buf every direction from at that reduces the
+// distance to dst, and returns the extended slice. It is used by
+// deflection arbitration to rank alternatives.
+func (t *Topology) ProductiveDirs(buf []Port, at, dst int) []Port {
+	if at == dst {
+		return buf
+	}
+	d := t.Distance(at, dst)
+	for dir := Port(0); dir < NumDirs; dir++ {
+		nb := t.Neighbor(at, dir)
+		if nb >= 0 && t.Distance(nb, dst) < d {
+			buf = append(buf, dir)
+		}
+	}
+	return buf
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,243 @@
+// Package traffic provides the classic open-loop synthetic traffic
+// patterns of the NoC literature (uniform random, transpose,
+// bit-complement, hotspot, nearest-neighbour) and an injector that
+// drives a fabric with Bernoulli arrivals at a configured rate.
+//
+// The paper's evaluation is closed-loop (real-application workloads
+// through the CPU/cache model), but open-loop load sweeps are the
+// standard way to characterise a router architecture in isolation —
+// they produce the load-latency curves and saturation throughput that
+// simulators like NOCulator and BookSim report, and the `loadlat`
+// experiment uses them to compare the bufferless and buffered fabrics
+// directly.
+package traffic
+
+import (
+	"fmt"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/rng"
+	"nocsim/internal/topology"
+)
+
+// Pattern maps a source node to a destination for each generated packet.
+type Pattern interface {
+	// Dst returns the destination for a packet from src. It may be
+	// stochastic (drawing from r) or deterministic.
+	Dst(src int, r *rng.Source) int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform sends each packet to a uniformly random node (excluding the
+// source).
+type Uniform struct {
+	Nodes int
+}
+
+// Dst draws a destination uniformly.
+func (u Uniform) Dst(src int, r *rng.Source) int {
+	for {
+		d := r.Intn(u.Nodes)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Name identifies the pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Transpose sends (x, y) to (y, x): the classic adversarial pattern for
+// dimension-order routing.
+type Transpose struct {
+	Top *topology.Topology
+}
+
+// Dst mirrors the source's coordinates.
+func (t Transpose) Dst(src int, _ *rng.Source) int {
+	x, y := t.Top.Coord(src)
+	// A non-square mesh clamps to valid coordinates.
+	nx, ny := y, x
+	if nx >= t.Top.Width() {
+		nx = t.Top.Width() - 1
+	}
+	if ny >= t.Top.Height() {
+		ny = t.Top.Height() - 1
+	}
+	return t.Top.Node(nx, ny)
+}
+
+// Name identifies the pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// BitComplement sends node i to node (N-1-i): maximal average distance.
+type BitComplement struct {
+	Nodes int
+}
+
+// Dst complements the node index.
+func (b BitComplement) Dst(src int, _ *rng.Source) int { return b.Nodes - 1 - src }
+
+// Name identifies the pattern.
+func (BitComplement) Name() string { return "bit-complement" }
+
+// Hotspot sends a fraction of traffic to a single hot node and the rest
+// uniformly: models a contended shared resource (§7 "hot-spots").
+type Hotspot struct {
+	Nodes int
+	Hot   int
+	// Frac is the probability a packet targets the hot node; 0 means 0.2.
+	Frac float64
+}
+
+// Dst draws the hot node with probability Frac, else uniform.
+func (h Hotspot) Dst(src int, r *rng.Source) int {
+	frac := h.Frac
+	if frac == 0 {
+		frac = 0.2
+	}
+	if h.Hot != src && r.Bool(frac) {
+		return h.Hot
+	}
+	for {
+		d := r.Intn(h.Nodes)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Name identifies the pattern.
+func (h Hotspot) Name() string { return "hotspot" }
+
+// Neighbor sends each packet one hop east (wrapping by node index):
+// minimal-distance traffic, the best case for any topology.
+type Neighbor struct {
+	Top *topology.Topology
+}
+
+// Dst picks the east neighbour, wrapping along the row.
+func (n Neighbor) Dst(src int, _ *rng.Source) int {
+	if d := n.Top.Neighbor(src, topology.East); d >= 0 {
+		return d
+	}
+	x, y := n.Top.Coord(src)
+	_ = x
+	return n.Top.Node(0, y)
+}
+
+// Name identifies the pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Injector drives a fabric open-loop: every cycle, each node generates a
+// packet with probability Rate (flit-normalised), addressed by Pattern.
+type Injector struct {
+	// Rate is the offered load in flits per node per cycle.
+	Rate float64
+	// PacketLen is the packet size in flits; 0 means 1.
+	PacketLen int
+	// Pattern addresses the packets.
+	Pattern Pattern
+	// MaxQueue bounds each NIC's backlog so an oversaturated sweep
+	// cannot grow memory without bound; 0 means 64 flits.
+	MaxQueue int
+
+	srcs []*rng.Source
+}
+
+// NewInjector builds an injector for n nodes.
+func NewInjector(n int, rate float64, pattern Pattern, seed uint64) *Injector {
+	inj := &Injector{Rate: rate, PacketLen: 1, Pattern: pattern, MaxQueue: 64}
+	root := rng.New(seed ^ 0x7aff1c)
+	inj.srcs = make([]*rng.Source, n)
+	for i := range inj.srcs {
+		inj.srcs[i] = root.SplitIndex(i)
+	}
+	return inj
+}
+
+// Step generates one cycle of traffic into the fabric.
+func (inj *Injector) Step(net noc.Network) {
+	n := net.Topology().Nodes()
+	pkLen := inj.PacketLen
+	if pkLen <= 0 {
+		pkLen = 1
+	}
+	perPacket := inj.Rate / float64(pkLen)
+	for node := 0; node < n; node++ {
+		r := inj.srcs[node]
+		if !r.Bool(perPacket) {
+			continue
+		}
+		nic := net.NIC(node)
+		if nic.QueueLen() >= inj.MaxQueue {
+			continue // saturated: drop at the source, like an open-loop sim
+		}
+		dst := inj.Pattern.Dst(node, r)
+		nic.Send(dst, noc.Request, 0, pkLen, net.Cycle())
+	}
+}
+
+// Run drives the fabric for the given cycles and returns the stats delta.
+func (inj *Injector) Run(net noc.Network, cycles int64) noc.Stats {
+	before := net.Stats()
+	for i := int64(0); i < cycles; i++ {
+		inj.Step(net)
+		net.Step()
+	}
+	return net.Stats().Sub(before)
+}
+
+// LoadPoint is one sample of a load-latency sweep.
+type LoadPoint struct {
+	// Offered is the configured injection rate (flits/node/cycle);
+	// Accepted is the measured ejection throughput.
+	Offered, Accepted float64
+	// Latency is the average packet latency (enqueue to eject).
+	Latency float64
+	// Deflections is the deflection rate per link traversal.
+	Deflections float64
+}
+
+func (p LoadPoint) String() string {
+	return fmt.Sprintf("offered %.3f accepted %.3f latency %.1f", p.Offered, p.Accepted, p.Latency)
+}
+
+// Sweep measures the load-latency curve of a fabric factory across the
+// given rates. Each point warms up for warmup cycles and measures for
+// measure cycles on a fresh fabric.
+func Sweep(mk func() noc.Network, pattern func(noc.Network) Pattern, rates []float64,
+	pkLen int, warmup, measure int64, seed uint64) []LoadPoint {
+	out := make([]LoadPoint, 0, len(rates))
+	for _, rate := range rates {
+		net := mk()
+		inj := NewInjector(net.Topology().Nodes(), rate, pattern(net), seed)
+		inj.PacketLen = pkLen
+		inj.Run(net, warmup)
+		delta := inj.Run(net, measure)
+		nodes := float64(net.Topology().Nodes())
+		out = append(out, LoadPoint{
+			Offered:     rate,
+			Accepted:    float64(delta.FlitsEjected) / (float64(measure) * nodes),
+			Latency:     delta.AvgPacketLatency(),
+			Deflections: delta.DeflectionRate(),
+		})
+	}
+	return out
+}
+
+// Saturation returns the offered load at which latency first exceeds
+// latencyCap, or the last offered rate if it never does: a simple
+// operational definition of saturation throughput.
+func Saturation(points []LoadPoint, latencyCap float64) float64 {
+	for _, p := range points {
+		if p.Latency > latencyCap {
+			return p.Offered
+		}
+	}
+	if len(points) == 0 {
+		return 0
+	}
+	return points[len(points)-1].Offered
+}

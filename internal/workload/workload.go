@@ -1,0 +1,159 @@
+// Package workload constructs the multiprogrammed workloads of §6.1:
+// balanced random mixes drawn from seven intensity categories
+// ({H, M, L, HML, HM, HL, ML}), the pairwise checkerboard layouts of
+// Figs. 5/11/12, and batches of workloads across categories like the
+// paper's 700 16-core and 175 64-core sets.
+package workload
+
+import (
+	"fmt"
+
+	"nocsim/internal/app"
+	"nocsim/internal/rng"
+)
+
+// Category names the intensity levels a workload draws from. An
+// HL-category workload picks each node's application uniformly from the
+// union of the Heavy and Light classes (§6.1).
+type Category struct {
+	Name    string
+	Classes []app.Class
+}
+
+// Categories are the seven §6.1 workload categories.
+var Categories = []Category{
+	{Name: "H", Classes: []app.Class{app.Heavy}},
+	{Name: "M", Classes: []app.Class{app.Medium}},
+	{Name: "L", Classes: []app.Class{app.Light}},
+	{Name: "HML", Classes: []app.Class{app.Heavy, app.Medium, app.Light}},
+	{Name: "HM", Classes: []app.Class{app.Heavy, app.Medium}},
+	{Name: "HL", Classes: []app.Class{app.Heavy, app.Light}},
+	{Name: "ML", Classes: []app.Class{app.Medium, app.Light}},
+}
+
+// CategoryByName returns the named category.
+func CategoryByName(name string) (Category, bool) {
+	for _, c := range Categories {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Category{}, false
+}
+
+// pool returns the applications a category draws from.
+func (c Category) pool() []app.Profile {
+	var out []app.Profile
+	for _, cl := range c.Classes {
+		out = append(out, app.ByClass(cl)...)
+	}
+	return out
+}
+
+// Workload is one multiprogrammed assignment: one application per node
+// (nil entries are idle).
+type Workload struct {
+	ID       int
+	Category string
+	Apps     []*app.Profile
+	Seed     uint64
+}
+
+// Generate builds one workload of n nodes in the given category: each
+// node's application is chosen uniformly at random from the category's
+// class pool, as in §6.1.
+func Generate(cat Category, n int, seed uint64) Workload {
+	r := rng.New(seed ^ 0x3012d)
+	pool := cat.pool()
+	apps := make([]*app.Profile, n)
+	for i := range apps {
+		p := pool[r.Intn(len(pool))]
+		apps[i] = &p
+	}
+	return Workload{Category: cat.Name, Apps: apps, Seed: seed}
+}
+
+// Batch builds `count` workloads of n nodes, cycling through all seven
+// categories so the batch is balanced like the paper's 875-workload set.
+func Batch(count, n int, seed uint64) []Workload {
+	out := make([]Workload, count)
+	for i := 0; i < count; i++ {
+		cat := Categories[i%len(Categories)]
+		w := Generate(cat, n, seed+uint64(i)*7919)
+		w.ID = i
+		out[i] = w
+	}
+	return out
+}
+
+// Checkerboard lays out two applications in alternating positions on a
+// width x height mesh, as the Fig. 5 and Fig. 11/12 experiments do
+// (8 instances each on a 4x4).
+func Checkerboard(a, b app.Profile, width, height int) Workload {
+	apps := make([]*app.Profile, width*height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			if (x+y)%2 == 0 {
+				p := a
+				apps[y*width+x] = &p
+			} else {
+				p := b
+				apps[y*width+x] = &p
+			}
+		}
+	}
+	return Workload{
+		Category: fmt.Sprintf("%s+%s", a.Name, b.Name),
+		Apps:     apps,
+	}
+}
+
+// Uniform assigns one application to every node.
+func Uniform(p app.Profile, n int) Workload {
+	apps := make([]*app.Profile, n)
+	for i := range apps {
+		q := p
+		apps[i] = &q
+	}
+	return Workload{Category: p.Name, Apps: apps}
+}
+
+// Single places one application at node `pos` of an otherwise idle mesh
+// (used for IPC-alone reference runs and Table 1 measurements).
+func Single(p app.Profile, n, pos int) Workload {
+	apps := make([]*app.Profile, n)
+	q := p
+	apps[pos] = &q
+	return Workload{Category: "single:" + p.Name, Apps: apps}
+}
+
+// QuadrantGroups assigns nodes of a width x height mesh to square
+// thread groups of blockxblock nodes (e.g. block=4 on an 8x8 mesh gives
+// four 16-node groups). Used with sim.GroupMap to model multithreaded
+// regional communication (§7).
+func QuadrantGroups(width, height, block int) []int {
+	if block <= 0 || width%block != 0 || height%block != 0 {
+		panic("workload: block must divide both mesh dimensions")
+	}
+	groups := make([]int, width*height)
+	perRow := width / block
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			groups[y*width+x] = (y/block)*perRow + x/block
+		}
+	}
+	return groups
+}
+
+// Names lists the distinct application names in a workload.
+func (w Workload) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range w.Apps {
+		if p != nil && !seen[p.Name] {
+			seen[p.Name] = true
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}

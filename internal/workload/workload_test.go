@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"testing"
+
+	"nocsim/internal/app"
+)
+
+func TestCategoriesComplete(t *testing.T) {
+	want := []string{"H", "M", "L", "HML", "HM", "HL", "ML"}
+	if len(Categories) != len(want) {
+		t.Fatalf("%d categories, want %d", len(Categories), len(want))
+	}
+	for i, n := range want {
+		if Categories[i].Name != n {
+			t.Errorf("category %d = %s, want %s", i, Categories[i].Name, n)
+		}
+	}
+}
+
+func TestCategoryByName(t *testing.T) {
+	c, ok := CategoryByName("HL")
+	if !ok || len(c.Classes) != 2 {
+		t.Fatalf("HL lookup failed: %+v ok=%v", c, ok)
+	}
+	if _, ok := CategoryByName("ZZ"); ok {
+		t.Error("unknown category found")
+	}
+}
+
+func TestGenerateRespectsCategory(t *testing.T) {
+	for _, cat := range Categories {
+		w := Generate(cat, 64, 1)
+		if len(w.Apps) != 64 {
+			t.Fatalf("%s: %d apps, want 64", cat.Name, len(w.Apps))
+		}
+		allowed := map[app.Class]bool{}
+		for _, cl := range cat.Classes {
+			allowed[cl] = true
+		}
+		for i, p := range w.Apps {
+			if p == nil {
+				t.Fatalf("%s: node %d has no app", cat.Name, i)
+			}
+			if !allowed[p.Class()] {
+				t.Errorf("%s: node %d runs %s (class %v), not allowed",
+					cat.Name, i, p.Name, p.Class())
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cat, _ := CategoryByName("HML")
+	a := Generate(cat, 16, 9)
+	b := Generate(cat, 16, 9)
+	for i := range a.Apps {
+		if a.Apps[i].Name != b.Apps[i].Name {
+			t.Fatal("equal seeds must give equal workloads")
+		}
+	}
+	c := Generate(cat, 16, 10)
+	same := true
+	for i := range a.Apps {
+		if a.Apps[i].Name != c.Apps[i].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical workload")
+	}
+}
+
+func TestGenerateUsesVariety(t *testing.T) {
+	cat, _ := CategoryByName("HML")
+	w := Generate(cat, 64, 3)
+	if len(w.Names()) < 5 {
+		t.Errorf("64-node HML workload uses only %d distinct apps", len(w.Names()))
+	}
+}
+
+func TestBatchBalanced(t *testing.T) {
+	b := Batch(70, 16, 1)
+	if len(b) != 70 {
+		t.Fatalf("batch size %d, want 70", len(b))
+	}
+	counts := map[string]int{}
+	for i, w := range b {
+		if w.ID != i {
+			t.Errorf("workload %d has ID %d", i, w.ID)
+		}
+		counts[w.Category]++
+	}
+	for _, cat := range Categories {
+		if counts[cat.Name] != 10 {
+			t.Errorf("category %s has %d workloads, want 10", cat.Name, counts[cat.Name])
+		}
+	}
+}
+
+func TestCheckerboard(t *testing.T) {
+	w := Checkerboard(app.MustByName("mcf"), app.MustByName("gromacs"), 4, 4)
+	nMcf, nGro := 0, 0
+	for i, p := range w.Apps {
+		switch p.Name {
+		case "mcf":
+			nMcf++
+		case "gromacs":
+			nGro++
+		default:
+			t.Fatalf("unexpected app %s at %d", p.Name, i)
+		}
+	}
+	if nMcf != 8 || nGro != 8 {
+		t.Errorf("checkerboard has %d mcf, %d gromacs; want 8/8 (Fig. 5)", nMcf, nGro)
+	}
+	// Adjacent nodes must differ.
+	if w.Apps[0].Name == w.Apps[1].Name {
+		t.Error("checkerboard neighbours share an app")
+	}
+}
+
+func TestUniformAndSingle(t *testing.T) {
+	u := Uniform(app.MustByName("mcf"), 16)
+	for _, p := range u.Apps {
+		if p == nil || p.Name != "mcf" {
+			t.Fatal("Uniform broken")
+		}
+	}
+	s := Single(app.MustByName("mcf"), 16, 5)
+	for i, p := range s.Apps {
+		if (i == 5) != (p != nil) {
+			t.Fatalf("Single placed app wrongly at %d", i)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	w := Checkerboard(app.MustByName("mcf"), app.MustByName("gromacs"), 4, 4)
+	names := w.Names()
+	if len(names) != 2 {
+		t.Errorf("names = %v, want 2 distinct", names)
+	}
+}
+
+func TestQuadrantGroups(t *testing.T) {
+	g := QuadrantGroups(8, 8, 4)
+	if len(g) != 64 {
+		t.Fatalf("len = %d", len(g))
+	}
+	// Four groups of 16.
+	counts := map[int]int{}
+	for _, v := range g {
+		counts[v]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("groups = %d, want 4", len(counts))
+	}
+	for gid, c := range counts {
+		if c != 16 {
+			t.Errorf("group %d has %d members, want 16", gid, c)
+		}
+	}
+	// Node (0,0) and (3,3) share a group; (4,0) does not.
+	if g[0] != g[3*8+3] {
+		t.Error("corner block not grouped together")
+	}
+	if g[0] == g[4] {
+		t.Error("adjacent blocks share a group id")
+	}
+}
+
+func TestQuadrantGroupsPanicsOnBadBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-dividing block did not panic")
+		}
+	}()
+	QuadrantGroups(8, 8, 3)
+}
