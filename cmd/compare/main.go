@@ -11,10 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 
-	"nocsim/internal/core"
 	"nocsim/internal/power"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
@@ -27,6 +26,7 @@ func main() {
 		meanHops = flag.Float64("mean-hops", 1, "mean hop distance for locality mappings")
 		cycles   = flag.Int64("cycles", 150_000, "cycles to simulate")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		parallel = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -37,45 +37,53 @@ func main() {
 	}
 	n := *size * *size
 	w := workload.Generate(cat, n, *seed)
-	params := core.DefaultParams()
-	params.Epoch = *cycles / 10
+
+	sc := runner.DefaultScale()
+	sc.Cycles = *cycles
+	sc.Epoch = *cycles / 10
+	sc.Seed = *seed
+	sc.Parallel = *parallel
+
+	mapKind := sim.XORMap
+	switch *mapping {
+	case "exp":
+		mapKind = sim.ExpMap
+	case "pow":
+		mapKind = sim.PowMap
+	}
+	common := []runner.Option{
+		runner.WithMapping(mapKind, *meanHops),
+		runner.WithSeed(*seed),
+	}
+
+	modes := []struct {
+		name     string
+		cfg      sim.Config
+		buffered bool
+	}{
+		{"BLESS", runner.Baseline(w, *size, *size, sc, common...), false},
+		{"BLESS-Throttling", runner.Controlled(w, *size, *size, sc, common...), false},
+		{"Buffered", runner.Baseline(w, *size, *size, sc,
+			append(common[:2:2], runner.WithRouter(sim.Buffered))...), true},
+	}
+	plan := runner.NewPlan(sc)
+	for _, mode := range modes {
+		plan.Add("compare/"+mode.name, mode.cfg, sc.Cycles)
+	}
+	ms := plan.Execute()
 
 	model := power.Default()
 	fmt.Printf("%-18s %10s %8s %8s %9s %10s %10s\n",
 		"architecture", "IPC/node", "util", "starv", "lat(cyc)", "hops/flit", "power/cyc")
-	for _, mode := range []string{"BLESS", "BLESS-Throttling", "Buffered"} {
-		cfg := sim.Config{
-			Width: *size, Height: *size,
-			Apps:     w.Apps,
-			MeanHops: *meanHops,
-			Params:   params,
-			Workers:  runtime.NumCPU(),
-			Seed:     *seed,
-		}
-		switch *mapping {
-		case "exp":
-			cfg.Mapping = sim.ExpMap
-		case "pow":
-			cfg.Mapping = sim.PowMap
-		}
-		buffered := false
-		switch mode {
-		case "BLESS-Throttling":
-			cfg.Controller = sim.Central
-		case "Buffered":
-			cfg.Router = sim.Buffered
-			buffered = true
-		}
-		s := sim.New(cfg)
-		s.Run(*cycles)
-		m := s.Metrics()
+	for i, mode := range modes {
+		m := ms[i]
 		hops := 0.0
 		if m.Net.FlitsEjected > 0 {
 			hops = float64(m.Net.LinkTraversals) / float64(m.Net.FlitsEjected)
 		}
-		pwr := model.Compute(m.Net, n, buffered)
+		pwr := model.Compute(m.Net, n, mode.buffered)
 		fmt.Printf("%-18s %10.3f %8.3f %8.3f %9.1f %10.2f %10.1f\n",
-			mode, m.ThroughputPerNode, m.NetUtilization, m.StarvationRate,
+			mode.name, m.ThroughputPerNode, m.NetUtilization, m.StarvationRate,
 			m.AvgNetLatency, hops, pwr.Power)
 	}
 }

@@ -24,6 +24,37 @@ import (
 	"nocsim/internal/plot"
 )
 
+// runJSON is one simulation's report in -json output: the declarative
+// label plus the measured wall clock (which the deterministic Result
+// JSON deliberately omits).
+type runJSON struct {
+	Label     string  `json:"label"`
+	Nodes     int     `json:"nodes"`
+	Cycles    int64   `json:"cycles"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// resultJSON wraps a Result with the per-run and per-experiment wall
+// clocks, shadowing the embedded Runs field.
+type resultJSON struct {
+	*exp.Result
+	Runs      []runJSON `json:"runs,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+func wrapJSON(r *exp.Result, elapsed time.Duration) resultJSON {
+	out := resultJSON{Result: r, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+	for _, s := range r.Runs {
+		out.Runs = append(out.Runs, runJSON{
+			Label:     s.Label,
+			Nodes:     s.Nodes,
+			Cycles:    s.Cycles,
+			ElapsedMS: float64(s.Elapsed.Microseconds()) / 1000,
+		})
+	}
+	return out
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -35,7 +66,8 @@ func main() {
 		nwl      = flag.Int("workloads", 0, "override workload batch size")
 		maxNodes = flag.Int("maxnodes", 0, "override scaling cap")
 		seed     = flag.Uint64("seed", 0, "override seed")
-		workers  = flag.Int("workers", 0, "override worker shards")
+		workers  = flag.Int("workers", 0, "override intra-simulation worker shards")
+		parallel = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
 		asPlot   = flag.Bool("plot", false, "append an ASCII chart of each figure's series")
 	)
@@ -73,6 +105,9 @@ func main() {
 	if *workers > 0 {
 		sc.Workers = *workers
 	}
+	if *parallel > 0 {
+		sc.Parallel = *parallel
+	}
 
 	var ids []string
 	switch {
@@ -97,7 +132,7 @@ func main() {
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(r); err != nil {
+			if err := enc.Encode(wrapJSON(r, time.Since(start))); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: encoding:", err)
 				os.Exit(1)
 			}

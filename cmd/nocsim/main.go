@@ -17,6 +17,7 @@ import (
 
 	"nocsim/internal/app"
 	"nocsim/internal/core"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/topology"
 	"nocsim/internal/workload"
@@ -26,7 +27,7 @@ func main() {
 	var (
 		size       = flag.Int("size", 4, "mesh edge length (size x size nodes)")
 		topo       = flag.String("topo", "mesh", "topology: mesh | torus")
-		router     = flag.String("router", "bless", "router: bless | buffered")
+		router     = flag.String("router", "bless", "router: bless | buffered | hierring")
 		wl         = flag.String("workload", "HML", "workload category (H M L HML HM HL ML), 'uniform:<app>' or 'single:<app>'")
 		controller = flag.String("controller", "none", "controller: none | central | static | distributed | unaware | latency")
 		staticRate = flag.Float64("static-rate", 0.5, "rate for -controller static")
@@ -73,8 +74,15 @@ func main() {
 	cfg.Adaptive = *adaptive
 	cfg.SideBuffer = *sideBuffer
 	cfg.Writebacks = *writebacks
-	if *router == "buffered" {
+	switch *router {
+	case "bless":
+	case "buffered":
 		cfg.Router = sim.Buffered
+	case "hierring":
+		cfg.Router = sim.HierRing
+	default:
+		fmt.Fprintf(os.Stderr, "nocsim: unknown router %q\n", *router)
+		os.Exit(1)
 	}
 	switch *controller {
 	case "none":
@@ -102,9 +110,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nocsim: unknown mapping %q\n", *mapping)
 		os.Exit(1)
 	}
-	if n >= 256 {
-		cfg.Workers = *workers
-	}
+	cfg.Workers = runner.WorkersFor(n, *workers)
 
 	s := sim.New(cfg)
 	s.Run(*cycles)

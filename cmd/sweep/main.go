@@ -18,11 +18,12 @@ import (
 
 func main() {
 	var (
-		param   = flag.String("param", "", "parameter to sweep: alpha_starve beta_starve gamma_starve alpha_throt beta_throt gamma_throt epoch")
-		all     = flag.Bool("all", false, "sweep every parameter")
-		cycles  = flag.Int64("cycles", 150_000, "cycles per run")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker shards")
+		param    = flag.String("param", "", "parameter to sweep: alpha_starve beta_starve gamma_starve alpha_throt beta_throt gamma_throt epoch")
+		all      = flag.Bool("all", false, "sweep every parameter")
+		cycles   = flag.Int64("cycles", 150_000, "cycles per run")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		workers  = flag.Int("workers", runtime.NumCPU(), "intra-simulation worker shards")
+		parallel = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -31,6 +32,7 @@ func main() {
 	sc.Epoch = *cycles / 10
 	sc.Seed = *seed
 	sc.Workers = *workers
+	sc.Parallel = *parallel
 
 	run := func(id string) {
 		d, ok := exp.Lookup(id)

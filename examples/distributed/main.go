@@ -11,35 +11,29 @@ package main
 import (
 	"fmt"
 
-	"nocsim/internal/core"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
 
 func main() {
 	const cycles = 250_000
-	params := core.DefaultParams()
-	params.Epoch = cycles / 10
+	sc := runner.DefaultScale()
+	sc.Cycles = cycles
+	sc.Epoch = cycles / 10
 
 	cat, _ := workload.CategoryByName("H")
 	w := workload.Generate(cat, 16, 99)
 	fmt.Println("congested 4x4 workload:", w.Names())
 	fmt.Println()
 
-	run := func(ctl sim.ControllerKind) sim.Metrics {
-		s := sim.New(sim.Config{
-			Apps:       w.Apps,
-			Controller: ctl,
-			Params:     params,
-			Seed:       99,
-		})
-		s.Run(cycles)
-		return s.Metrics()
-	}
-
-	base := run(sim.NoControl)
-	dist := run(sim.Distributed)
-	cent := run(sim.Central)
+	plan := runner.NewPlan(sc)
+	plan.Add("no-control", runner.Baseline(w, 4, 4, sc, runner.WithSeed(99)), cycles)
+	plan.Add("distributed",
+		runner.Baseline(w, 4, 4, sc, runner.WithSeed(99), runner.WithController(sim.Distributed)), cycles)
+	plan.Add("central", runner.Controlled(w, 4, 4, sc, runner.WithSeed(99)), cycles)
+	ms := plan.Execute()
+	base, dist, cent := ms[0], ms[1], ms[2]
 
 	show := func(name string, m sim.Metrics) {
 		fmt.Printf("%-18s throughput %7.3f  starvation %.3f  utilization %.3f\n",

@@ -1,5 +1,7 @@
 // Quickstart: assemble a 4x4 bufferless CMP running a mixed workload,
-// turn the paper's congestion controller on, and compare.
+// turn the paper's congestion controller on, and compare. The two
+// simulations are declared on one run plan, so they execute
+// concurrently when more than one CPU is available.
 //
 //	go run ./examples/quickstart
 package main
@@ -7,8 +9,7 @@ package main
 import (
 	"fmt"
 
-	"nocsim/internal/core"
-	"nocsim/internal/sim"
+	"nocsim/internal/runner"
 	"nocsim/internal/workload"
 )
 
@@ -21,25 +22,18 @@ func main() {
 	w := workload.Generate(cat, 16, 7)
 	fmt.Println("workload:", w.Names())
 
-	params := core.DefaultParams()
-	params.Epoch = cycles / 10
+	sc := runner.DefaultScale()
+	sc.Cycles = cycles
+	sc.Epoch = cycles / 10
 
-	run := func(ctl sim.ControllerKind) sim.Metrics {
-		s := sim.New(sim.Config{
-			Apps:       w.Apps,
-			Controller: ctl,
-			Params:     params,
-			Seed:       1,
-		})
-		s.Run(cycles)
-		return s.Metrics()
-	}
+	plan := runner.NewPlan(sc)
+	plan.Add("baseline", runner.Baseline(w, 4, 4, sc, runner.WithSeed(1)), cycles)
+	plan.Add("throttled", runner.Controlled(w, 4, 4, sc, runner.WithSeed(1)), cycles)
+	ms := plan.Execute()
+	base, ctl := ms[0], ms[1]
 
-	base := run(sim.NoControl)
 	fmt.Printf("\nbaseline BLESS:      throughput %.2f IPC, utilization %.2f, starvation %.2f, latency %.1f cyc\n",
 		base.SystemThroughput, base.NetUtilization, base.StarvationRate, base.AvgNetLatency)
-
-	ctl := run(sim.Central)
 	fmt.Printf("BLESS-Throttling:    throughput %.2f IPC, utilization %.2f, starvation %.2f, latency %.1f cyc\n",
 		ctl.SystemThroughput, ctl.NetUtilization, ctl.StarvationRate, ctl.AvgNetLatency)
 

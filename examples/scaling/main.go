@@ -2,46 +2,46 @@
 // workload with exponential data locality (lambda = 1, §3.2) and shows
 // how congestion erodes per-node throughput in the baseline bufferless
 // mesh — and how the paper's congestion controller restores near-linear
-// scaling (Figs. 3 and 13).
+// scaling (Figs. 3 and 13). All eight simulations are declared up front
+// on one run plan; the executor runs them across the available CPUs.
 //
 //	go run ./examples/scaling
 package main
 
 import (
 	"fmt"
-	"runtime"
 
-	"nocsim/internal/core"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
 
 func main() {
 	const cycles = 100_000
-	params := core.DefaultParams()
-	params.Epoch = cycles / 10
+	sc := runner.DefaultScale()
+	sc.Cycles = cycles
+	sc.Epoch = cycles / 10
 
 	cat, _ := workload.CategoryByName("H")
-	fmt.Printf("%8s %14s %14s %12s %12s\n",
-		"cores", "BLESS IPC/node", "+CC IPC/node", "BLESS starv", "+CC starv")
-	for _, k := range []int{4, 8, 16, 32} {
+	sizes := []int{4, 8, 16, 32}
+	plan := runner.NewPlan(sc)
+	for _, k := range sizes {
 		nodes := k * k
 		w := workload.Generate(cat, nodes, uint64(nodes))
-		run := func(ctl sim.ControllerKind) sim.Metrics {
-			s := sim.New(sim.Config{
-				Width: k, Height: k,
-				Apps:       w.Apps,
-				Controller: ctl,
-				Mapping:    sim.ExpMap, MeanHops: 1,
-				Params:  params,
-				Workers: runtime.NumCPU(),
-				Seed:    uint64(nodes),
-			})
-			s.Run(cycles)
-			return s.Metrics()
+		opts := []runner.Option{
+			runner.WithMapping(sim.ExpMap, 1),
+			runner.WithSeed(uint64(nodes)),
 		}
-		base := run(sim.NoControl)
-		ctl := run(sim.Central)
+		plan.Add(fmt.Sprintf("%d/base", nodes), runner.Baseline(w, k, k, sc, opts...), cycles)
+		plan.Add(fmt.Sprintf("%d/ctl", nodes), runner.Controlled(w, k, k, sc, opts...), cycles)
+	}
+	ms := plan.Execute()
+
+	fmt.Printf("%8s %14s %14s %12s %12s\n",
+		"cores", "BLESS IPC/node", "+CC IPC/node", "BLESS starv", "+CC starv")
+	for i, k := range sizes {
+		nodes := k * k
+		base, ctl := ms[2*i], ms[2*i+1]
 		fmt.Printf("%8d %14.3f %14.3f %12.3f %12.3f\n",
 			nodes, base.ThroughputPerNode, ctl.ThroughputPerNode,
 			base.StarvationRate, ctl.StarvationRate)

@@ -12,7 +12,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/app"
-	"nocsim/internal/core"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
@@ -24,36 +24,37 @@ func main() {
 	gro := app.MustByName("gromacs")
 	w := workload.Checkerboard(mcf, gro, 4, 4)
 
+	sc := runner.DefaultScale()
+	sc.Cycles = cycles
+	sc.Epoch = cycles / 10
+
+	throttled := func(name string) runner.Option {
+		rates := make([]float64, len(w.Apps))
+		for i, p := range w.Apps {
+			if p.Name == name {
+				rates[i] = 0.9
+			}
+		}
+		return runner.WithStaticRates(rates)
+	}
+	plan := runner.NewPlan(sc)
+	plan.Add("baseline", runner.Baseline(w, 4, 4, sc, runner.WithSeed(5)), cycles)
+	plan.Add("throttle-gromacs",
+		runner.Baseline(w, 4, 4, sc, runner.WithSeed(5), throttled("gromacs")), cycles)
+	plan.Add("throttle-mcf",
+		runner.Baseline(w, 4, 4, sc, runner.WithSeed(5), throttled("mcf")), cycles)
+	ms := plan.Execute()
+
 	fmt.Println("8x mcf + 8x gromacs on a 4x4 bufferless mesh")
 	fmt.Printf("%-22s %8s %8s %8s\n", "config", "overall", "mcf", "gromacs")
-	base := run(w, "")
-	show("baseline", base, w)
-	show("throttle gromacs 90%", run(w, "gromacs"), w)
-	show("throttle mcf 90%", run(w, "mcf"), w)
+	show("baseline", ms[0], w)
+	show("throttle gromacs 90%", ms[1], w)
+	show("throttle mcf 90%", ms[2], w)
 
 	fmt.Println("\nthe paper's point: instruction throughput does not tell you whom")
 	fmt.Println("to throttle; instructions-per-flit (IPF) does. mcf produces ~1 flit")
 	fmt.Println("per instruction, so blocking its injections barely slows it while")
 	fmt.Println("freeing the network for everyone else.")
-}
-
-func run(w workload.Workload, throttle string) sim.Metrics {
-	params := core.DefaultParams()
-	params.Epoch = cycles / 10
-	cfg := sim.Config{Apps: w.Apps, Params: params, Seed: 5}
-	if throttle != "" {
-		rates := make([]float64, len(w.Apps))
-		for i, p := range w.Apps {
-			if p.Name == throttle {
-				rates[i] = 0.9
-			}
-		}
-		cfg.Controller = sim.StaticPerNode
-		cfg.StaticRates = rates
-	}
-	s := sim.New(cfg)
-	s.Run(cycles)
-	return s.Metrics()
 }
 
 func show(name string, m sim.Metrics, w workload.Workload) {

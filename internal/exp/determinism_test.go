@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestParallelismInvariance is the harness's core contract: a driver's
+// rendered Result — text and JSON — is byte-identical no matter how
+// many simulations the executor keeps in flight. fig2c is the probe
+// because it is multi-run (10 simulations) and unmemoized, so both
+// invocations genuinely re-execute.
+func TestParallelismInvariance(t *testing.T) {
+	render := func(parallel int) (text, js []byte) {
+		sc := tinyScale()
+		sc.Cycles = 10_000
+		sc.Epoch = 2_000
+		sc.Parallel = parallel
+		d, ok := Lookup("fig2c")
+		if !ok {
+			t.Fatal("fig2c missing")
+		}
+		r := d(sc)
+		var buf bytes.Buffer
+		r.Render(&buf)
+		j, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), j
+	}
+
+	text1, js1 := render(1)
+	text8, js8 := render(8)
+	if !bytes.Equal(text1, text8) {
+		t.Errorf("rendered text differs between parallel=1 and parallel=8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", text1, text8)
+	}
+	if !bytes.Equal(js1, js8) {
+		t.Errorf("rendered JSON differs between parallel=1 and parallel=8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", js1, js8)
+	}
+}

@@ -1,76 +1,41 @@
 // Package exp regenerates every table and figure of the paper's
 // evaluation. Each experiment is a named driver that assembles the
-// right workloads, runs the closed-loop simulator, and emits the same
-// rows/series the paper plots, as structured Results that render to
-// aligned text.
+// right workloads, declares its simulations as a runner.Plan, and emits
+// the same rows/series the paper plots, as structured Results that
+// render to aligned text.
 //
 // Runs are scaled: the paper simulates 10M cycles per workload and 875
 // workloads on hardware-years of compute; the default Scale reproduces
 // every experiment's *shape* (who wins, approximate factors, where
 // crossovers fall) in minutes on a laptop. PaperScale selects the
 // paper's full parameters for long runs.
+//
+// Execution is delegated to internal/runner: drivers declare their
+// simulations and the shared bounded pool runs them concurrently,
+// returning metrics in declaration order, so output is byte-identical
+// to sequential execution at any Scale.Parallel setting.
 package exp
 
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"strings"
 	"sync"
 
-	"nocsim/internal/core"
-	"nocsim/internal/sim"
-	"nocsim/internal/workload"
+	"nocsim/internal/runner"
 )
 
-// Scale sets the cost/fidelity trade-off of every experiment.
-type Scale struct {
-	// Cycles is the simulated length of each run.
-	Cycles int64
-	// Epoch is the controller period (the paper uses Cycles/100).
-	Epoch int64
-	// Workloads is the batch size for the scatter/category figures
-	// (the paper uses 700 16-core + 175 64-core workloads).
-	Workloads int
-	// MaxNodes caps the scaling experiments (the paper goes to 4096).
-	MaxNodes int
-	// Workers shards the per-cycle loops of large fabrics.
-	Workers int
-	// Seed roots all randomness.
-	Seed uint64
-}
+// Scale sets the cost/fidelity trade-off of every experiment. It is
+// the runner's Scale: drivers hand it straight to their plans.
+type Scale = runner.Scale
 
 // DefaultScale finishes the full suite in minutes on a laptop while
 // preserving every qualitative result.
-func DefaultScale() Scale {
-	return Scale{
-		Cycles:    150_000,
-		Epoch:     15_000,
-		Workloads: 21, // 3 per category
-		MaxNodes:  1024,
-		Workers:   runtime.NumCPU(),
-		Seed:      42,
-	}
-}
+func DefaultScale() Scale { return runner.DefaultScale() }
 
 // PaperScale is the paper's own configuration (§6.1): 10M cycles, 100
 // controller epochs, 875 workloads, up to 4096 nodes. Budget hours.
-func PaperScale() Scale {
-	return Scale{
-		Cycles:    10_000_000,
-		Epoch:     100_000,
-		Workloads: 875,
-		MaxNodes:  4096,
-		Workers:   runtime.NumCPU(),
-		Seed:      42,
-	}
-}
-
-func (s Scale) params() core.Params {
-	p := core.DefaultParams()
-	p.Epoch = s.Epoch
-	return p
-}
+func PaperScale() Scale { return runner.PaperScale() }
 
 // Point is one (x, y) sample of a series.
 type Point struct {
@@ -98,6 +63,13 @@ type Result struct {
 	Series []Series
 	Table  *Table
 	Notes  []string
+	// Runs reports the simulations behind the result, in declaration
+	// order. Labels, node counts and cycle counts are deterministic;
+	// wall-clock timings live on runner.Stat but are excluded from
+	// both renderings (text and JSON) so output is byte-identical
+	// across pool sizes. Memoized batches report the runs of the
+	// driver that executed them first.
+	Runs []runner.Stat `json:",omitempty"`
 }
 
 // Render writes the result as aligned text.
@@ -188,41 +160,6 @@ func Lookup(id string) (Driver, bool) {
 	defer registryMu.Unlock()
 	d, ok := registry[id]
 	return d, ok
-}
-
-// runBaseline runs a workload on the open (uncontrolled) BLESS system.
-func runBaseline(w workload.Workload, width, height int, sc Scale) sim.Metrics {
-	s := sim.New(sim.Config{
-		Width: width, Height: height,
-		Apps:    w.Apps,
-		Params:  sc.params(),
-		Workers: workersFor(width*height, sc),
-		Seed:    sc.Seed ^ w.Seed,
-	})
-	s.Run(sc.Cycles)
-	return s.Metrics()
-}
-
-// runControlled runs a workload under the central mechanism.
-func runControlled(w workload.Workload, width, height int, sc Scale) sim.Metrics {
-	s := sim.New(sim.Config{
-		Width: width, Height: height,
-		Apps:       w.Apps,
-		Controller: sim.Central,
-		Params:     sc.params(),
-		Workers:    workersFor(width*height, sc),
-		Seed:       sc.Seed ^ w.Seed,
-	})
-	s.Run(sc.Cycles)
-	return s.Metrics()
-}
-
-// workersFor avoids goroutine overhead on small meshes.
-func workersFor(nodes int, sc Scale) int {
-	if nodes < 256 || sc.Workers <= 1 {
-		return 1
-	}
-	return sc.Workers
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

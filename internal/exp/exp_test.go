@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"nocsim/internal/runner"
 )
 
 // tinyScale keeps every driver fast enough for unit testing while still
@@ -189,11 +191,10 @@ func TestMeshSizesRespectCap(t *testing.T) {
 }
 
 func TestWorkersFor(t *testing.T) {
-	sc := Scale{Workers: 8}
-	if workersFor(16, sc) != 1 {
+	if runner.WorkersFor(16, 8) != 1 {
 		t.Error("small meshes must run sequentially")
 	}
-	if workersFor(1024, sc) != 8 {
+	if runner.WorkersFor(1024, 8) != 8 {
 		t.Error("large meshes must shard")
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"nocsim/internal/noc"
 	"nocsim/internal/noc/bless"
+	"nocsim/internal/runner"
 	"nocsim/internal/stats"
 	"nocsim/internal/topology"
 	"nocsim/internal/traffic"
@@ -21,23 +22,26 @@ func init() {
 // must not worsen maximum slowdown or unfairness (max/min slowdown)
 // while improving throughput — the Fig. 11 result, summarised.
 func fairness(sc Scale) *Result {
+	cats := []string{"H", "HM", "HL"}
+	var ws []workload.Workload
+	plan := runner.NewPlan(sc)
+	for i, cname := range cats {
+		cat, _ := workload.CategoryByName(cname)
+		w := workload.Generate(cat, 16, sc.Seed+uint64(700+i))
+		ws = append(ws, w)
+		plan.Add("fairness/"+cname+"/base", runner.Baseline(w, 4, 4, sc), sc.Cycles)
+		plan.Add("fairness/"+cname+"/ctl", runner.Controlled(w, 4, 4, sc), sc.Cycles)
+	}
+	ms := plan.Execute()
+
 	t := &Table{Header: []string{
 		"workload", "maxSD base", "maxSD ctl", "unfair base", "unfair ctl",
 		"HS base", "HS ctl",
 	}}
-	cats := []string{"H", "HM", "HL"}
 	var worseMax int
 	for i, cname := range cats {
-		cat, _ := workload.CategoryByName(cname)
-		w := workload.Generate(cat, 16, sc.Seed+uint64(700+i))
-		base := runBaseline(w, 4, 4, sc)
-		ctl := runControlled(w, 4, 4, sc)
-		alone := make([]float64, 16)
-		for n, p := range w.Apps {
-			if p != nil {
-				alone[n] = aloneIPC(*p, 4, sc)
-			}
-		}
+		base, ctl := ms[2*i], ms[2*i+1]
+		alone := aloneIPCs(ws[i], 4, sc)
 		sdBase := stats.Slowdowns(base.IPC, alone)
 		sdCtl := stats.Slowdowns(ctl.IPC, alone)
 		if stats.MaxSlowdown(sdCtl) > stats.MaxSlowdown(sdBase)*1.05 {
@@ -58,6 +62,7 @@ func fairness(sc Scale) *Result {
 			fmt.Sprintf("workloads where max slowdown worsened >5%%: %d of %d", worseMax, len(cats)),
 			"paper §6.2/Fig.11: throttling does not unfairly penalise any application",
 		},
+		Runs: plan.Stats(),
 	}
 }
 
@@ -65,7 +70,6 @@ func fairness(sc Scale) *Result {
 // locally congestion-aware productive-port selection against strict XY,
 // open-loop, on the patterns where path diversity matters.
 func adaptiveRouting(sc Scale) *Result {
-	warm, meas := sweepCycles(sc)
 	mk := func(adaptive bool) func() noc.Network {
 		return func() noc.Network {
 			return bless.New(bless.Config{
@@ -80,29 +84,20 @@ func adaptiveRouting(sc Scale) *Result {
 		XLabel: "offered load (flits/node/cycle)",
 		YLabel: "avg packet latency (cycles)",
 	}
-	patterns := []struct {
-		name string
-		mk   func(noc.Network) traffic.Pattern
-	}{
-		{"transpose", func(n noc.Network) traffic.Pattern { return traffic.Transpose{Top: n.Topology()} }},
-		{"hotspot", func(n noc.Network) traffic.Pattern {
-			return traffic.Hotspot{Nodes: n.Topology().Nodes(), Hot: 27, Frac: 0.15}
-		}},
+	transpose := func(n noc.Network) traffic.Pattern { return traffic.Transpose{Top: n.Topology()} }
+	hotspot := func(n noc.Network) traffic.Pattern {
+		return traffic.Hotspot{Nodes: n.Topology().Nodes(), Hot: 27, Frac: 0.15}
 	}
-	for _, pat := range patterns {
-		for _, mode := range []struct {
-			name     string
-			adaptive bool
-		}{{"xy", false}, {"adaptive", true}} {
-			pts := traffic.Sweep(mk(mode.adaptive), pat.mk, sweepRates, 1, warm, meas, sc.Seed)
-			s := Series{Name: pat.name + "/" + mode.name}
-			for _, p := range pts {
-				s.Points = append(s.Points, Point{X: p.Offered, Y: p.Latency})
-			}
-			r.Series = append(r.Series, s)
-			r.Notes = append(r.Notes, fmt.Sprintf("%s/%s saturation: %.2f",
-				pat.name, mode.name, traffic.Saturation(pts, 60)))
-		}
+	jobs := []sweepJob{
+		{"transpose/xy", mk(false), transpose, sweepRates},
+		{"transpose/adaptive", mk(true), transpose, sweepRates},
+		{"hotspot/xy", mk(false), hotspot, sweepRates},
+		{"hotspot/adaptive", mk(true), hotspot, sweepRates},
+	}
+	curves := runSweeps(r, sc, jobs)
+	for i, j := range jobs {
+		r.Notes = append(r.Notes, fmt.Sprintf("%s saturation: %.2f",
+			j.name, traffic.Saturation(curves[i], 60)))
 	}
 	return r
 }

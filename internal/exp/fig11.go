@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/app"
+	"nocsim/internal/runner"
 	"nocsim/internal/stats"
 	"nocsim/internal/workload"
 )
@@ -24,25 +25,27 @@ type pairPoint struct {
 }
 
 // runPairGrid evaluates every (IPF1, IPF2) checkerboard pair on a 4x4
-// mesh, baseline and controlled.
-func runPairGrid(sc Scale) []pairPoint {
+// mesh, baseline and controlled, as one parallel plan.
+func runPairGrid(sc Scale) ([]pairPoint, []runner.Stat) {
+	plan := runner.NewPlan(sc)
 	var out []pairPoint
 	for _, a := range ipfGrid {
 		for _, b := range ipfGrid {
 			pa := app.Synthetic(a, 0)
 			pb := app.Synthetic(b, 0)
 			w := workload.Checkerboard(pa, pb, 4, 4)
-			base := runBaseline(w, 4, 4, sc)
-			ctl := runControlled(w, 4, 4, sc)
-			out = append(out, pairPoint{
-				ipf1:     a,
-				ipf2:     b,
-				baseUtil: base.NetUtilization,
-				gain:     stats.PercentGain(base.SystemThroughput, ctl.SystemThroughput),
-			})
+			plan.Add(fmt.Sprintf("pair/%g-%g/base", a, b), runner.Baseline(w, 4, 4, sc), sc.Cycles)
+			plan.Add(fmt.Sprintf("pair/%g-%g/ctl", a, b), runner.Controlled(w, 4, 4, sc), sc.Cycles)
+			out = append(out, pairPoint{ipf1: a, ipf2: b})
 		}
 	}
-	return out
+	ms := plan.Execute()
+	for i := range out {
+		base, ctl := ms[2*i], ms[2*i+1]
+		out[i].baseUtil = base.NetUtilization
+		out[i].gain = stats.PercentGain(base.SystemThroughput, ctl.SystemThroughput)
+	}
+	return out, plan.Stats()
 }
 
 func pairTable(points []pairPoint, y func(pairPoint) float64) *Table {
@@ -69,7 +72,7 @@ func pairTable(points []pairPoint, y func(pairPoint) float64) *Table {
 // a checkerboard, under the mechanism. Gains appear when one side is
 // intensive; crucially the high-IPF application is never unfairly hurt.
 func fig11(sc Scale) *Result {
-	points := runPairGrid(sc)
+	points, runStats := runPairGrid(sc)
 	worst := 0.0
 	for _, p := range points {
 		if p.gain < worst {
@@ -84,6 +87,7 @@ func fig11(sc Scale) *Result {
 			"paper Fig.11: gains when one app is intensive and the other is not; no unfair degradation",
 			fmt.Sprintf("worst cell %.1f%% (paper shows no significant negative corner)", worst),
 		},
+		Runs: runStats,
 	}
 }
 
@@ -91,7 +95,7 @@ func fig11(sc Scale) *Result {
 // network utilization surface — high only when at least one side is
 // network-intensive.
 func fig12(sc Scale) *Result {
-	points := runPairGrid(sc)
+	points, runStats := runPairGrid(sc)
 	return &Result{
 		ID:    "fig12",
 		Title: "Baseline network utilization for (IPF1, IPF2) application pairs (4x4 checkerboard)",
@@ -99,5 +103,6 @@ func fig12(sc Scale) *Result {
 		Notes: []string{
 			"paper Fig.12: utilization falls as either IPF rises; both high-IPF => idle network",
 		},
+		Runs: runStats,
 	}
 }

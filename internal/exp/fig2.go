@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
@@ -14,31 +15,37 @@ func init() {
 	register("fig2c", fig2c)
 }
 
+// fig2Data is the memoized baseline batch shared by Fig. 2(a) and (b).
+type fig2Data struct {
+	ms    []sim.Metrics
+	stats []runner.Stat
+}
+
 var (
 	fig2Mu   sync.Mutex
-	fig2Memo = map[string][]sim.Metrics{}
+	fig2Memo = map[string]*fig2Data{}
 )
 
 // fig2Batch runs the baseline workload batch on a 4x4 BLESS mesh and
 // returns the per-workload metrics. Both Fig. 2(a) and (b) read from
 // it, so the batch is memoized per scale.
-func fig2Batch(sc Scale) []sim.Metrics {
+func fig2Batch(sc Scale) *fig2Data {
 	key := fmt.Sprintf("%d/%d/%d", sc.Cycles, sc.Workloads, sc.Seed)
 	fig2Mu.Lock()
-	if m, ok := fig2Memo[key]; ok {
+	if d, ok := fig2Memo[key]; ok {
 		fig2Mu.Unlock()
-		return m
+		return d
 	}
 	fig2Mu.Unlock()
-	batch := workload.Batch(sc.Workloads, 16, sc.Seed)
-	out := make([]sim.Metrics, len(batch))
-	for i, w := range batch {
-		out[i] = runBaseline(w, 4, 4, sc)
+	plan := runner.NewPlan(sc)
+	for i, w := range workload.Batch(sc.Workloads, 16, sc.Seed) {
+		plan.Add(fmt.Sprintf("fig2/w%02d", i), runner.Baseline(w, 4, 4, sc), sc.Cycles)
 	}
+	d := &fig2Data{ms: plan.Execute(), stats: plan.Stats()}
 	fig2Mu.Lock()
-	fig2Memo[key] = out
+	fig2Memo[key] = d
 	fig2Mu.Unlock()
-	return out
+	return d
 }
 
 // fig2a reproduces Figure 2(a): average network latency stays
@@ -46,9 +53,9 @@ func fig2Batch(sc Scale) []sim.Metrics {
 // buffered network, deflection routing pushes congestion out of the
 // network and into admission.
 func fig2a(sc Scale) *Result {
-	ms := fig2Batch(sc)
+	d := fig2Batch(sc)
 	s := Series{Name: "4x4 BLESS workloads"}
-	for _, m := range ms {
+	for _, m := range d.ms {
 		s.Points = append(s.Points, Point{X: m.NetUtilization, Y: m.AvgNetLatency})
 	}
 	return &Result{
@@ -60,15 +67,16 @@ func fig2a(sc Scale) *Result {
 		Notes: []string{
 			"paper: latency stays within ~2x from idle to saturation",
 		},
+		Runs: d.stats,
 	}
 }
 
 // fig2b reproduces Figure 2(b): starvation rate rises superlinearly
 // with utilization.
 func fig2b(sc Scale) *Result {
-	ms := fig2Batch(sc)
+	d := fig2Batch(sc)
 	s := Series{Name: "4x4 BLESS workloads"}
-	for _, m := range ms {
+	for _, m := range d.ms {
 		s.Points = append(s.Points, Point{X: m.NetUtilization, Y: m.StarvationRate})
 	}
 	return &Result{
@@ -80,6 +88,7 @@ func fig2b(sc Scale) *Result {
 		Notes: []string{
 			"paper: starvation grows superlinearly; ~0.3 near 80% utilization",
 		},
+		Runs: d.stats,
 	}
 }
 
@@ -91,19 +100,17 @@ func fig2b(sc Scale) *Result {
 func fig2c(sc Scale) *Result {
 	cat, _ := workload.CategoryByName("H")
 	w := workload.Generate(cat, 16, sc.Seed+101)
+	rates := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	plan := runner.NewPlan(sc)
+	for _, rate := range rates {
+		plan.Add(fmt.Sprintf("fig2c/rate=%.1f", rate),
+			runner.Baseline(w, 4, 4, sc, runner.WithStaticUniform(rate)), sc.Cycles)
+	}
+	ms := plan.Execute()
 	s := Series{Name: "static throttling sweep"}
 	best, at0 := 0.0, 0.0
-	for _, rate := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
-		cfg := sim.Config{
-			Apps:       w.Apps,
-			Controller: sim.StaticUniform,
-			StaticRate: rate,
-			Params:     sc.params(),
-			Seed:       sc.Seed ^ w.Seed,
-		}
-		sm := sim.New(cfg)
-		sm.Run(sc.Cycles)
-		m := sm.Metrics()
+	for i, rate := range rates {
+		m := ms[i]
 		s.Points = append(s.Points, Point{X: m.NetUtilization, Y: m.SystemThroughput})
 		if rate == 0 {
 			at0 = m.SystemThroughput
@@ -126,5 +133,6 @@ func fig2c(sc Scale) *Result {
 			fmt.Sprintf("best static throttle beats unthrottled by %.1f%% (paper: ~14%%)", gain),
 			"utilization never reaches 1: applications are self-throttling (§3.1)",
 		},
+		Runs: plan.Stats(),
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/app"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
@@ -24,25 +25,24 @@ func fig5(sc Scale) *Result {
 	gro := app.MustByName("gromacs")
 	w := workload.Checkerboard(mcf, gro, 4, 4)
 
-	run := func(throttle string) (overall, mcfT, groT float64) {
+	throttled := func(name string) runner.Option {
 		rates := make([]float64, 16)
 		for i, p := range w.Apps {
-			if p.Name == throttle {
+			if p.Name == name {
 				rates[i] = 0.9
 			}
 		}
-		cfg := sim.Config{
-			Apps:   w.Apps,
-			Params: sc.params(),
-			Seed:   sc.Seed + 500,
-		}
-		if throttle != "" {
-			cfg.Controller = sim.StaticPerNode
-			cfg.StaticRates = rates
-		}
-		s := sim.New(cfg)
-		s.Run(sc.Cycles)
-		m := s.Metrics()
+		return runner.WithStaticRates(rates)
+	}
+	plan := runner.NewPlan(sc)
+	plan.Add("fig5/baseline", runner.Baseline(w, 4, 4, sc, runner.WithSeed(sc.Seed+500)), sc.Cycles)
+	plan.Add("fig5/throttle-gromacs",
+		runner.Baseline(w, 4, 4, sc, runner.WithSeed(sc.Seed+500), throttled("gromacs")), sc.Cycles)
+	plan.Add("fig5/throttle-mcf",
+		runner.Baseline(w, 4, 4, sc, runner.WithSeed(sc.Seed+500), throttled("mcf")), sc.Cycles)
+	ms := plan.Execute()
+
+	split := func(m sim.Metrics) (overall, mcfT, groT float64) {
 		var nM, nG int
 		for i, p := range w.Apps {
 			switch p.Name {
@@ -56,10 +56,9 @@ func fig5(sc Scale) *Result {
 		}
 		return m.SystemThroughput / 16, mcfT / float64(nM), groT / float64(nG)
 	}
-
-	bo, bm, bg := run("")
-	go_, gm, gg := run("gromacs")
-	mo, mm, mg := run("mcf")
+	bo, bm, bg := split(ms[0])
+	go_, gm, gg := split(ms[1])
+	mo, mm, mg := split(ms[2])
 
 	t := &Table{
 		Header: []string{"config", "overall", "mcf", "gromacs"},
@@ -79,6 +78,7 @@ func fig5(sc Scale) *Result {
 			fmt.Sprintf("throttling mcf changes mcf's own throughput by %+.1f%% (paper: -3%%)", 100*(mm-bm)/bm),
 			fmt.Sprintf("throttling mcf changes gromacs throughput by %+.1f%% (paper: +25%%)", 100*(mg-bg)/bg),
 		},
+		Runs: plan.Stats(),
 	}
 }
 
@@ -97,22 +97,31 @@ func fig6(sc Scale) *Result {
 		XLabel: "cycle",
 		YLabel: "flits injected per window / window",
 	}
-	for _, name := range names {
+	series := make([]Series, len(names))
+	plan := runner.NewPlan(sc)
+	for i, name := range names {
+		i := i
+		series[i].Name = name
 		w := workload.Single(app.MustByName(name), 16, 5)
-		s := sim.New(sim.Config{Apps: w.Apps, Params: sc.params(), Seed: sc.Seed + 600})
-		series := Series{Name: name}
 		var prev int64
-		for cyc := int64(0); cyc < sc.Cycles; cyc += window {
-			s.Run(window)
-			inj := s.Network().Stats().FlitsInjected
-			series.Points = append(series.Points, Point{
-				X: float64(cyc + window),
-				Y: float64(inj-prev) / float64(window),
-			})
-			prev = inj
-		}
-		r.Series = append(r.Series, series)
+		plan.AddRun(runner.Run{
+			Label:  "fig6/" + name,
+			Config: runner.Baseline(w, 4, 4, sc, runner.WithSeed(sc.Seed+600)),
+			Cycles: sc.Cycles,
+			Stride: window,
+			Observe: func(s *sim.Sim) {
+				inj := s.Network().Stats().FlitsInjected
+				series[i].Points = append(series[i].Points, Point{
+					X: float64(s.Cycle()),
+					Y: float64(inj-prev) / float64(window),
+				})
+				prev = inj
+			},
+		})
 	}
+	plan.Execute()
+	r.Series = series
+	r.Runs = plan.Stats()
 	r.Notes = append(r.Notes,
 		"temporal variation in injection intensity reflects application phases (cf. Fig. 6)")
 	return r

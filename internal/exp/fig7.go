@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nocsim/internal/app"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/stats"
 	"nocsim/internal/workload"
@@ -27,15 +28,21 @@ type gainRun struct {
 	ctlStar  float64
 }
 
+// gainData is the memoized §6.2 batch plus its run reports.
+type gainData struct {
+	runs  []gainRun
+	stats []runner.Stat
+}
+
 var (
 	gainMu   sync.Mutex
-	gainMemo = map[string][]gainRun{}
+	gainMemo = map[string]*gainData{}
 )
 
 // runGainBatch runs the §6.2 batch: Workloads workloads, split between
 // 4x4 and 8x8 (the paper: 700 16-core + 175 64-core), each on baseline
 // BLESS and on BLESS-Throttling. Memoized per scale: Figs. 7-10 share it.
-func runGainBatch(sc Scale) []gainRun {
+func runGainBatch(sc Scale) *gainData {
 	key := fmt.Sprintf("%d/%d/%d/%d", sc.Cycles, sc.Epoch, sc.Workloads, sc.Seed)
 	gainMu.Lock()
 	if g, ok := gainMemo[key]; ok {
@@ -57,17 +64,24 @@ func runGainBatch(sc Scale) []gainRun {
 	for _, w := range batch64 {
 		runs = append(runs, gainRun{w: w, size: 8})
 	}
+	plan := runner.NewPlan(sc)
 	for i := range runs {
 		r := &runs[i]
-		r.base = runBaseline(r.w, r.size, r.size, sc)
-		r.ctl = runControlled(r.w, r.size, r.size, sc)
+		plan.Add(fmt.Sprintf("gain/w%03d/base", i), runner.Baseline(r.w, r.size, r.size, sc), sc.Cycles)
+		plan.Add(fmt.Sprintf("gain/w%03d/ctl", i), runner.Controlled(r.w, r.size, r.size, sc), sc.Cycles)
+	}
+	ms := plan.Execute()
+	for i := range runs {
+		r := &runs[i]
+		r.base, r.ctl = ms[2*i], ms[2*i+1]
 		r.baseStar = r.base.StarvationRate
 		r.ctlStar = r.ctl.StarvationRate
 	}
+	g := &gainData{runs: runs, stats: plan.Stats()}
 	gainMu.Lock()
-	gainMemo[key] = runs
+	gainMemo[key] = g
 	gainMu.Unlock()
-	return runs
+	return g
 }
 
 // fig7 reproduces Figure 7: per-workload percentage improvement in
@@ -75,18 +89,18 @@ func runGainBatch(sc Scale) []gainRun {
 // the workload's baseline network utilization. Gains concentrate in
 // congested workloads (paper: up to 27.6%, avg 14.7% above 0.7 util).
 func fig7(sc Scale) *Result {
-	runs := runGainBatch(sc)
+	g := runGainBatch(sc)
 	s := Series{Name: "4x4 and 8x8 workloads"}
 	var congested []float64
 	best := 0.0
-	for _, r := range runs {
-		g := stats.PercentGain(r.base.SystemThroughput, r.ctl.SystemThroughput)
-		s.Points = append(s.Points, Point{X: r.base.NetUtilization, Y: g})
+	for _, r := range g.runs {
+		gain := stats.PercentGain(r.base.SystemThroughput, r.ctl.SystemThroughput)
+		s.Points = append(s.Points, Point{X: r.base.NetUtilization, Y: gain})
 		if r.base.NetUtilization > 0.7 {
-			congested = append(congested, g)
+			congested = append(congested, gain)
 		}
-		if g > best {
-			best = g
+		if gain > best {
+			best = gain
 		}
 	}
 	return &Result{
@@ -99,19 +113,20 @@ func fig7(sc Scale) *Result {
 			fmt.Sprintf("max improvement %.1f%% (paper: 27.6%%)", best),
 			fmt.Sprintf("average over congested (util>0.7) workloads %.1f%% (paper: 14.7%%)", stats.Mean(congested)),
 		},
+		Runs: g.stats,
 	}
 }
 
 // fig8 reproduces Figure 8: min/avg/max throughput improvement per
 // workload category, for 4x4 and 8x8 separately.
 func fig8(sc Scale) *Result {
-	runs := runGainBatch(sc)
+	g := runGainBatch(sc)
 	t := &Table{Header: []string{"category", "mesh", "min %", "avg %", "max %", "n"}}
 	cats := append([]string{"All"}, catNames()...)
 	for _, cat := range cats {
 		for _, size := range []int{4, 8} {
 			var gains []float64
-			for _, r := range runs {
+			for _, r := range g.runs {
 				if r.size != size {
 					continue
 				}
@@ -137,6 +152,7 @@ func fig8(sc Scale) *Result {
 		Notes: []string{
 			"paper Fig.8: largest gains for H and HM categories; ~0 for L and ML (network adequately provisioned)",
 		},
+		Runs: g.stats,
 	}
 }
 
@@ -152,9 +168,9 @@ func catNames() []string {
 // rates over congested workloads (baseline utilization > 0.6), with and
 // without the mechanism.
 func fig9(sc Scale) *Result {
-	runs := runGainBatch(sc)
+	g := runGainBatch(sc)
 	var base, ctl stats.CDF
-	for _, r := range runs {
+	for _, r := range g.runs {
 		if r.base.NetUtilization <= 0.6 {
 			continue
 		}
@@ -179,38 +195,67 @@ func fig9(sc Scale) *Result {
 				base.Quantile(0.5), ctl.Quantile(0.5)),
 			fmt.Sprintf("P90 starvation: baseline %.3f vs throttled %.3f", base.Quantile(0.9), ctl.Quantile(0.9)),
 		},
+		Runs: g.stats,
 	}
 }
 
-// aloneIPC measures each application's IPC running alone at the centre
-// of the given mesh; memoized per (app, size, scale).
+// aloneMemo caches each application's IPC running alone at the centre
+// of the given mesh, keyed per (app, size, scale).
 var (
 	aloneMu   sync.Mutex
 	aloneMemo = map[string]float64{}
 )
 
-func aloneIPC(p app.Profile, size int, sc Scale) float64 {
-	key := fmt.Sprintf("%s/%d/%d/%d", p.Name, size, sc.Cycles, sc.Seed)
+func aloneKey(name string, size int, sc Scale) string {
+	return fmt.Sprintf("%s/%d/%d/%d", name, size, sc.Cycles, sc.Seed)
+}
+
+// aloneIPCs returns, for each node of w's assignment, the IPC of that
+// node's application running alone at the centre of a size x size mesh.
+// Uncached applications are simulated as one parallel plan; results are
+// memoized across workloads and drivers.
+func aloneIPCs(w workload.Workload, size int, sc Scale) []float64 {
+	// Collect the applications this workload needs but the memo lacks,
+	// deduplicated in first-appearance order for a deterministic plan.
+	var missing []app.Profile
+	seen := map[string]bool{}
 	aloneMu.Lock()
-	if v, ok := aloneMemo[key]; ok {
-		aloneMu.Unlock()
-		return v
+	for _, p := range w.Apps {
+		if p == nil || seen[p.Name] {
+			continue
+		}
+		seen[p.Name] = true
+		if _, ok := aloneMemo[aloneKey(p.Name, size, sc)]; !ok {
+			missing = append(missing, *p)
+		}
 	}
 	aloneMu.Unlock()
-	pos := size*size/2 + size/2
-	w := workload.Single(p, size*size, pos)
-	s := sim.New(sim.Config{
-		Width: size, Height: size,
-		Apps:   w.Apps,
-		Params: sc.params(),
-		Seed:   sc.Seed + 900,
-	})
-	s.Run(sc.Cycles)
-	v := s.Metrics().IPC[pos]
+
+	if len(missing) > 0 {
+		pos := size*size/2 + size/2
+		plan := runner.NewPlan(sc)
+		for _, p := range missing {
+			ws := workload.Single(p, size*size, pos)
+			plan.Add(fmt.Sprintf("alone/%s/%dx%d", p.Name, size, size),
+				runner.Baseline(ws, size, size, sc, runner.WithSeed(sc.Seed+900)), sc.Cycles)
+		}
+		ms := plan.Execute()
+		aloneMu.Lock()
+		for i, p := range missing {
+			aloneMemo[aloneKey(p.Name, size, sc)] = ms[i].IPC[pos]
+		}
+		aloneMu.Unlock()
+	}
+
+	alone := make([]float64, len(w.Apps))
 	aloneMu.Lock()
-	aloneMemo[key] = v
+	for i, p := range w.Apps {
+		if p != nil {
+			alone[i] = aloneMemo[aloneKey(p.Name, size, sc)]
+		}
+	}
 	aloneMu.Unlock()
-	return v
+	return alone
 }
 
 // fig10 reproduces Figure 10: weighted-speedup improvement scattered
@@ -218,22 +263,17 @@ func aloneIPC(p app.Profile, size int, sc Scale) float64 {
 // improving it shows the mechanism is not gaming raw throughput by
 // starving slow applications (§6.2).
 func fig10(sc Scale) *Result {
-	runs := runGainBatch(sc)
+	g := runGainBatch(sc)
 	s := Series{Name: "4x4 and 8x8 workloads"}
 	best := 0.0
-	for _, r := range runs {
-		alone := make([]float64, len(r.w.Apps))
-		for i, p := range r.w.Apps {
-			if p != nil {
-				alone[i] = aloneIPC(*p, r.size, sc)
-			}
-		}
+	for _, r := range g.runs {
+		alone := aloneIPCs(r.w, r.size, sc)
 		wsBase := sim.WeightedSpeedup(r.base.IPC, alone)
 		wsCtl := sim.WeightedSpeedup(r.ctl.IPC, alone)
-		g := stats.PercentGain(wsBase, wsCtl)
-		s.Points = append(s.Points, Point{X: r.base.NetUtilization, Y: g})
-		if g > best {
-			best = g
+		gain := stats.PercentGain(wsBase, wsCtl)
+		s.Points = append(s.Points, Point{X: r.base.NetUtilization, Y: gain})
+		if gain > best {
+			best = gain
 		}
 	}
 	return &Result{
@@ -245,5 +285,6 @@ func fig10(sc Scale) *Result {
 		Notes: []string{
 			fmt.Sprintf("max WS improvement %.1f%% (paper: 17.2%%/18.2%% on 4x4/8x8)", best),
 		},
+		Runs: g.stats,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"nocsim/internal/noc/bless"
 	"nocsim/internal/noc/buffered"
 	"nocsim/internal/noc/hierring"
+	"nocsim/internal/runner"
 	"nocsim/internal/topology"
 	"nocsim/internal/traffic"
 )
@@ -16,48 +17,6 @@ func init() {
 	register("arbiter", arbiterAblation)
 	register("minbd", minbdComparison)
 	register("rings", ringComparison)
-}
-
-// ringComparison pits the bufferless hierarchical ring interconnect
-// ([21], local rings of 8 joined by a global ring) against the mesh
-// fabrics open-loop. Rings are far cheaper (no routing or arbitration
-// at all) but their bisection is one global ring: saturation comes much
-// earlier, which is exactly the trade-off the paper's related work
-// discusses.
-func ringComparison(sc Scale) *Result {
-	warm, meas := sweepCycles(sc)
-	pat := func(n noc.Network) traffic.Pattern {
-		return traffic.Uniform{Nodes: n.Topology().Nodes()}
-	}
-	mk := map[string]func() noc.Network{
-		"HierRing-8": func() noc.Network {
-			return hierring.New(hierring.Config{Nodes: 64, GroupSize: 8})
-		},
-		"BLESS-mesh": func() noc.Network {
-			return bless.New(bless.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
-		},
-		"Buffered-mesh": func() noc.Network {
-			return buffered.New(buffered.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
-		},
-	}
-	r := &Result{
-		ID:     "rings",
-		Title:  "Hierarchical ring [21] vs mesh fabrics (64 nodes, uniform, open loop)",
-		XLabel: "offered load (flits/node/cycle)",
-		YLabel: "avg packet latency (cycles)",
-	}
-	rates := []float64{0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.25, 0.3}
-	for _, name := range []string{"HierRing-8", "BLESS-mesh", "Buffered-mesh"} {
-		pts := traffic.Sweep(mk[name], pat, rates, 1, warm, meas, sc.Seed)
-		s := Series{Name: name}
-		for _, p := range pts {
-			s.Points = append(s.Points, Point{X: p.Offered, Y: p.Latency})
-		}
-		r.Series = append(r.Series, s)
-		r.Notes = append(r.Notes, fmt.Sprintf("%s saturation: %.2f flits/node/cycle",
-			name, traffic.Saturation(pts, 80)))
-	}
-	return r
 }
 
 var sweepRates = []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
@@ -70,6 +29,39 @@ func sweepCycles(sc Scale) (warmup, measure int64) {
 	return measure / 2, measure
 }
 
+// sweepJob is one open-loop load-latency curve: a fabric constructor, a
+// pattern, and the rate grid to sweep.
+type sweepJob struct {
+	name  string
+	mk    func() noc.Network
+	pat   func(noc.Network) traffic.Pattern
+	rates []float64
+}
+
+// runSweeps evaluates every curve concurrently under the scale's worker
+// pool (each traffic.Sweep is itself a serial sweep over rates) and
+// appends one Series per job, in job order. The raw curves come back so
+// callers can derive saturation notes.
+func runSweeps(r *Result, sc Scale, jobs []sweepJob) [][]traffic.LoadPoint {
+	warm, meas := sweepCycles(sc)
+	curves := runner.Map(sc, len(jobs), func(i int) []traffic.LoadPoint {
+		j := jobs[i]
+		return traffic.Sweep(j.mk, j.pat, j.rates, 1, warm, meas, sc.Seed)
+	})
+	for i, pts := range curves {
+		s := Series{Name: jobs[i].name}
+		for _, p := range pts {
+			s.Points = append(s.Points, Point{X: p.Offered, Y: p.Latency})
+		}
+		r.Series = append(r.Series, s)
+	}
+	return curves
+}
+
+func uniformPat(n noc.Network) traffic.Pattern {
+	return traffic.Uniform{Nodes: n.Topology().Nodes()}
+}
+
 // loadLatency characterises the two router architectures open-loop, the
 // way standalone NoC simulators (BookSim, NOCulator) do: average packet
 // latency against offered load for the classic synthetic patterns. It
@@ -77,7 +69,6 @@ func sweepCycles(sc Scale) (warmup, measure int64) {
 // stays low until admission saturates, then queueing at injection —
 // not in-network latency — explodes.
 func loadLatency(sc Scale) *Result {
-	warm, meas := sweepCycles(sc)
 	top := func() *topology.Topology { return topology.NewSquare(topology.Mesh, 8) }
 	r := &Result{
 		ID:     "loadlat",
@@ -85,35 +76,66 @@ func loadLatency(sc Scale) *Result {
 		XLabel: "offered load (flits/node/cycle)",
 		YLabel: "avg packet latency (cycles)",
 	}
-	patterns := []func(noc.Network) traffic.Pattern{
-		func(n noc.Network) traffic.Pattern { return traffic.Uniform{Nodes: n.Topology().Nodes()} },
-		func(n noc.Network) traffic.Pattern { return traffic.Transpose{Top: n.Topology()} },
-		func(n noc.Network) traffic.Pattern {
+	patterns := []struct {
+		name string
+		pat  func(noc.Network) traffic.Pattern
+	}{
+		{"uniform", uniformPat},
+		{"transpose", func(n noc.Network) traffic.Pattern { return traffic.Transpose{Top: n.Topology()} }},
+		{"hotspot", func(n noc.Network) traffic.Pattern {
 			return traffic.Hotspot{Nodes: n.Topology().Nodes(), Hot: 27, Frac: 0.1}
-		},
+		}},
 	}
-	names := []string{"uniform", "transpose", "hotspot"}
-	for i, mkPat := range patterns {
-		blessPts := traffic.Sweep(
-			func() noc.Network { return bless.New(bless.Config{Topology: top()}) },
-			mkPat, sweepRates, 1, warm, meas, sc.Seed)
-		bufPts := traffic.Sweep(
-			func() noc.Network { return buffered.New(buffered.Config{Topology: top()}) },
-			mkPat, sweepRates, 1, warm, meas, sc.Seed)
-		bs := Series{Name: "BLESS/" + names[i]}
-		fs := Series{Name: "Buffered/" + names[i]}
-		for _, p := range blessPts {
-			bs.Points = append(bs.Points, Point{X: p.Offered, Y: p.Latency})
-		}
-		for _, p := range bufPts {
-			fs.Points = append(fs.Points, Point{X: p.Offered, Y: p.Latency})
-		}
-		r.Series = append(r.Series, bs, fs)
+	var jobs []sweepJob
+	for _, p := range patterns {
+		jobs = append(jobs,
+			sweepJob{"BLESS/" + p.name,
+				func() noc.Network { return bless.New(bless.Config{Topology: top()}) },
+				p.pat, sweepRates},
+			sweepJob{"Buffered/" + p.name,
+				func() noc.Network { return buffered.New(buffered.Config{Topology: top()}) },
+				p.pat, sweepRates})
+	}
+	curves := runSweeps(r, sc, jobs)
+	for i, p := range patterns {
 		r.Notes = append(r.Notes, fmt.Sprintf(
 			"%s saturation (latency>60): BLESS %.2f vs Buffered %.2f flits/node/cycle",
-			names[i],
-			traffic.Saturation(blessPts, 60),
-			traffic.Saturation(bufPts, 60)))
+			p.name,
+			traffic.Saturation(curves[2*i], 60),
+			traffic.Saturation(curves[2*i+1], 60)))
+	}
+	return r
+}
+
+// ringComparison pits the bufferless hierarchical ring interconnect
+// ([21], local rings of 8 joined by a global ring) against the mesh
+// fabrics open-loop. Rings are far cheaper (no routing or arbitration
+// at all) but their bisection is one global ring: saturation comes much
+// earlier, which is exactly the trade-off the paper's related work
+// discusses.
+func ringComparison(sc Scale) *Result {
+	r := &Result{
+		ID:     "rings",
+		Title:  "Hierarchical ring [21] vs mesh fabrics (64 nodes, uniform, open loop)",
+		XLabel: "offered load (flits/node/cycle)",
+		YLabel: "avg packet latency (cycles)",
+	}
+	rates := []float64{0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.2, 0.25, 0.3}
+	jobs := []sweepJob{
+		{"HierRing-8", func() noc.Network {
+			return hierring.New(hierring.Config{Nodes: 64, GroupSize: 8})
+		}, uniformPat, rates},
+		{"BLESS-mesh", func() noc.Network {
+			return bless.New(bless.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
+		}, uniformPat, rates},
+		{"Buffered-mesh", func() noc.Network {
+			return buffered.New(buffered.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
+		}, uniformPat, rates},
+	}
+	curves := runSweeps(r, sc, jobs)
+	for i, j := range jobs {
+		r.Notes = append(r.Notes, fmt.Sprintf("%s saturation: %.2f flits/node/cycle",
+			j.name, traffic.Saturation(curves[i], 80)))
 	}
 	return r
 }
@@ -124,36 +146,27 @@ func loadLatency(sc Scale) *Result {
 // pushes saturation toward the buffered network at a fraction of the
 // buffer cost.
 func minbdComparison(sc Scale) *Result {
-	warm, meas := sweepCycles(sc)
-	pat := func(n noc.Network) traffic.Pattern {
-		return traffic.Uniform{Nodes: n.Topology().Nodes()}
-	}
-	mk := map[string]func() noc.Network{
-		"BLESS": func() noc.Network {
-			return bless.New(bless.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
-		},
-		"MinBD-4": func() noc.Network {
-			return bless.New(bless.Config{Topology: topology.NewSquare(topology.Mesh, 8), SideBuffer: 4})
-		},
-		"Buffered": func() noc.Network {
-			return buffered.New(buffered.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
-		},
-	}
 	r := &Result{
 		ID:     "minbd",
 		Title:  "Minimal buffering (MinBD [22]) between BLESS and the VC router (8x8, uniform)",
 		XLabel: "offered load (flits/node/cycle)",
 		YLabel: "avg packet latency (cycles)",
 	}
-	for _, name := range []string{"BLESS", "MinBD-4", "Buffered"} {
-		pts := traffic.Sweep(mk[name], pat, sweepRates, 1, warm, meas, sc.Seed)
-		s := Series{Name: name}
-		for _, p := range pts {
-			s.Points = append(s.Points, Point{X: p.Offered, Y: p.Latency})
-		}
-		r.Series = append(r.Series, s)
+	jobs := []sweepJob{
+		{"BLESS", func() noc.Network {
+			return bless.New(bless.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
+		}, uniformPat, sweepRates},
+		{"MinBD-4", func() noc.Network {
+			return bless.New(bless.Config{Topology: topology.NewSquare(topology.Mesh, 8), SideBuffer: 4})
+		}, uniformPat, sweepRates},
+		{"Buffered", func() noc.Network {
+			return buffered.New(buffered.Config{Topology: topology.NewSquare(topology.Mesh, 8)})
+		}, uniformPat, sweepRates},
+	}
+	curves := runSweeps(r, sc, jobs)
+	for i, j := range jobs {
 		r.Notes = append(r.Notes, fmt.Sprintf("%s saturation: %.2f flits/node/cycle",
-			name, traffic.Saturation(pts, 60)))
+			j.name, traffic.Saturation(curves[i], 60)))
 	}
 	return r
 }
@@ -162,7 +175,6 @@ func minbdComparison(sc Scale) *Result {
 // arbitration open-loop: the age-based total order both guarantees
 // livelock freedom and reduces worst-case latency near saturation.
 func arbiterAblation(sc Scale) *Result {
-	warm, meas := sweepCycles(sc)
 	mk := func(arb bless.Arbiter) func() noc.Network {
 		return func() noc.Network {
 			return bless.New(bless.Config{
@@ -172,27 +184,20 @@ func arbiterAblation(sc Scale) *Result {
 			})
 		}
 	}
-	pat := func(n noc.Network) traffic.Pattern {
-		return traffic.Uniform{Nodes: n.Topology().Nodes()}
-	}
 	r := &Result{
 		ID:     "arbiter",
 		Title:  "Deflection arbitration ablation: Oldest-First vs random (8x8, uniform)",
 		XLabel: "offered load (flits/node/cycle)",
 		YLabel: "avg packet latency (cycles)",
 	}
-	for _, cfg := range []struct {
-		name string
-		arb  bless.Arbiter
-	}{{"oldest-first", bless.OldestFirst}, {"random", bless.Random}} {
-		pts := traffic.Sweep(mk(cfg.arb), pat, sweepRates, 1, warm, meas, sc.Seed)
-		s := Series{Name: cfg.name}
-		for _, p := range pts {
-			s.Points = append(s.Points, Point{X: p.Offered, Y: p.Latency})
-		}
-		r.Series = append(r.Series, s)
+	jobs := []sweepJob{
+		{"oldest-first", mk(bless.OldestFirst), uniformPat, sweepRates},
+		{"random", mk(bless.Random), uniformPat, sweepRates},
+	}
+	curves := runSweeps(r, sc, jobs)
+	for i, j := range jobs {
 		r.Notes = append(r.Notes, fmt.Sprintf("%s saturation: %.2f flits/node/cycle",
-			cfg.name, traffic.Saturation(pts, 60)))
+			j.name, traffic.Saturation(curves[i], 60)))
 	}
 	return r
 }

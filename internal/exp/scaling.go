@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nocsim/internal/power"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
@@ -40,6 +41,7 @@ type archRun struct {
 
 type scalingData struct {
 	bless, throttled, buffered []archRun
+	stats                      []runner.Stat
 }
 
 var (
@@ -48,7 +50,9 @@ var (
 )
 
 // runScaling produces (and memoizes, per scale) the three-architecture
-// scaling comparison that Figs. 13, 14, 15 and 16 all read.
+// scaling comparison that Figs. 13, 14, 15 and 16 all read. All
+// (size, architecture) cells are declared in one plan, so the whole
+// comparison costs max-of-runs wall clock.
 func runScaling(sc Scale) *scalingData {
 	key := fmt.Sprintf("%d/%d/%d/%d", sc.Cycles, sc.Epoch, sc.MaxNodes, sc.Seed)
 	scalingMu.Lock()
@@ -58,40 +62,31 @@ func runScaling(sc Scale) *scalingData {
 	}
 	scalingMu.Unlock()
 
-	d := &scalingData{}
-	model := power.Default()
+	sizes := meshSizes(sc)
 	cat, _ := workload.CategoryByName("H")
-	for _, k := range meshSizes(sc) {
+	plan := runner.NewPlan(sc)
+	for _, k := range sizes {
 		nodes := k * k
 		w := workload.Generate(cat, nodes, sc.Seed+uint64(nodes))
-		base := sim.Config{
-			Width: k, Height: k,
-			Apps:    w.Apps,
-			Mapping: sim.ExpMap, MeanHops: 1,
-			Params:  sc.params(),
-			Workers: workersFor(nodes, sc),
-			Seed:    sc.Seed + uint64(nodes),
-		}
+		seed := runner.WithSeed(sc.Seed + uint64(nodes))
+		locality := runner.WithMapping(sim.ExpMap, 1)
+		plan.Add(fmt.Sprintf("scaling/%d/bless", nodes),
+			runner.Baseline(w, k, k, sc, locality, seed), sc.Cycles)
+		plan.Add(fmt.Sprintf("scaling/%d/throttled", nodes),
+			runner.Controlled(w, k, k, sc, locality, seed), sc.Cycles)
+		plan.Add(fmt.Sprintf("scaling/%d/buffered", nodes),
+			runner.Baseline(w, k, k, sc, locality, seed, runner.WithRouter(sim.Buffered)), sc.Cycles)
+	}
+	ms := plan.Execute()
 
-		blessCfg := base
-		s := sim.New(blessCfg)
-		s.Run(sc.Cycles)
-		m := s.Metrics()
-		d.bless = append(d.bless, archRun{nodes, m, model.Compute(m.Net, nodes, false)})
-
-		thrCfg := base
-		thrCfg.Controller = sim.Central
-		s = sim.New(thrCfg)
-		s.Run(sc.Cycles)
-		m = s.Metrics()
-		d.throttled = append(d.throttled, archRun{nodes, m, model.Compute(m.Net, nodes, false)})
-
-		bufCfg := base
-		bufCfg.Router = sim.Buffered
-		s = sim.New(bufCfg)
-		s.Run(sc.Cycles)
-		m = s.Metrics()
-		d.buffered = append(d.buffered, archRun{nodes, m, model.Compute(m.Net, nodes, true)})
+	d := &scalingData{stats: plan.Stats()}
+	model := power.Default()
+	for i, k := range sizes {
+		nodes := k * k
+		base, thr, buf := ms[3*i], ms[3*i+1], ms[3*i+2]
+		d.bless = append(d.bless, archRun{nodes, base, model.Compute(base.Net, nodes, false)})
+		d.throttled = append(d.throttled, archRun{nodes, thr, model.Compute(thr.Net, nodes, false)})
+		d.buffered = append(d.buffered, archRun{nodes, buf, model.Compute(buf.Net, nodes, true)})
 	}
 
 	scalingMu.Lock()
@@ -119,30 +114,35 @@ func fig3(sc Scale) *Result {
 		XLabel: "number of cores",
 		YLabel: "latency (cycles) / starvation rate / IPC per node",
 	}
-	for _, intensity := range []string{"H", "L"} {
+	sizes := meshSizes(sc)
+	intensities := []string{"H", "L"}
+	plan := runner.NewPlan(sc)
+	for _, intensity := range intensities {
 		cat, _ := workload.CategoryByName(intensity)
+		for _, k := range sizes {
+			nodes := k * k
+			w := workload.Generate(cat, nodes, sc.Seed+uint64(nodes)*3)
+			plan.Add(fmt.Sprintf("fig3/%s/%d", intensity, nodes),
+				runner.Baseline(w, k, k, sc,
+					runner.WithMapping(sim.ExpMap, 1),
+					runner.WithSeed(sc.Seed+uint64(nodes)*3)), sc.Cycles)
+		}
+	}
+	ms := plan.Execute()
+	for ii, intensity := range intensities {
 		lat := Series{Name: "net-latency/" + intensity}
 		sta := Series{Name: "starvation/" + intensity}
 		thr := Series{Name: "ipc-per-node/" + intensity}
-		for _, k := range meshSizes(sc) {
+		for ki, k := range sizes {
 			nodes := k * k
-			w := workload.Generate(cat, nodes, sc.Seed+uint64(nodes)*3)
-			s := sim.New(sim.Config{
-				Width: k, Height: k,
-				Apps:    w.Apps,
-				Mapping: sim.ExpMap, MeanHops: 1,
-				Params:  sc.params(),
-				Workers: workersFor(nodes, sc),
-				Seed:    sc.Seed + uint64(nodes)*3,
-			})
-			s.Run(sc.Cycles)
-			m := s.Metrics()
+			m := ms[ii*len(sizes)+ki]
 			lat.Points = append(lat.Points, Point{X: float64(nodes), Y: m.AvgNetLatency})
 			sta.Points = append(sta.Points, Point{X: float64(nodes), Y: m.StarvationRate})
 			thr.Points = append(thr.Points, Point{X: float64(nodes), Y: m.ThroughputPerNode})
 		}
 		r.Series = append(r.Series, lat, sta, thr)
 	}
+	r.Runs = plan.Stats()
 	r.Notes = append(r.Notes,
 		"paper Fig.3: latency and starvation grow with size under high intensity despite fixed locality; per-node IPC drops")
 	return r
@@ -158,18 +158,18 @@ func fig4(sc Scale) *Result {
 	nodes := k * k
 	cat, _ := workload.CategoryByName("H")
 	w := workload.Generate(cat, nodes, sc.Seed+404)
+	hopGrid := []float64{1, 2, 4, 8, 16}
+	plan := runner.NewPlan(sc)
+	for _, hops := range hopGrid {
+		plan.Add(fmt.Sprintf("fig4/hops=%g", hops),
+			runner.Baseline(w, k, k, sc,
+				runner.WithMapping(sim.ExpMap, hops),
+				runner.WithSeed(sc.Seed+404)), sc.Cycles)
+	}
+	ms := plan.Execute()
 	s := Series{Name: fmt.Sprintf("%dx%d BLESS", k, k)}
-	for _, hops := range []float64{1, 2, 4, 8, 16} {
-		sm := sim.New(sim.Config{
-			Width: k, Height: k,
-			Apps:    w.Apps,
-			Mapping: sim.ExpMap, MeanHops: hops,
-			Params:  sc.params(),
-			Workers: workersFor(nodes, sc),
-			Seed:    sc.Seed + 404,
-		})
-		sm.Run(sc.Cycles)
-		s.Points = append(s.Points, Point{X: hops, Y: sm.Metrics().ThroughputPerNode})
+	for i, hops := range hopGrid {
+		s.Points = append(s.Points, Point{X: hops, Y: ms[i].ThroughputPerNode})
 	}
 	return &Result{
 		ID:     "fig4",
@@ -178,6 +178,7 @@ func fig4(sc Scale) *Result {
 		YLabel: "throughput (IPC/node)",
 		Series: []Series{s},
 		Notes:  []string{"paper Fig.4: performance is highly sensitive to locality"},
+		Runs:   plan.Stats(),
 	}
 }
 
@@ -197,6 +198,7 @@ func fig13(sc Scale) *Result {
 			seriesOf("BLESS", d.bless, func(r archRun) float64 { return r.m.ThroughputPerNode }),
 		},
 		Notes: []string{"paper Fig.13: throttling restores essentially flat per-node throughput"},
+		Runs:  d.stats,
 	}
 }
 
@@ -214,6 +216,7 @@ func fig14(sc Scale) *Result {
 			seriesOf("Buffered", d.buffered, func(r archRun) float64 { return r.m.AvgNetLatency }),
 		},
 		Notes: []string{"paper Fig.14: congestion control flattens the latency growth"},
+		Runs:  d.stats,
 	}
 }
 
@@ -231,6 +234,7 @@ func fig15(sc Scale) *Result {
 			seriesOf("Buffered", d.buffered, func(r archRun) float64 { return r.m.NetUtilization }),
 		},
 		Notes: []string{"paper Fig.15: throttling holds the network at an efficient operating point"},
+		Runs:  d.stats,
 	}
 }
 
@@ -255,5 +259,6 @@ func fig16(sc Scale) *Result {
 		Notes: []string{
 			"paper Fig.16: up to ~19% vs buffered and ~15% vs baseline BLESS at large sizes",
 		},
+		Runs: d.stats,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/core"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/stats"
 	"nocsim/internal/topology"
@@ -22,17 +23,6 @@ func init() {
 func sensWorkload(sc Scale) workload.Workload {
 	cat, _ := workload.CategoryByName("HM")
 	return workload.Generate(cat, 16, sc.Seed+640)
-}
-
-func runWithParams(w workload.Workload, sc Scale, p core.Params) float64 {
-	s := sim.New(sim.Config{
-		Apps:       w.Apps,
-		Controller: sim.Central,
-		Params:     p,
-		Seed:       sc.Seed ^ w.Seed,
-	})
-	s.Run(sc.Cycles)
-	return s.Metrics().SystemThroughput
 }
 
 // sweepSpec names one §6.4 parameter sweep.
@@ -57,28 +47,41 @@ var sweepSpecs = []sweepSpec{
 		func(p *core.Params, v float64) { p.GammaThrot = v }},
 }
 
-func runSweep(sc Scale, spec sweepSpec) Series {
+// addSweep declares one parameter sweep's runs on the plan and returns
+// a closure that assembles the Series once the plan has executed.
+func addSweep(plan *runner.Plan, sc Scale, spec sweepSpec) func([]sim.Metrics) Series {
 	w := sensWorkload(sc)
-	base := sc.params()
-	s := Series{Name: spec.name}
+	base := sc.Params()
+	first := plan.Len()
 	for _, v := range spec.values {
 		p := base
 		spec.apply(&p, v)
-		s.Points = append(s.Points, Point{X: v, Y: runWithParams(w, sc, p)})
+		plan.Add(fmt.Sprintf("sens/%s=%g", spec.name, v),
+			runner.Controlled(w, 4, 4, sc, runner.WithParams(p)), sc.Cycles)
 	}
-	return s
+	return func(ms []sim.Metrics) Series {
+		s := Series{Name: spec.name}
+		for i, v := range spec.values {
+			s.Points = append(s.Points, Point{X: v, Y: ms[first+i].SystemThroughput})
+		}
+		return s
+	}
 }
 
 // SweepParam runs the §6.4 sweep for one named controller parameter.
 func SweepParam(name string, sc Scale) (*Result, bool) {
 	for _, spec := range sweepSpecs {
 		if spec.name == name {
+			plan := runner.NewPlan(sc)
+			mk := addSweep(plan, sc, spec)
+			ms := plan.Execute()
 			return &Result{
 				ID:     "sens:" + name,
 				Title:  fmt.Sprintf("Sensitivity to %s (§6.4, congested HM workload, 4x4)", name),
 				XLabel: name,
 				YLabel: "system throughput (sum IPC)",
-				Series: []Series{runSweep(sc, spec)},
+				Series: []Series{mk(ms)},
+				Runs:   plan.Stats(),
 			}, true
 		}
 	}
@@ -87,7 +90,7 @@ func SweepParam(name string, sc Scale) (*Result, bool) {
 
 // sensitivity reproduces §6.4: system throughput of a congested
 // workload as each of the six controller parameters is swept around the
-// paper's chosen value.
+// paper's chosen value. All six sweeps execute as one plan.
 func sensitivity(sc Scale) *Result {
 	r := &Result{
 		ID:     "sens",
@@ -95,9 +98,16 @@ func sensitivity(sc Scale) *Result {
 		XLabel: "parameter value",
 		YLabel: "system throughput (sum IPC)",
 	}
+	plan := runner.NewPlan(sc)
+	var mks []func([]sim.Metrics) Series
 	for _, spec := range sweepSpecs {
-		r.Series = append(r.Series, runSweep(sc, spec))
+		mks = append(mks, addSweep(plan, sc, spec))
 	}
+	ms := plan.Execute()
+	for _, mk := range mks {
+		r.Series = append(r.Series, mk(ms))
+	}
+	r.Runs = plan.Stats()
 	r.Notes = append(r.Notes,
 		"paper §6.4: optimum near alpha_starve=0.4, beta_starve=0.0, gamma_starve=0.7, alpha_throt=0.9, beta_throt=0.20, gamma_throt=0.75")
 	return r
@@ -108,14 +118,25 @@ func sensitivity(sc Scale) *Result {
 // stop tracking application phases and lose performance.
 func epochSweep(sc Scale) *Result {
 	w := sensWorkload(sc)
-	s := Series{Name: "epoch length"}
+	var epochs []int64
 	for _, frac := range []int64{100, 30, 10, 3, 1} {
-		p := sc.params()
-		p.Epoch = sc.Cycles / frac
-		if p.Epoch < 1000 {
-			p.Epoch = 1000
+		e := sc.Cycles / frac
+		if e < 1000 {
+			e = 1000
 		}
-		s.Points = append(s.Points, Point{X: float64(p.Epoch), Y: runWithParams(w, sc, p)})
+		epochs = append(epochs, e)
+	}
+	plan := runner.NewPlan(sc)
+	for _, e := range epochs {
+		p := sc.Params()
+		p.Epoch = e
+		plan.Add(fmt.Sprintf("epoch/%d", e),
+			runner.Controlled(w, 4, 4, sc, runner.WithParams(p)), sc.Cycles)
+	}
+	ms := plan.Execute()
+	s := Series{Name: "epoch length"}
+	for i, e := range epochs {
+		s.Points = append(s.Points, Point{X: float64(e), Y: ms[i].SystemThroughput})
 	}
 	return &Result{
 		ID:     "epoch",
@@ -124,6 +145,7 @@ func epochSweep(sc Scale) *Result {
 		YLabel: "system throughput (sum IPC)",
 		Series: []Series{s},
 		Notes:  []string{"paper: 1k-cycle epochs gain 3-5% over 100k; 1M-cycle epochs lose responsiveness"},
+		Runs:   plan.Stats(),
 	}
 }
 
@@ -132,20 +154,23 @@ func epochSweep(sc Scale) *Result {
 // congested workloads.
 func distributedVsCentral(sc Scale) *Result {
 	t := &Table{Header: []string{"workload", "baseline", "distributed", "central", "dist gain %", "central gain %"}}
-	var distGains, centGains []float64
+	var ws []workload.Workload
+	plan := runner.NewPlan(sc)
 	for i := 0; i < 5; i++ {
 		cat := workload.Categories[i%2] // H and M: congested mixes
 		w := workload.Generate(cat, 16, sc.Seed+uint64(660+i))
-		base := runBaseline(w, 4, 4, sc).SystemThroughput
-		cent := runControlled(w, 4, 4, sc).SystemThroughput
-		s := sim.New(sim.Config{
-			Apps:       w.Apps,
-			Controller: sim.Distributed,
-			Params:     sc.params(),
-			Seed:       sc.Seed ^ w.Seed,
-		})
-		s.Run(sc.Cycles)
-		dist := s.Metrics().SystemThroughput
+		ws = append(ws, w)
+		plan.Add(fmt.Sprintf("dist/w%d/base", i), runner.Baseline(w, 4, 4, sc), sc.Cycles)
+		plan.Add(fmt.Sprintf("dist/w%d/distributed", i),
+			runner.Baseline(w, 4, 4, sc, runner.WithController(sim.Distributed)), sc.Cycles)
+		plan.Add(fmt.Sprintf("dist/w%d/central", i), runner.Controlled(w, 4, 4, sc), sc.Cycles)
+	}
+	ms := plan.Execute()
+	var distGains, centGains []float64
+	for i, w := range ws {
+		base := ms[3*i].SystemThroughput
+		dist := ms[3*i+1].SystemThroughput
+		cent := ms[3*i+2].SystemThroughput
 		dg := stats.PercentGain(base, dist)
 		cg := stats.PercentGain(base, cent)
 		distGains = append(distGains, dg)
@@ -162,6 +187,7 @@ func distributedVsCentral(sc Scale) *Result {
 			fmt.Sprintf("avg gain: distributed %.1f%%, central %.1f%%", stats.Mean(distGains), stats.Mean(centGains)),
 			"paper: the TCP-like distributed mechanism is far less effective because it is not selective",
 		},
+		Runs: plan.Stats(),
 	}
 }
 
@@ -169,24 +195,25 @@ func distributedVsCentral(sc Scale) *Result {
 // scaling trends with roughly 10% higher throughput than the mesh.
 func torusComparison(sc Scale) *Result {
 	cat, _ := workload.CategoryByName("H")
-	t := &Table{Header: []string{"nodes", "mesh IPC/node", "torus IPC/node", "torus gain %"}}
-	for _, k := range []int{4, 8} {
+	sizes := []int{4, 8}
+	plan := runner.NewPlan(sc)
+	for _, k := range sizes {
 		nodes := k * k
 		w := workload.Generate(cat, nodes, sc.Seed+uint64(nodes)*5)
-		run := func(topo topology.Kind) float64 {
-			s := sim.New(sim.Config{
-				Width: k, Height: k,
-				Topo:    topo,
-				Apps:    w.Apps,
-				Mapping: sim.ExpMap, MeanHops: 1,
-				Params: sc.params(),
-				Seed:   sc.Seed + uint64(nodes)*5,
-			})
-			s.Run(sc.Cycles)
-			return s.Metrics().ThroughputPerNode
+		for _, topo := range []topology.Kind{topology.Mesh, topology.Torus} {
+			plan.Add(fmt.Sprintf("torus/%d/%v", nodes, topo),
+				runner.Baseline(w, k, k, sc,
+					runner.WithTopo(topo),
+					runner.WithMapping(sim.ExpMap, 1),
+					runner.WithSeed(sc.Seed+uint64(nodes)*5)), sc.Cycles)
 		}
-		mesh := run(topology.Mesh)
-		torus := run(topology.Torus)
+	}
+	ms := plan.Execute()
+	t := &Table{Header: []string{"nodes", "mesh IPC/node", "torus IPC/node", "torus gain %"}}
+	for i, k := range sizes {
+		nodes := k * k
+		mesh := ms[2*i].ThroughputPerNode
+		torus := ms[2*i+1].ThroughputPerNode
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(nodes), f2(mesh), f2(torus), f1(stats.PercentGain(mesh, torus)),
 		})
@@ -196,6 +223,7 @@ func torusComparison(sc Scale) *Result {
 		Title: "Mesh vs torus (§6.3 note)",
 		Table: t,
 		Notes: []string{"paper: torus yields ~10% throughput improvement, same trends"},
+		Runs:  plan.Stats(),
 	}
 }
 
@@ -204,41 +232,30 @@ func torusComparison(sc Scale) *Result {
 // and application-aware (vs homogeneous) throttling.
 func ablations(sc Scale) *Result {
 	w := sensWorkload(sc)
-	t := &Table{Header: []string{"variant", "system throughput", "vs full mechanism %"}}
-
-	full := runWithParams(w, sc, sc.params())
-	add := func(name string, v float64) {
-		t.Rows = append(t.Rows, []string{name, f2(v), f1(stats.PercentGain(full, v))})
+	variants := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"full mechanism (oldest-first + starvation + IPF-aware)", runner.Controlled(w, 4, 4, sc)},
+		{"no congestion control", runner.Baseline(w, 4, 4, sc)},
+		{"application-unaware (homogeneous rate)",
+			runner.Baseline(w, 4, 4, sc, runner.WithController(sim.UnawareControl))},
+		{"latency-triggered detection",
+			runner.Baseline(w, 4, 4, sc, runner.WithController(sim.LatencyControl))},
+		{"random deflection arbitration", runner.Controlled(w, 4, 4, sc, runner.WithRandomArb())},
 	}
-	add("full mechanism (oldest-first + starvation + IPF-aware)", full)
+	plan := runner.NewPlan(sc)
+	for i, v := range variants {
+		plan.Add(fmt.Sprintf("ablate/%d", i), v.cfg, sc.Cycles)
+	}
+	ms := plan.Execute()
 
-	// No control at all.
-	add("no congestion control", runBaseline(w, 4, 4, sc).SystemThroughput)
-
-	// Application-unaware homogeneous dynamic throttling.
-	s := sim.New(sim.Config{
-		Apps: w.Apps, Controller: sim.UnawareControl,
-		Params: sc.params(), Seed: sc.Seed ^ w.Seed,
-	})
-	s.Run(sc.Cycles)
-	add("application-unaware (homogeneous rate)", s.Metrics().SystemThroughput)
-
-	// Latency-triggered detection.
-	s = sim.New(sim.Config{
-		Apps: w.Apps, Controller: sim.LatencyControl,
-		Params: sc.params(), Seed: sc.Seed ^ w.Seed,
-	})
-	s.Run(sc.Cycles)
-	add("latency-triggered detection", s.Metrics().SystemThroughput)
-
-	// Random deflection arbitration instead of Oldest-First.
-	s = sim.New(sim.Config{
-		Apps: w.Apps, Controller: sim.Central, RandomArb: true,
-		Params: sc.params(), Seed: sc.Seed ^ w.Seed,
-	})
-	s.Run(sc.Cycles)
-	add("random deflection arbitration", s.Metrics().SystemThroughput)
-
+	t := &Table{Header: []string{"variant", "system throughput", "vs full mechanism %"}}
+	full := ms[0].SystemThroughput
+	for i, v := range variants {
+		st := ms[i].SystemThroughput
+		t.Rows = append(t.Rows, []string{v.name, f2(st), f1(stats.PercentGain(full, st))})
+	}
 	return &Result{
 		ID:    "ablate",
 		Title: "Ablations of the mechanism's design choices",
@@ -246,5 +263,6 @@ func ablations(sc Scale) *Result {
 		Notes: []string{
 			"each row removes one design decision; the full mechanism should dominate",
 		},
+		Runs: plan.Stats(),
 	}
 }

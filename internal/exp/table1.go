@@ -2,6 +2,7 @@ package exp
 
 import (
 	"nocsim/internal/app"
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/stats"
 	"nocsim/internal/workload"
@@ -15,33 +16,47 @@ func init() {
 // table1 re-measures Table 1: each application runs alone on a 4x4
 // mesh; the measured per-epoch IPF samples give its mean and variance,
 // to compare against the calibration targets (the paper's trace
-// measurements).
+// measurements). Each application is one run of a shared plan; the
+// Observe hook harvests the epoch samples before the simulator is
+// discarded.
 func table1(sc Scale) *Result {
-	t := &Table{Header: []string{"application", "class", "IPF mean (paper)", "IPF mean (measured)", "IPF var (paper)", "IPF var (measured)"}}
-	for _, p := range app.Table1 {
+	type measure struct {
+		sum    stats.Summary
+		cumIPF float64
+	}
+	out := make([]measure, len(app.Table1))
+	plan := runner.NewPlan(sc)
+	for i, p := range app.Table1 {
+		i := i
 		w := workload.Single(p, 16, 5)
-		s := sim.New(sim.Config{
-			Apps:         w.Apps,
-			Params:       sc.params(),
-			RecordEpochs: true,
-			Seed:         sc.Seed + 1000,
+		plan.AddRun(runner.Run{
+			Label: "table1/" + p.Name,
+			Config: runner.Baseline(w, 4, 4, sc,
+				runner.WithRecordEpochs(), runner.WithSeed(sc.Seed+1000)),
+			Cycles: sc.Cycles,
+			Observe: func(s *sim.Sim) {
+				for _, smp := range s.Samples() {
+					if smp.Node == 5 && smp.IPF > 0 {
+						out[i].sum.Add(smp.IPF)
+					}
+				}
+				out[i].cumIPF = s.Metrics().IPF[5]
+			},
 		})
-		s.Run(sc.Cycles)
-		var sum stats.Summary
-		for _, smp := range s.Samples() {
-			if smp.Node == 5 && smp.IPF > 0 {
-				sum.Add(smp.IPF)
-			}
-		}
-		measured := sum.Mean()
-		if sum.N() == 0 {
+	}
+	plan.Execute()
+
+	t := &Table{Header: []string{"application", "class", "IPF mean (paper)", "IPF mean (measured)", "IPF var (paper)", "IPF var (measured)"}}
+	for i, p := range app.Table1 {
+		measured := out[i].sum.Mean()
+		if out[i].sum.N() == 0 {
 			// Too few misses per epoch to sample: use the cumulative IPF.
-			measured = s.Metrics().IPF[5]
+			measured = out[i].cumIPF
 		}
 		t.Rows = append(t.Rows, []string{
 			p.Name, p.Class().String(),
 			f2(p.IPFMean), f2(measured),
-			f1(p.IPFVar), f1(sum.Var()),
+			f1(p.IPFVar), f1(out[i].sum.Var()),
 		})
 	}
 	return &Result{
@@ -52,6 +67,7 @@ func table1(sc Scale) *Result {
 			"measured = per-epoch IPF samples of the app alone on a 4x4 mesh",
 			"variance is reproduced where the two-phase model can reach it; see DESIGN.md",
 		},
+		Runs: plan.Stats(),
 	}
 }
 

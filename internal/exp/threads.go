@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/stats"
 	"nocsim/internal/workload"
@@ -23,36 +24,34 @@ func threadedWorkloads(sc Scale) *Result {
 	cat, _ := workload.CategoryByName("H")
 	w := workload.Generate(cat, k*k, sc.Seed+900)
 
-	run := func(ctl sim.ControllerKind, adaptive bool) sim.Metrics {
-		s := sim.New(sim.Config{
-			Width: k, Height: k,
-			Apps:       w.Apps,
-			Mapping:    sim.GroupMap,
-			Groups:     groups,
-			Controller: ctl,
-			Adaptive:   adaptive,
-			Params:     sc.params(),
-			Seed:       sc.Seed + 900,
-		})
-		s.Run(sc.Cycles)
-		return s.Metrics()
+	regional := []runner.Option{
+		runner.WithGroups(groups),
+		runner.WithSeed(sc.Seed + 900),
 	}
+	variants := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"baseline BLESS", runner.Baseline(w, k, k, sc, regional...)},
+		{"+ throttling", runner.Controlled(w, k, k, sc, regional...)},
+		{"+ adaptive routing", runner.Baseline(w, k, k, sc, append(regional[:2:2], runner.WithAdaptive())...)},
+		{"+ both", runner.Controlled(w, k, k, sc, append(regional[:2:2], runner.WithAdaptive())...)},
+	}
+	plan := runner.NewPlan(sc)
+	for i, v := range variants {
+		plan.Add(fmt.Sprintf("threads/%d", i), v.cfg, sc.Cycles)
+	}
+	ms := plan.Execute()
 
 	t := &Table{Header: []string{"config", "IPC/node", "utilization", "starvation", "latency"}}
-	add := func(name string, m sim.Metrics) {
+	for i, v := range variants {
+		m := ms[i]
 		t.Rows = append(t.Rows, []string{
-			name, f2(m.ThroughputPerNode), f2(m.NetUtilization),
+			v.name, f2(m.ThroughputPerNode), f2(m.NetUtilization),
 			f2(m.StarvationRate), f1(m.AvgNetLatency),
 		})
 	}
-	base := run(sim.NoControl, false)
-	add("baseline BLESS", base)
-	thr := run(sim.Central, false)
-	add("+ throttling", thr)
-	ad := run(sim.NoControl, true)
-	add("+ adaptive routing", ad)
-	both := run(sim.Central, true)
-	add("+ both", both)
+	base, thr, ad, both := ms[0], ms[1], ms[2], ms[3]
 
 	return &Result{
 		ID:    "threads",
@@ -65,5 +64,6 @@ func threadedWorkloads(sc Scale) *Result {
 				stats.PercentGain(base.SystemThroughput, both.SystemThroughput)),
 			"§7: regional hot-spots motivate traffic engineering on top of throttling",
 		},
+		Runs: plan.Stats(),
 	}
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/stats"
 	"nocsim/internal/workload"
@@ -19,31 +20,35 @@ func init() {
 // it? (The paper's traffic model is request/reply only; this realises
 // the cache-coherence-protocol traffic its §2.1 alludes to.)
 func writebackStudy(sc Scale) *Result {
+	cat, _ := workload.CategoryByName("H")
+	w := workload.Generate(cat, 16, sc.Seed+800)
+	variants := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"request/reply only", runner.Baseline(w, 4, 4, sc)},
+		{"with writebacks", runner.Baseline(w, 4, 4, sc, runner.WithWritebacks())},
+		{"writebacks + BLESS-Throttling", runner.Controlled(w, 4, 4, sc, runner.WithWritebacks())},
+	}
+	plan := runner.NewPlan(sc)
+	for i, v := range variants {
+		plan.Add(fmt.Sprintf("wb/%d", i), v.cfg, sc.Cycles)
+	}
+	ms := plan.Execute()
+
 	t := &Table{Header: []string{
 		"config", "IPC sum", "utilization", "writebacks", "flits injected",
 	}}
-	cat, _ := workload.CategoryByName("H")
-	w := workload.Generate(cat, 16, sc.Seed+800)
-	var baseOff, baseOn, ctlOn float64
-	run := func(name string, wb bool, ctl sim.ControllerKind) sim.Metrics {
-		s := sim.New(sim.Config{
-			Apps:       w.Apps,
-			Writebacks: wb,
-			Controller: ctl,
-			Params:     sc.params(),
-			Seed:       sc.Seed ^ w.Seed,
-		})
-		s.Run(sc.Cycles)
-		m := s.Metrics()
+	for i, v := range variants {
+		m := ms[i]
 		t.Rows = append(t.Rows, []string{
-			name, f2(m.SystemThroughput), f2(m.NetUtilization),
+			v.name, f2(m.SystemThroughput), f2(m.NetUtilization),
 			fmt.Sprint(m.Writebacks), fmt.Sprint(m.Net.FlitsInjected),
 		})
-		return m
 	}
-	baseOff = run("request/reply only", false, sim.NoControl).SystemThroughput
-	baseOn = run("with writebacks", true, sim.NoControl).SystemThroughput
-	ctlOn = run("writebacks + BLESS-Throttling", true, sim.Central).SystemThroughput
+	baseOff := ms[0].SystemThroughput
+	baseOn := ms[1].SystemThroughput
+	ctlOn := ms[2].SystemThroughput
 	return &Result{
 		ID:    "wb",
 		Title: "Write-back traffic extension (H workload, 4x4)",
@@ -53,5 +58,6 @@ func writebackStudy(sc Scale) *Result {
 				-stats.PercentGain(baseOff, baseOn), stats.PercentGain(baseOn, ctlOn)),
 			"writebacks are throttled like requests (application-generated traffic); replies still bypass",
 		},
+		Runs: plan.Stats(),
 	}
 }

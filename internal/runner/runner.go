@@ -1,0 +1,194 @@
+// Package runner is the experiment harness's execution layer. A driver
+// *declares* the simulations it needs as a Plan of Runs — label, an
+// assembled sim.Config, a cycle budget — and Execute runs them across a
+// bounded worker pool, handing the metrics back in declaration order.
+//
+// The contract is determinism: every simulation is independent and
+// seeded, so the pool size changes only wall-clock time, never results.
+// A Plan executed at Parallel=1 and Parallel=N produces identical
+// metrics in identical order; full-evaluation regeneration costs
+// max-of-runs instead of sum-of-runs.
+//
+// The two parallelism layers compose without oversubscription: the pool
+// runs up to Scale.Parallel simulations at once (inter-sim), and each
+// large simulation may shard its per-cycle loops over Scale.Workers
+// goroutines (intra-sim), clamped so that pool x shards <= GOMAXPROCS.
+package runner
+
+import (
+	"sync"
+	"time"
+
+	"nocsim/internal/sim"
+)
+
+// Run declares one simulation.
+type Run struct {
+	// Label names the run in reports ("fig2c/rate=0.3").
+	Label string
+	// Config is the assembled system; leave Config.Workers zero to let
+	// the executor pick the intra-sim shard count.
+	Config sim.Config
+	// Cycles is the simulated length.
+	Cycles int64
+	// Stride, when positive, splits the run into Stride-cycle windows
+	// and invokes Observe after every window instead of once at the
+	// end; time-series drivers sample the live simulation in between.
+	// The run still covers at least Cycles cycles (rounded up to whole
+	// windows, matching a manual Run-in-a-loop).
+	Stride int64
+	// Observe, when non-nil, is called with the live simulation — after
+	// the full run, or after each Stride window. It executes on the
+	// worker goroutine, so it must touch only state owned by this Run
+	// (e.g. a slot of a per-run slice).
+	Observe func(*sim.Sim)
+}
+
+// Stat reports one executed run. Elapsed is wall clock and therefore
+// nondeterministic; it is excluded from JSON so that a rendered Result
+// is byte-identical across pool sizes (callers that want timings, like
+// cmd/experiments -json, read the field directly).
+type Stat struct {
+	Label   string        `json:"label"`
+	Nodes   int           `json:"nodes"`
+	Cycles  int64         `json:"cycles"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// Plan is an ordered collection of declared runs.
+type Plan struct {
+	sc    Scale
+	runs  []Run
+	stats []Stat
+}
+
+// NewPlan starts an empty plan at the given scale.
+func NewPlan(sc Scale) *Plan { return &Plan{sc: sc} }
+
+// Add declares a run and returns its index, which is also the index of
+// its metrics in Execute's result.
+func (p *Plan) Add(label string, cfg sim.Config, cycles int64) int {
+	return p.AddRun(Run{Label: label, Config: cfg, Cycles: cycles})
+}
+
+// AddRun declares a fully-specified run and returns its index.
+func (p *Plan) AddRun(r Run) int {
+	p.runs = append(p.runs, r)
+	return len(p.runs) - 1
+}
+
+// Len returns the number of declared runs.
+func (p *Plan) Len() int { return len(p.runs) }
+
+// Execute runs every declared simulation across the plan's worker pool
+// and returns their metrics in declaration order. Per-run reports are
+// available from Stats afterwards.
+func (p *Plan) Execute() []sim.Metrics {
+	n := len(p.runs)
+	out := make([]sim.Metrics, n)
+	p.stats = make([]Stat, n)
+	if n == 0 {
+		return out
+	}
+	pool := p.sc.pool(n)
+	intra := intraWorkers(p.sc, pool)
+	if pool == 1 {
+		for i := range p.runs {
+			out[i] = p.execOne(i, intra)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = p.execOne(i, intra)
+			}
+		}()
+	}
+	for i := range p.runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// execOne assembles and runs one declared simulation.
+func (p *Plan) execOne(i, intra int) sim.Metrics {
+	r := p.runs[i]
+	cfg := r.Config
+	nodes := nodesOf(cfg)
+	if cfg.Workers == 0 {
+		cfg.Workers = WorkersFor(nodes, intra)
+	}
+	start := time.Now()
+	s := sim.New(cfg)
+	if r.Stride > 0 {
+		for done := int64(0); done < r.Cycles; done += r.Stride {
+			s.Run(r.Stride)
+			if r.Observe != nil {
+				r.Observe(s)
+			}
+		}
+	} else {
+		s.Run(r.Cycles)
+		if r.Observe != nil {
+			r.Observe(s)
+		}
+	}
+	m := s.Metrics()
+	p.stats[i] = Stat{Label: r.Label, Nodes: nodes, Cycles: m.Cycles, Elapsed: time.Since(start)}
+	return m
+}
+
+// Stats returns the per-run reports of the last Execute, in declaration
+// order. Nil before Execute.
+func (p *Plan) Stats() []Stat { return p.stats }
+
+// nodesOf mirrors sim.Config's default mesh dimensions.
+func nodesOf(cfg sim.Config) int {
+	w, h := cfg.Width, cfg.Height
+	if w == 0 {
+		w = 4
+	}
+	if h == 0 {
+		h = 4
+	}
+	return w * h
+}
+
+// Map runs fn(0..n-1) across the scale's worker pool and returns the
+// results in index order. It parallelises experiment stages that are
+// not sim.Config-shaped — open-loop traffic sweeps, trace analyses —
+// under the same bounded pool as Execute.
+func Map[T any](sc Scale, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	pool := sc.pool(n)
+	if pool <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"runtime"
+
+	"nocsim/internal/core"
+)
+
+// Scale sets the cost/fidelity trade-off of every experiment.
+type Scale struct {
+	// Cycles is the simulated length of each run.
+	Cycles int64
+	// Epoch is the controller period (the paper uses Cycles/100).
+	Epoch int64
+	// Workloads is the batch size for the scatter/category figures
+	// (the paper uses 700 16-core + 175 64-core workloads).
+	Workloads int
+	// MaxNodes caps the scaling experiments (the paper goes to 4096).
+	MaxNodes int
+	// Workers shards the per-cycle loops of one large fabric
+	// (intra-sim parallelism). The executor clamps it so that
+	// Workers x Parallel never exceeds GOMAXPROCS.
+	Workers int
+	// Parallel bounds how many independent simulations a Plan runs at
+	// once (inter-sim parallelism); 0 means GOMAXPROCS.
+	Parallel int
+	// Seed roots all randomness.
+	Seed uint64
+}
+
+// DefaultScale finishes the full suite in minutes on a laptop while
+// preserving every qualitative result.
+func DefaultScale() Scale {
+	return Scale{
+		Cycles:    150_000,
+		Epoch:     15_000,
+		Workloads: 21, // 3 per category
+		MaxNodes:  1024,
+		Workers:   runtime.NumCPU(),
+		Seed:      42,
+	}
+}
+
+// PaperScale is the paper's own configuration (§6.1): 10M cycles, 100
+// controller epochs, 875 workloads, up to 4096 nodes. Budget hours.
+func PaperScale() Scale {
+	return Scale{
+		Cycles:    10_000_000,
+		Epoch:     100_000,
+		Workloads: 875,
+		MaxNodes:  4096,
+		Workers:   runtime.NumCPU(),
+		Seed:      42,
+	}
+}
+
+// Params returns the controller parameters at this scale's epoch.
+func (s Scale) Params() core.Params {
+	p := core.DefaultParams()
+	p.Epoch = s.Epoch
+	return p
+}
+
+// pool resolves the inter-sim pool size for n runs.
+func (s Scale) pool(n int) int {
+	p := s.Parallel
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// intraWorkers composes intra-sim sharding with the pool so the two
+// layers never oversubscribe: each of the pool's concurrent simulations
+// gets at most GOMAXPROCS/pool shard goroutines.
+func intraWorkers(sc Scale, pool int) int {
+	budget := runtime.GOMAXPROCS(0) / pool
+	if budget < 1 {
+		budget = 1
+	}
+	w := sc.Workers
+	if w > budget {
+		w = budget
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// WorkersFor is the intra-sim sharding heuristic, consolidated from the
+// per-driver copies it replaces: goroutine fan-out per cycle only pays
+// off on large fabrics, so small meshes always run single-threaded.
+func WorkersFor(nodes, workers int) int {
+	if nodes < 256 || workers <= 1 {
+		return 1
+	}
+	return workers
+}

@@ -26,22 +26,64 @@ func goldenCases() []golden {
 	p := fastParams()
 	return []golden{
 		{
-			name:   "bless-open-mcf",
-			cfg:    Config{Apps: uniformApps(16, "mcf"), Params: p, Seed: 1234},
-			cycles: 30_000,
+			name:          "bless-open-mcf",
+			cfg:           Config{Apps: uniformApps(16, "mcf"), Params: p, Seed: 1234},
+			cycles:        30_000,
+			flitsInjected: 224_083,
+			retiredTotal:  205_249,
 		},
 		{
 			name: "bless-central-H",
 			cfg: Config{Apps: uniformApps(16, "mcf"), Controller: Central,
 				Params: p, Seed: 1234},
-			cycles: 30_000,
+			cycles:        30_000,
+			flitsInjected: 219_897,
+			retiredTotal:  236_964,
 		},
 		{
 			name: "buffered-mcf",
 			cfg: Config{Apps: uniformApps(16, "mcf"), Router: Buffered,
 				Params: p, Seed: 1234},
-			cycles: 30_000,
+			cycles:        30_000,
+			flitsInjected: 286_081,
+			retiredTotal:  268_320,
 		},
+		{
+			name: "hierring-mcf",
+			cfg: Config{Apps: uniformApps(16, "mcf"), Router: HierRing,
+				Params: p, Seed: 1234},
+			cycles:        30_000,
+			flitsInjected: 61_218,
+			retiredTotal:  55_553,
+		},
+		{
+			name: "buffered-central-mcf",
+			cfg: Config{Apps: uniformApps(16, "mcf"), Router: Buffered,
+				Controller: Central, Params: p, Seed: 1234},
+			cycles:        30_000,
+			flitsInjected: 270_727,
+			retiredTotal:  284_720,
+		},
+	}
+}
+
+func TestGoldenCounters(t *testing.T) {
+	// The exact pinned counters. A legitimate modelling change may move
+	// them: re-baseline in the same commit and explain why.
+	for _, g := range goldenCases() {
+		s := New(g.cfg)
+		s.Run(g.cycles)
+		m := s.Metrics()
+		if m.Net.FlitsInjected != g.flitsInjected {
+			t.Errorf("%s: flitsInjected = %d, golden %d", g.name, m.Net.FlitsInjected, g.flitsInjected)
+		}
+		var retired int64
+		for _, r := range m.Retired {
+			retired += r
+		}
+		if retired != g.retiredTotal {
+			t.Errorf("%s: retiredTotal = %d, golden %d", g.name, retired, g.retiredTotal)
+		}
 	}
 }
 

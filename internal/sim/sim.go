@@ -27,6 +27,7 @@ import (
 	"nocsim/internal/noc"
 	"nocsim/internal/noc/bless"
 	"nocsim/internal/noc/buffered"
+	"nocsim/internal/noc/hierring"
 	"nocsim/internal/topology"
 	"nocsim/internal/trace"
 )
@@ -39,11 +40,17 @@ const (
 	BLESS RouterKind = iota
 	// Buffered is the 4-VC/4-flit virtual-channel fabric (§6.3).
 	Buffered
+	// HierRing is the bufferless hierarchical ring fabric ([21]): local
+	// rings of Config.RingGroup nodes joined by one global ring.
+	HierRing
 )
 
 func (r RouterKind) String() string {
-	if r == Buffered {
+	switch r {
+	case Buffered:
 		return "buffered"
+	case HierRing:
+		return "hierring"
 	}
 	return "bless"
 }
@@ -149,6 +156,9 @@ type Config struct {
 	// VCs and BufDepth configure the buffered fabric; EjectWidth the
 	// bufferless one.
 	VCs, BufDepth, EjectWidth int
+	// RingGroup is the local-ring size for the HierRing fabric; 0 means
+	// 8. Width*Height must be a multiple of it.
+	RingGroup int
 	// RandomArb replaces Oldest-First deflection arbitration with
 	// uniform-random arbitration (ablation; BLESS fabric only).
 	RandomArb bool
@@ -341,6 +351,12 @@ func New(cfg Config) *Sim {
 			EjectWidth: cfg.EjectWidth,
 			Policy:     s.policy,
 			Workers:    cfg.Workers,
+		})
+	case HierRing:
+		s.net = hierring.New(hierring.Config{
+			Nodes:     n,
+			GroupSize: cfg.RingGroup,
+			Policy:    s.policy,
 		})
 	default:
 		arb := bless.OldestFirst
