@@ -16,7 +16,6 @@ import (
 	"sort"
 
 	"nocsim/internal/app"
-	"nocsim/internal/core"
 	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/topology"
@@ -50,8 +49,6 @@ func main() {
 			*epoch = 1000
 		}
 	}
-	params := core.DefaultParams()
-	params.Epoch = *epoch
 
 	n := *size * *size
 	w, err := buildWorkload(*wl, n, *seed)
@@ -60,26 +57,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := sim.Config{
-		Width: *size, Height: *size,
-		Apps:       w.Apps,
-		Params:     params,
-		StaticRate: *staticRate,
-		MeanHops:   *meanHops,
-		Seed:       *seed,
+	// Config assembly flows through the runner presets (nocvet's
+	// rawconfig rule): Baseline supplies the Table 2 defaults, the
+	// flags become With* options.
+	sc := runner.Scale{Cycles: *cycles, Epoch: *epoch, Workers: *workers, Seed: *seed}
+	opts := []runner.Option{
+		runner.WithSeed(*seed),
+		runner.WithWorkers(runner.WorkersFor(n, *workers)),
 	}
 	if *topo == "torus" {
-		cfg.Topo = topology.Torus
+		opts = append(opts, runner.WithTopo(topology.Torus))
 	}
-	cfg.Adaptive = *adaptive
-	cfg.SideBuffer = *sideBuffer
-	cfg.Writebacks = *writebacks
+	if *adaptive {
+		opts = append(opts, runner.WithAdaptive())
+	}
+	if *sideBuffer > 0 {
+		opts = append(opts, runner.WithSideBuffer(*sideBuffer))
+	}
+	if *writebacks {
+		opts = append(opts, runner.WithWritebacks())
+	}
 	switch *router {
 	case "bless":
 	case "buffered":
-		cfg.Router = sim.Buffered
+		opts = append(opts, runner.WithRouter(sim.Buffered))
 	case "hierring":
-		cfg.Router = sim.HierRing
+		opts = append(opts, runner.WithRouter(sim.HierRing))
 	default:
 		fmt.Fprintf(os.Stderr, "nocsim: unknown router %q\n", *router)
 		os.Exit(1)
@@ -87,15 +90,15 @@ func main() {
 	switch *controller {
 	case "none":
 	case "central":
-		cfg.Controller = sim.Central
+		opts = append(opts, runner.WithController(sim.Central))
 	case "static":
-		cfg.Controller = sim.StaticUniform
+		opts = append(opts, runner.WithStaticUniform(*staticRate))
 	case "distributed":
-		cfg.Controller = sim.Distributed
+		opts = append(opts, runner.WithController(sim.Distributed))
 	case "unaware":
-		cfg.Controller = sim.UnawareControl
+		opts = append(opts, runner.WithController(sim.UnawareControl))
 	case "latency":
-		cfg.Controller = sim.LatencyControl
+		opts = append(opts, runner.WithController(sim.LatencyControl))
 	default:
 		fmt.Fprintf(os.Stderr, "nocsim: unknown controller %q\n", *controller)
 		os.Exit(1)
@@ -103,16 +106,15 @@ func main() {
 	switch *mapping {
 	case "xor":
 	case "exp":
-		cfg.Mapping = sim.ExpMap
+		opts = append(opts, runner.WithMapping(sim.ExpMap, *meanHops))
 	case "pow":
-		cfg.Mapping = sim.PowMap
+		opts = append(opts, runner.WithMapping(sim.PowMap, *meanHops))
 	default:
 		fmt.Fprintf(os.Stderr, "nocsim: unknown mapping %q\n", *mapping)
 		os.Exit(1)
 	}
-	cfg.Workers = runner.WorkersFor(n, *workers)
 
-	s := sim.New(cfg)
+	s := sim.New(runner.Baseline(w, *size, *size, sc, opts...))
 	s.Run(*cycles)
 	report(s, w, *verbose)
 }

@@ -1,0 +1,96 @@
+// Command nocvet runs the repository's determinism and
+// simulator-invariant static analysis over package patterns and exits
+// nonzero on findings. It is the compile-time complement to the
+// runtime parallelism-invariance regression test: every property that
+// keeps a run byte-identical at any -parallel level is encoded as a
+// rule in internal/analysis.
+//
+// Usage:
+//
+//	go run ./cmd/nocvet ./...          # whole module, human-readable
+//	go run ./cmd/nocvet -json ./...    # machine-readable findings
+//	go run ./cmd/nocvet -rules         # list the rule set
+//
+// Exit status: 0 clean, 1 findings, 2 tool error (bad pattern,
+// unparseable or untypeable source).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"nocsim/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
+		listRules = flag.Bool("rules", false, "list rules and exit")
+	)
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range analysis.Rules() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, dir := range dirs {
+		pass, typeErrs, err := loader.LoadDir(dir, loader.ImportPath(dir), true)
+		if err != nil {
+			fatal(err)
+		}
+		if len(typeErrs) > 0 {
+			fmt.Fprintf(os.Stderr, "nocvet: type-checking %s failed:\n", loader.ImportPath(dir))
+			for _, e := range typeErrs {
+				fmt.Fprintf(os.Stderr, "\t%v\n", e)
+			}
+			os.Exit(2)
+		}
+		diags = append(diags, analysis.Run(pass, analysis.Rules())...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "nocvet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,23 @@
+package analysis
+
+import "strings"
+
+// GlobalRand forbids importing math/rand (and math/rand/v2) anywhere
+// in the module. The global source is seeded per process and shared
+// across goroutines, so any use breaks run-to-run and parallelism
+// invariance; internal/rng provides seeded, per-component streams.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no math/rand import anywhere; use internal/rng",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, imp := range f.AST.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(f, imp.Pos(),
+						"import of %s; use internal/rng for deterministic seeded streams", path)
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "go/ast"
+
+// Goroutine forbids go statements and sync.WaitGroup outside
+// internal/runner. All cross-simulation parallelism flows through the
+// runner's bounded pool so results stay in declaration order at any
+// -parallel level; the three barrier-synchronized intra-sim shard
+// loops carry explicit //nocvet:allow waivers documenting why their
+// interleaving cannot reach any output.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "no go statements or sync.WaitGroup outside internal/runner",
+	Run: func(pass *Pass) {
+		if pass.Rel() == "internal/runner" {
+			return
+		}
+		for _, f := range pass.Files {
+			syncName, hasSync := importName(f.AST, "sync")
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(f, n.Pos(),
+						"go statement outside internal/runner; route parallelism through the bounded pool")
+				case ast.Expr:
+					if hasSync && isPkgSel(n, syncName, "WaitGroup") {
+						pass.Reportf(f, n.Pos(),
+							"sync.WaitGroup outside internal/runner; route parallelism through the bounded pool")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Loader parses and type-checks packages of one module using only
+// the standard library: module-internal imports are type-checked from
+// source by walking the module tree, everything else falls back to the
+// stdlib source importer.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModDir  string
+
+	std   types.ImporterFrom
+	pkgs  map[string]*types.Package
+	inFly map[string]bool
+}
+
+// NewLoader builds a Loader for the module whose go.mod sits in (or
+// above) dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  root,
+		pkgs:    map[string]*types.Package{},
+		inFly:   map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Expand resolves package patterns relative to the module root:
+// "./..." style recursive patterns and plain directories. testdata,
+// vendor, and hidden or underscore directories are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("analysis: no Go files in %s", pat)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && goFileName(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func goFileName(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// ImportPath maps an absolute package directory to its import path.
+func (l *Loader) ImportPath(dir string) string {
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil || rel == "." {
+		return l.ModPath
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses every Go file in dir into a Pass under the given
+// import path, type-checking the primary (non-test) files when typed
+// is set. Type errors are returned separately so the caller can decide
+// whether partial type information is acceptable.
+func (l *Loader) LoadDir(dir, importPath string, typed bool) (*Pass, []error, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	pass := &Pass{Fset: l.Fset, Path: importPath, Dir: dir}
+	var primary []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !goFileName(e.Name()) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		af, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		f := &File{AST: af, Name: path, Test: strings.HasSuffix(e.Name(), "_test.go")}
+		pass.Files = append(pass.Files, f)
+		if !f.Test {
+			primary = append(primary, af)
+			pass.PkgName = af.Name.Name
+		}
+	}
+	if pass.PkgName == "" && len(pass.Files) > 0 {
+		pass.PkgName = pass.Files[0].AST.Name.Name
+	}
+	var typeErrs []error
+	if typed && len(primary) > 0 {
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		cfg := types.Config{
+			Importer: l,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		// Note: this check is deliberately NOT cached in l.pkgs — the
+		// importer cache must hold exactly one copy of every package
+		// (the one its dependents were checked against), and that copy
+		// is created by ImportFrom on first use.
+		cfg.Check(importPath, l.Fset, primary, info)
+		pass.Info = info
+	}
+	return pass, typeErrs, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal packages
+// are type-checked from source (non-test files only), all others are
+// delegated to the stdlib source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok && pkg != nil && pkg.Complete() {
+		return pkg, nil
+	}
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return l.std.ImportFrom(path, srcDir, 0)
+	}
+	if l.inFly[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.inFly[path] = true
+	defer delete(l.inFly, path)
+
+	dir := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !goFileName(e.Name()) || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files for %s in %s", path, dir)
+	}
+	cfg := types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

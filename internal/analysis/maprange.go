@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapRangePkgs are the module-relative packages whose non-test files
+// feed rendered output (reports, tables, JSON, golden files). A map
+// range there puts Go's randomized iteration order on the output path.
+var mapRangePkgs = []string{
+	"internal/sim",
+	"internal/exp",
+	"internal/stats",
+	"internal/plot",
+	"internal/noc",
+}
+
+// MapRange forbids ranging over a map in the output and aggregation
+// packages. Sort the keys into a slice and range over that, or waive
+// with //nocvet:allow maprange plus a justification when order
+// provably cannot reach any output (pure accumulation, set rebuild).
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "no range over a map in non-test files of sim/exp/stats/plot/noc",
+	Run: func(pass *Pass) {
+		if pass.Info == nil {
+			return
+		}
+		rel := pass.Rel()
+		inScope := false
+		for _, p := range mapRangePkgs {
+			if underSeg(rel, p) {
+				inScope = true
+				break
+			}
+		}
+		if !inScope {
+			return
+		}
+		for _, f := range pass.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(f, rs.Pos(),
+						"range over map %s iterates in randomized order; sort the keys into a slice first", types.TypeString(t, nil))
+				}
+				return true
+			})
+		}
+	},
+}

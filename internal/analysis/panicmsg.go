@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// PanicMsg requires every statically-visible panic message to start
+// with the package's "pkg: " prefix, so a panic surfacing through the
+// runner's pool or a figure driver names its origin without a stack
+// walk. The leading string literal is resolved through string
+// concatenation and through fmt.Sprintf / fmt.Errorf / errors.New
+// wrappers; panics of plain error values are not checkable and skip.
+var PanicMsg = &Analyzer{
+	Name: "panicmsg",
+	Doc:  "every panic string must carry its pkg: prefix",
+	Run: func(pass *Pass) {
+		want := pass.pkgPrefix() + ":"
+		for _, f := range pass.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "panic" || len(call.Args) != 1 {
+					return true
+				}
+				msg, ok := leadingString(call.Args[0])
+				if !ok {
+					return true
+				}
+				if !strings.HasPrefix(msg, want) {
+					pass.Reportf(f, call.Pos(),
+						"panic message %q does not start with %q", msg, want+" ")
+				}
+				return true
+			})
+		}
+	},
+}
+
+// leadingString resolves the leftmost string literal of a panic
+// argument: a plain literal, a + concatenation, or the format/first
+// argument of fmt.Sprintf, fmt.Errorf, or errors.New.
+func leadingString(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.BinaryExpr:
+		return leadingString(e.X)
+	case *ast.ParenExpr:
+		return leadingString(e.X)
+	case *ast.CallExpr:
+		if len(e.Args) == 0 {
+			return "", false
+		}
+		if isPkgSel(e.Fun, "fmt", "Sprintf") || isPkgSel(e.Fun, "fmt", "Errorf") || isPkgSel(e.Fun, "errors", "New") {
+			return leadingString(e.Args[0])
+		}
+	}
+	return "", false
+}

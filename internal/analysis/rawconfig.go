@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// simPkgPath is the import path of the simulator-config package.
+const simPkgPath = modulePath + "/internal/sim"
+
+// RawConfig forbids sim.Config composite literals outside
+// internal/runner (the preset builders) and internal/sim itself. Every
+// driver must assemble configurations through runner.Baseline /
+// runner.Controlled plus With* options, so Table 2 defaults, seeding
+// conventions, and scale parameters stay in exactly one place.
+var RawConfig = &Analyzer{
+	Name: "rawconfig",
+	Doc:  "no sim.Config composite literals outside the internal/runner presets",
+	Run: func(pass *Pass) {
+		rel := pass.Rel()
+		if rel == "internal/runner" || rel == "internal/sim" {
+			return
+		}
+		for _, f := range pass.Files {
+			simName, ok := importName(f.AST, simPkgPath)
+			if !ok {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				cl, ok := n.(*ast.CompositeLit)
+				if !ok {
+					return true
+				}
+				if isPkgSel(cl.Type, simName, "Config") {
+					pass.Reportf(f, cl.Pos(),
+						"raw sim.Config literal; assemble configs with runner.Baseline/Controlled and With* options")
+				}
+				return true
+			})
+		}
+	},
+}

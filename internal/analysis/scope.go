@@ -1,0 +1,39 @@
+package analysis
+
+import "strings"
+
+// modulePath is the import-path root of this repository. Rules scope
+// themselves on module-relative paths ("internal/sim", "cmd/nocsim")
+// so fixtures can impersonate any package by setting Pass.Path.
+const modulePath = "nocsim"
+
+// Rel returns the module-relative package path, or "." for the module
+// root package.
+func (p *Pass) Rel() string {
+	if p.Path == modulePath {
+		return "."
+	}
+	return strings.TrimPrefix(p.Path, modulePath+"/")
+}
+
+// underSeg reports whether rel is dir itself or nested below it.
+func underSeg(rel, dir string) bool {
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}
+
+// pkgPrefix returns the prefix every panic message in the package must
+// carry: the package name, with the _test suffix folded into the
+// package under test, and main packages named after their directory.
+func (p *Pass) pkgPrefix() string {
+	name := strings.TrimSuffix(p.PkgName, "_test")
+	if name == "main" {
+		rel := p.Rel()
+		if i := strings.LastIndex(rel, "/"); i >= 0 {
+			rel = rel[i+1:]
+		}
+		if rel != "." && rel != "" {
+			name = rel
+		}
+	}
+	return name
+}

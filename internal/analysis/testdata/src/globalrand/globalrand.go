@@ -1,0 +1,9 @@
+// Package globalrandfix exercises the globalrand rule: math/rand is
+// banned everywhere in the module.
+package globalrandfix
+
+import (
+	"math/rand" // want "import of math/rand; use internal/rng"
+)
+
+func bad() int { return rand.Intn(4) }

@@ -1,0 +1,10 @@
+// Package grclean is the compliant counterpart of the globalrand
+// fixture: randomness flows through internal/rng's seeded streams.
+package grclean
+
+import "nocsim/internal/rng"
+
+func roll(seed uint64) int {
+	r := rng.New(seed)
+	return r.Intn(6)
+}

@@ -1,0 +1,32 @@
+// Package goroutinefix exercises the goroutine rule: analyzed as
+// nocsim/internal/exp, where all parallelism must flow through the
+// runner's bounded pool.
+package goroutinefix
+
+import "sync"
+
+func bad() {
+	done := make(chan struct{})
+	go func() { close(done) }() // want "go statement outside internal/runner"
+	<-done
+}
+
+func badWaitGroup() {
+	var wg sync.WaitGroup // want "sync.WaitGroup outside internal/runner"
+	wg.Wait()
+}
+
+func goodMutex() {
+	// Other sync primitives are fine; only goroutine fan-out is the
+	// runner's business.
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+func waived() {
+	done := make(chan struct{}, 1)
+	//nocvet:allow goroutine fixture: barrier-joined before return, interleaving unobservable
+	go func() { done <- struct{}{} }()
+	<-done
+}

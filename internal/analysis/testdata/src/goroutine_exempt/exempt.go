@@ -1,0 +1,17 @@
+// Package grexempt spawns goroutines but is analyzed as
+// nocsim/internal/runner, the one package allowed to do so.
+package grexempt
+
+import "sync"
+
+func pool(fns []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,46 @@
+// Package maprangefix exercises the maprange rule: analyzed as
+// nocsim/internal/stats, an output-path package where map iteration
+// order must never be observable.
+package maprangefix
+
+import "sort"
+
+func bad(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `range over map map\[string\]float64`
+		out = append(out, v)
+	}
+	return out
+}
+
+type counts map[int]int
+
+func badNamed(m counts) int {
+	n := 0
+	for range m { // want "range over map"
+		n++
+	}
+	return n
+}
+
+func good(m map[string]float64) []float64 {
+	keys := make([]string, 0, len(m))
+	//nocvet:allow maprange key collection; keys are sorted before use below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func goodSlice(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Package panicfix exercises the panicmsg rule: every statically
+// visible panic message must start with "panicfix: ".
+package panicfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+func badLit() {
+	panic("missing prefix") // want `does not start with "panicfix: "`
+}
+
+func badSprintf(n int) {
+	panic(fmt.Sprintf("got %d", n)) // want `does not start with "panicfix: "`
+}
+
+func badConcat(name string) {
+	panic("unknown app " + name) // want `does not start with "panicfix: "`
+}
+
+func badErr() {
+	panic(errors.New("boom")) // want `does not start with "panicfix: "`
+}
+
+func goodLit() {
+	panic("panicfix: bad state")
+}
+
+func goodSprintf(n int) {
+	panic(fmt.Sprintf("panicfix: got %d", n))
+}
+
+func goodConcat(name string) {
+	panic("panicfix: unknown app " + name)
+}
+
+func goodDynamic(err error) {
+	// A propagated error value is not statically checkable.
+	panic(err)
+}

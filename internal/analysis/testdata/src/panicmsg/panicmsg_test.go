@@ -1,0 +1,11 @@
+package panicfix
+
+// Test files carry the same obligation: the _test suffix folds into
+// the package under test.
+func badInTest() {
+	panic("no prefix here") // want `does not start with "panicfix: "`
+}
+
+func goodInTest() {
+	panic("panicfix: from a test helper")
+}

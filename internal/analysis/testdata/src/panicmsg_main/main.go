@@ -1,0 +1,19 @@
+// Command probe exercises panicmsg's main-package naming: analyzed as
+// nocsim/cmd/probe, so the required prefix is "probe: ".
+package main
+
+func main() {
+	defer recoverProbe()
+	mustPositive(1)
+}
+
+func recoverProbe() { recover() }
+
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("probe: need positive n")
+	}
+	if n > 1<<20 {
+		panic("too big") // want `does not start with "probe: "`
+	}
+}

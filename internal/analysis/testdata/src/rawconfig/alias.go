@@ -1,0 +1,7 @@
+package rawconfigfix
+
+import simulation "nocsim/internal/sim"
+
+func aliased() simulation.Config {
+	return simulation.Config{Height: 2} // want "raw sim.Config literal"
+}

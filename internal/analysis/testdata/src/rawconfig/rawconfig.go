@@ -1,0 +1,20 @@
+// Package rawconfigfix exercises the rawconfig rule: analyzed as
+// nocsim/internal/exp, a driver package that must assemble configs
+// through the internal/runner presets.
+package rawconfigfix
+
+import "nocsim/internal/sim"
+
+func bad() sim.Config {
+	return sim.Config{Width: 4, Height: 4} // want "raw sim.Config literal"
+}
+
+func badPtr() *sim.Config {
+	return &sim.Config{} // want "raw sim.Config literal"
+}
+
+func good(cfg sim.Config) *sim.Sim {
+	// Receiving an assembled config and running it is fine; only
+	// literal construction is the presets' business.
+	return sim.New(cfg)
+}

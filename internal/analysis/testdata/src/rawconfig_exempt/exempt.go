@@ -1,0 +1,9 @@
+// Package rcexempt holds a sim.Config literal but is analyzed as
+// nocsim/internal/runner, where the preset builders live.
+package rcexempt
+
+import "nocsim/internal/sim"
+
+func preset() sim.Config {
+	return sim.Config{Width: 8, Height: 8}
+}

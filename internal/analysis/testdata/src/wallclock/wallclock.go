@@ -1,0 +1,24 @@
+// Package wallclockfix exercises the wallclock rule: the fixture is
+// analyzed as if it were nocsim/internal/sim, where clock reads are
+// banned.
+package wallclockfix
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()    // want "time.Now reads the wall clock"
+	d := time.Since(t0) // want "time.Since reads the wall clock"
+	_ = time.Until(t0)  // want "time.Until reads the wall clock"
+	return d
+}
+
+func good() time.Duration {
+	// Durations and arithmetic on simulated time are fine; only the
+	// host-clock reads are banned.
+	return time.Duration(5) * time.Millisecond
+}
+
+func waived() {
+	//nocvet:allow wallclock fixture: demonstrates the justified-waiver path
+	_ = time.Now()
+}

@@ -1,0 +1,13 @@
+// Command probe exercises the wallclock exemption: analyzed as
+// nocsim/cmd/probe, where timing runs is allowed.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockFuncs are the time functions that read the host clock. Any
+// of them inside simulator code makes output depend on machine speed.
+var wallclockFuncs = []string{"Now", "Since", "Until"}
+
+// Wallclock forbids reading the wall clock outside cmd/ and
+// internal/runner. Simulated time is the cycle counter; host time may
+// only be observed by the process entry points and the run executor,
+// which report elapsed wall time without feeding it back into results.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now/time.Since/time.Until outside cmd/ and internal/runner",
+	Run: func(pass *Pass) {
+		rel := pass.Rel()
+		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" {
+			return
+		}
+		for _, f := range pass.Files {
+			timeName, ok := importName(f.AST, "time")
+			if !ok {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				for _, fn := range wallclockFuncs {
+					if isPkgSel(e, timeName, fn) {
+						pass.Reportf(f, e.Pos(),
+							"time.%s reads the wall clock; simulator code must be deterministic (only cmd/ and internal/runner may time runs)", fn)
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -12,7 +12,7 @@ import (
 type computeOnlyBackend struct{}
 
 func (computeOnlyBackend) Access(int, uint64, bool) (bool, uint64) {
-	panic("unexpected memory access")
+	panic("cpu: unexpected memory access")
 }
 
 // alwaysHitBackend services every access as a hit.

@@ -290,6 +290,7 @@ func (f *Fabric) parallel(fn func(lo, hi int, sh *shard)) {
 		if hi > nodes {
 			hi = nodes
 		}
+		//nocvet:allow goroutine barrier-joined shard over disjoint node ranges; no output can observe the interleaving
 		go func(lo, hi int, sh *shard) {
 			if lo < hi {
 				fn(lo, hi, sh)

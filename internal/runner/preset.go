@@ -107,6 +107,12 @@ func WithRandomArb() Option {
 	return func(c *sim.Config) { c.RandomArb = true }
 }
 
+// WithSideBuffer gives the BLESS routers a MinBD-style side buffer of
+// depth flits.
+func WithSideBuffer(depth int) Option {
+	return func(c *sim.Config) { c.SideBuffer = depth }
+}
+
 // WithWritebacks enables the write-traffic extension.
 func WithWritebacks() Option {
 	return func(c *sim.Config) { c.Writebacks = true }
