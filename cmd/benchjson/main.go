@@ -1,0 +1,87 @@
+// Command benchjson runs the fabric-stepping benchmark matrix
+// (internal/noc/stepbench) through testing.Benchmark and writes the
+// results as machine-readable JSON, so performance regressions are
+// diffable across commits without parsing `go test -bench` text.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                  # write BENCH_step.json
+//	go run ./cmd/benchjson -o results.json  # alternate path
+//	go run ./cmd/benchjson -time 200ms      # longer per-case runs
+//
+// Each record reports one (case, workers) cell: nanoseconds per
+// simulated cycle and flit-hops retired per second, the two metrics
+// the stepping benchmarks emit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"nocsim/internal/noc/stepbench"
+)
+
+// record is one benchmark cell in the output file.
+type record struct {
+	Name           string  `json:"name"`
+	Workers        int     `json:"workers"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
+}
+
+func main() {
+	testing.Init() // registers -test.* flags so benchtime is settable
+	var (
+		out      = flag.String("o", "BENCH_step.json", "output path")
+		benchFor = flag.Duration("time", 100*time.Millisecond, "minimum run time per benchmark cell")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchFor.String()); err != nil {
+		fail(err)
+	}
+
+	workerSet := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		workerSet = append(workerSet, p)
+	}
+
+	var records []record
+	for _, c := range stepbench.Cases() {
+		for _, w := range workerSet {
+			c, w := c, w
+			r := testing.Benchmark(func(b *testing.B) {
+				stepbench.Bench(b, c, w)
+			})
+			nsPerCycle := float64(r.T.Nanoseconds()) / float64(r.N)
+			records = append(records, record{
+				Name:           c.Name,
+				Workers:        w,
+				NsPerCycle:     nsPerCycle,
+				CyclesPerSec:   r.Extra["cycles/s"],
+				FlitHopsPerSec: r.Extra["flithops/s"],
+			})
+			fmt.Printf("%-16s w=%-2d %12.0f ns/cycle %14.0f flit-hops/s\n",
+				c.Name, w, nsPerCycle, r.Extra["flithops/s"])
+		}
+	}
+
+	js, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(js, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s (%d records)\n", *out, len(records))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(2)
+}

@@ -28,6 +28,7 @@ var fixtureCases = []struct {
 	{"rawconfig_exempt", "nocsim/internal/runner"},
 	{"goroutine", "nocsim/internal/exp"},
 	{"goroutine_exempt", "nocsim/internal/runner"},
+	{"goroutine_exempt_par", "nocsim/internal/par"},
 	{"panicmsg", "nocsim/internal/cache"},
 	{"panicmsg_main", "nocsim/cmd/probe"},
 }

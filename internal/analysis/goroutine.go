@@ -2,17 +2,19 @@ package analysis
 
 import "go/ast"
 
-// Goroutine forbids go statements and sync.WaitGroup outside
-// internal/runner. All cross-simulation parallelism flows through the
-// runner's bounded pool so results stay in declaration order at any
-// -parallel level; the three barrier-synchronized intra-sim shard
-// loops carry explicit //nocvet:allow waivers documenting why their
-// interleaving cannot reach any output.
+// Goroutine forbids go statements and sync.WaitGroup outside the two
+// sanctioned concurrency layers: internal/runner (cross-simulation —
+// the bounded pool keeps results in declaration order at any -parallel
+// level) and internal/par (intra-simulation — the persistent shard
+// pool whose barrier-joined workers cover disjoint index ranges, so no
+// interleaving can reach any output). Every fabric's per-cycle
+// parallelism must go through par.Pool rather than spawning its own
+// goroutines.
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "no go statements or sync.WaitGroup outside internal/runner",
+	Doc:  "no go statements or sync.WaitGroup outside internal/runner and internal/par",
 	Run: func(pass *Pass) {
-		if pass.Rel() == "internal/runner" {
+		if pass.Rel() == "internal/runner" || pass.Rel() == "internal/par" {
 			return
 		}
 		for _, f := range pass.Files {

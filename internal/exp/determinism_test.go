@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"nocsim/internal/runner"
+	"nocsim/internal/sim"
+	"nocsim/internal/workload"
 )
 
 // TestParallelismInvariance is the harness's core contract: a driver's
@@ -38,5 +42,59 @@ func TestParallelismInvariance(t *testing.T) {
 	}
 	if !bytes.Equal(js1, js8) {
 		t.Errorf("rendered JSON differs between parallel=1 and parallel=8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", js1, js8)
+	}
+}
+
+// TestWorkerInvarianceAcrossFabrics pins the execution engine's
+// determinism contract on every fabric variant with a distinct hot
+// path: metrics must be byte-identical between a fully sequential run
+// (Parallel=1, Workers=1) and a fully sharded one (Parallel=8,
+// Workers=8). The 16x16 mesh crosses every sharding gate — the sim
+// node loop (>= 256 nodes), the bless/buffered shard floor (>= 4
+// nodes/worker), and the hierring group floor (>= 1 ring/worker) — so
+// the parallel path genuinely executes.
+func TestWorkerInvarianceAcrossFabrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ten 256-node simulations")
+	}
+	cat, _ := workload.CategoryByName("HML")
+	w := workload.Generate(cat, 256, 7)
+	variants := []struct {
+		name string
+		opts []runner.Option
+	}{
+		{"bless", nil},
+		{"bless-sidebuffer", []runner.Option{runner.WithSideBuffer(4)}},
+		{"bless-adaptive", []runner.Option{runner.WithAdaptive()}},
+		{"buffered", []runner.Option{runner.WithRouter(sim.Buffered)}},
+		{"hierring", []runner.Option{runner.WithRingGroup(8)}},
+	}
+	run := func(parallel, workers int) ([]sim.Metrics, []byte) {
+		sc := tinyScale()
+		sc.Parallel = parallel
+		sc.Workers = workers
+		plan := runner.NewPlan(sc)
+		for _, v := range variants {
+			opts := append([]runner.Option{runner.WithWorkers(workers)}, v.opts...)
+			plan.Add(v.name, runner.Baseline(w, 16, 16, sc, opts...), 1_500)
+		}
+		ms := plan.Execute()
+		js, err := json.MarshalIndent(ms, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ms, js
+	}
+	seq, seqJS := run(1, 1)
+	par, parJS := run(8, 8)
+	if !bytes.Equal(seqJS, parJS) {
+		for i := range variants {
+			a, _ := json.Marshal(seq[i])
+			b, _ := json.Marshal(par[i])
+			if !bytes.Equal(a, b) {
+				t.Errorf("%s: metrics differ between (parallel=1, workers=1) and (parallel=8, workers=8):\nseq: %s\npar: %s",
+					variants[i].name, a, b)
+			}
+		}
 	}
 }

@@ -18,8 +18,10 @@ package bless
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nocsim/internal/noc"
+	"nocsim/internal/par"
 	"nocsim/internal/rng"
 	"nocsim/internal/topology"
 )
@@ -85,6 +87,11 @@ type Config struct {
 	// Workers shards the per-cycle node loop; 0 means 1 (sequential).
 	// When >1, Policy must tolerate concurrent calls for distinct nodes.
 	Workers int
+	// Pool optionally supplies a shared persistent worker pool (the
+	// system simulator passes one pool to the fabric and its own node
+	// loop). Its width must equal Workers. Nil makes the fabric create
+	// its own pool when sharding engages.
+	Pool *par.Pool
 }
 
 const maxDirs = int(topology.NumDirs)
@@ -125,19 +132,19 @@ type Fabric struct {
 	// Only node n's phase-1 shard touches its row.
 	load []uint32
 
-	// order/route scratch is per shard to allow parallel stepping.
-	shards []shard
+	// shards[w] are worker w's counters, cache-line padded so parallel
+	// phases never false-share; Stats() merges them.
+	shards []par.PaddedStats
+	// pool runs the two barrier phases when sharding engages; nil means
+	// sequential stepping. p1 and p2 are the prebuilt phase closures, so
+	// Step allocates nothing.
+	pool   *par.Pool
+	p1, p2 func(lo, hi, worker int)
 
 	stats    noc.Stats
 	inflight int64
 
 	randSrc []*rng.Source // per node, Random arbiter only
-}
-
-// shard is per-worker scratch and statistics.
-type shard struct {
-	stats noc.Stats
-	_     [40]byte // pad to a cache line to avoid false sharing
 }
 
 // New constructs a bufferless fabric.
@@ -169,7 +176,21 @@ func New(cfg Config) *Fabric {
 		nics:   make([]*noc.NIC, n),
 		in:     make([]slot, n*maxDirs*cfg.HopLatency),
 		outBuf: make([]slot, n*maxDirs),
-		shards: make([]shard, cfg.Workers),
+		shards: make([]par.PaddedStats, cfg.Workers),
+	}
+	// Sharding pays only when every worker gets a few nodes; below that
+	// the fabric steps sequentially and the pool is never consulted.
+	if cfg.Workers > 1 && n >= cfg.Workers*4 {
+		if cfg.Pool != nil {
+			if cfg.Pool.Workers() != cfg.Workers {
+				panic(fmt.Sprintf("bless: shared pool width %d != Workers %d", cfg.Pool.Workers(), cfg.Workers))
+			}
+			f.pool = cfg.Pool
+		} else {
+			f.pool = par.New(cfg.Workers)
+		}
+		f.p1 = func(lo, hi, w int) { f.phase1(lo, hi, &f.shards[w].Stats) }
+		f.p2 = func(lo, hi, w int) { f.phase2(lo, hi, &f.shards[w].Stats) }
 	}
 	for i := range f.nics {
 		f.nics[i] = noc.NewNIC(i)
@@ -206,22 +227,7 @@ func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
 func (f *Fabric) Stats() noc.Stats {
 	s := f.stats
 	for i := range f.shards {
-		sh := f.shards[i].stats
-		s.FlitsInjected += sh.FlitsInjected
-		s.FlitsEjected += sh.FlitsEjected
-		s.PacketsDelivered += sh.PacketsDelivered
-		s.Deflections += sh.Deflections
-		s.LinkTraversals += sh.LinkTraversals
-		s.NetFlitLatencySum += sh.NetFlitLatencySum
-		s.QueueLatencySum += sh.QueueLatencySum
-		s.PacketLatencySum += sh.PacketLatencySum
-		s.StarvedCycles += sh.StarvedCycles
-		s.ThrottledCycles += sh.ThrottledCycles
-		s.WantedCycles += sh.WantedCycles
-		s.BufferReads += sh.BufferReads
-		s.BufferWrites += sh.BufferWrites
-		s.CrossbarTraversals += sh.CrossbarTraversals
-		s.Arbitrations += sh.Arbitrations
+		s.Merge(f.shards[i].Stats)
 	}
 	s.Cycles = f.cycle
 	return s
@@ -247,47 +253,30 @@ func (f *Fabric) InFlight() int64 { return f.inflight }
 // commits the chosen outputs onto the link pipelines.
 func (f *Fabric) Step() {
 	nodes := f.top.Nodes()
-	if f.cfg.Workers <= 1 || nodes < f.cfg.Workers*4 {
-		f.phase1(0, nodes, &f.shards[0])
-		f.phase2(0, nodes, &f.shards[0])
+	if f.pool == nil {
+		f.phase1(0, nodes, &f.shards[0].Stats)
+		f.phase2(0, nodes, &f.shards[0].Stats)
 	} else {
-		f.parallel(func(lo, hi int, sh *shard) { f.phase1(lo, hi, sh) })
-		f.parallel(func(lo, hi int, sh *shard) { f.phase2(lo, hi, sh) })
+		f.pool.Run(nodes, f.p1)
+		f.pool.Run(nodes, f.p2)
 	}
 	f.updateInflight()
 	f.cycle++
 }
 
-func (f *Fabric) parallel(fn func(lo, hi int, sh *shard)) {
-	nodes := f.top.Nodes()
-	w := f.cfg.Workers
-	per := (nodes + w - 1) / w
-	done := make(chan struct{}, w)
-	for i := 0; i < w; i++ {
-		lo := i * per
-		hi := lo + per
-		if hi > nodes {
-			hi = nodes
-		}
-		//nocvet:allow goroutine barrier-joined shard over disjoint node ranges; no output can observe the interleaving
-		go func(lo, hi int, sh *shard) {
-			if lo < hi {
-				fn(lo, hi, sh)
-			}
-			done <- struct{}{}
-		}(lo, hi, &f.shards[i])
-	}
-	for i := 0; i < w; i++ {
-		<-done
+// Close releases the fabric's own worker pool. Shared pools (Config.
+// Pool) belong to their creator and are left running.
+func (f *Fabric) Close() {
+	if f.pool != nil && f.pool != f.cfg.Pool {
+		f.pool.Close()
 	}
 }
 
 // phase1 reads link heads for nodes [lo,hi), arbitrates, ejects, injects,
 // and records the chosen outputs in outBuf. It writes only node-local
 // state (its own in-slots, its outBuf row, its NIC) and shard counters.
-func (f *Fabric) phase1(lo, hi int, sh *shard) {
+func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
 	stage := int(f.cycle % int64(f.depth))
-	st := &sh.stats
 	var arr [maxDirs]noc.Flit
 	var ord [maxDirs]int
 	for node := lo; node < hi; node++ {
@@ -514,26 +503,27 @@ func (f *Fabric) inject(node int, nic *noc.NIC, used *[maxDirs]bool, out []slot,
 // desiredPort returns fl's preferred free productive output direction:
 // strict XY first under the default routing, or the least-recently-busy
 // productive port under adaptive routing. Invalid means no productive
-// port is free.
+// port is free. Both the XY choice and the productive set are
+// precomputed table lookups; the mask is scanned low-bit-first, which
+// matches the direction order the old slice-based loop produced.
 func (f *Fabric) desiredPort(node, dst int, used *[maxDirs]bool) topology.Port {
 	if f.load == nil {
 		// Strict XY, falling back to any free productive direction.
 		if w := f.top.XYRoute(node, dst); w != topology.Local && !used[w] && f.top.HasPort(node, w) {
 			return w
 		}
-		var buf [maxDirs]topology.Port
-		for _, d := range f.top.ProductiveDirs(buf[:0], node, dst) {
-			if !used[d] {
+		for m := f.top.ProductiveMask(node, dst); m != 0; m &= m - 1 {
+			if d := topology.Port(bits.TrailingZeros8(m)); !used[d] {
 				return d
 			}
 		}
 		return topology.Invalid
 	}
 	// Adaptive: least-loaded free productive direction.
-	var buf [maxDirs]topology.Port
 	best := topology.Invalid
 	bestLoad := ^uint32(0)
-	for _, d := range f.top.ProductiveDirs(buf[:0], node, dst) {
+	for m := f.top.ProductiveMask(node, dst); m != 0; m &= m - 1 {
+		d := topology.Port(bits.TrailingZeros8(m))
 		if used[d] {
 			continue
 		}
@@ -564,9 +554,8 @@ func (f *Fabric) freePortToward(node, dst int, used *[maxDirs]bool) topology.Por
 // phase2 commits outBuf onto the link pipelines for nodes [lo,hi). The
 // target ring slot (cycle%depth) was already consumed by its reader in
 // phase 1 of this cycle and will be read again depth cycles from now.
-func (f *Fabric) phase2(lo, hi int, sh *shard) {
+func (f *Fabric) phase2(lo, hi int, st *noc.Stats) {
 	stage := int(f.cycle % int64(f.depth))
-	st := &sh.stats
 	for node := lo; node < hi; node++ {
 		base := node * maxDirs
 		for d := 0; d < maxDirs; d++ {
@@ -588,8 +577,8 @@ func (f *Fabric) phase2(lo, hi int, sh *shard) {
 func (f *Fabric) updateInflight() {
 	var inj, ej int64
 	for i := range f.shards {
-		inj += f.shards[i].stats.FlitsInjected
-		ej += f.shards[i].stats.FlitsEjected
+		inj += f.shards[i].Stats.FlitsInjected
+		ej += f.shards[i].Stats.FlitsEjected
 	}
 	f.inflight = inj - ej
 }

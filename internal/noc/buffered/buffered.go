@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/noc"
+	"nocsim/internal/par"
 	"nocsim/internal/topology"
 )
 
@@ -39,6 +40,11 @@ type Config struct {
 	Policy noc.InjectionPolicy
 	// Workers shards the per-cycle node loop; 0 means 1.
 	Workers int
+	// Pool optionally supplies a shared persistent worker pool (the
+	// system simulator passes one pool to the fabric and its own node
+	// loop). Its width must equal Workers. Nil makes the fabric create
+	// its own pool when sharding engages.
+	Pool *par.Pool
 }
 
 const (
@@ -108,11 +114,6 @@ type creditSlot struct {
 	vc int8 // -1 means none
 }
 
-type shard struct {
-	stats noc.Stats
-	_     [40]byte
-}
-
 // Fabric is the buffered VC network. It implements noc.Network.
 type Fabric struct {
 	top    *topology.Topology
@@ -137,8 +138,16 @@ type Fabric struct {
 	outFlit   []flitSlot   // [node*4+dir]
 	outCredit []creditSlot // [node*4+dir]: credit to send upstream on arrival dir
 
-	shards []shard
-	stats  noc.Stats
+	// shards[w] are worker w's counters, cache-line padded so parallel
+	// phases never false-share; Stats() merges them.
+	shards []par.PaddedStats
+	// pool runs the two barrier phases when sharding engages; nil means
+	// sequential stepping. p1 and p2 are the prebuilt phase closures, so
+	// Step allocates nothing.
+	pool   *par.Pool
+	p1, p2 func(lo, hi, worker int)
+
+	stats noc.Stats
 
 	inflight int64
 }
@@ -185,7 +194,21 @@ func New(cfg Config) *Fabric {
 		creditIn:  make([]creditSlot, n*maxDirs*cfg.HopLatency),
 		outFlit:   make([]flitSlot, n*maxDirs),
 		outCredit: make([]creditSlot, n*maxDirs),
-		shards:    make([]shard, cfg.Workers),
+		shards:    make([]par.PaddedStats, cfg.Workers),
+	}
+	// Sharding pays only when every worker gets a few nodes; below that
+	// the fabric steps sequentially and the pool is never consulted.
+	if cfg.Workers > 1 && n >= cfg.Workers*4 {
+		if cfg.Pool != nil {
+			if cfg.Pool.Workers() != cfg.Workers {
+				panic(fmt.Sprintf("buffered: shared pool width %d != Workers %d", cfg.Pool.Workers(), cfg.Workers))
+			}
+			f.pool = cfg.Pool
+		} else {
+			f.pool = par.New(cfg.Workers)
+		}
+		f.p1 = func(lo, hi, w int) { f.phase1(lo, hi, &f.shards[w].Stats) }
+		f.p2 = func(lo, hi, w int) { f.phase2(lo, hi, &f.shards[w].Stats) }
 	}
 	for i := range f.creditIn {
 		f.creditIn[i].vc = -1
@@ -228,21 +251,7 @@ func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
 func (f *Fabric) Stats() noc.Stats {
 	s := f.stats
 	for i := range f.shards {
-		sh := f.shards[i].stats
-		s.FlitsInjected += sh.FlitsInjected
-		s.FlitsEjected += sh.FlitsEjected
-		s.PacketsDelivered += sh.PacketsDelivered
-		s.LinkTraversals += sh.LinkTraversals
-		s.NetFlitLatencySum += sh.NetFlitLatencySum
-		s.QueueLatencySum += sh.QueueLatencySum
-		s.PacketLatencySum += sh.PacketLatencySum
-		s.StarvedCycles += sh.StarvedCycles
-		s.ThrottledCycles += sh.ThrottledCycles
-		s.WantedCycles += sh.WantedCycles
-		s.BufferReads += sh.BufferReads
-		s.BufferWrites += sh.BufferWrites
-		s.CrossbarTraversals += sh.CrossbarTraversals
-		s.Arbitrations += sh.Arbitrations
+		s.Merge(f.shards[i].Stats)
 	}
 	s.Cycles = f.cycle
 	return s
@@ -268,46 +277,30 @@ func (f *Fabric) Drained() bool {
 // Step advances one cycle.
 func (f *Fabric) Step() {
 	nodes := f.top.Nodes()
-	if f.cfg.Workers <= 1 || nodes < f.cfg.Workers*4 {
-		f.phase1(0, nodes, &f.shards[0])
-		f.phase2(0, nodes, &f.shards[0])
+	if f.pool == nil {
+		f.phase1(0, nodes, &f.shards[0].Stats)
+		f.phase2(0, nodes, &f.shards[0].Stats)
 	} else {
-		f.parallel(func(lo, hi int, sh *shard) { f.phase1(lo, hi, sh) })
-		f.parallel(func(lo, hi int, sh *shard) { f.phase2(lo, hi, sh) })
+		f.pool.Run(nodes, f.p1)
+		f.pool.Run(nodes, f.p2)
 	}
 	f.updateInflight()
 	f.cycle++
 }
 
-func (f *Fabric) parallel(fn func(lo, hi int, sh *shard)) {
-	nodes := f.top.Nodes()
-	w := f.cfg.Workers
-	per := (nodes + w - 1) / w
-	done := make(chan struct{}, w)
-	for i := 0; i < w; i++ {
-		lo := i * per
-		hi := lo + per
-		if hi > nodes {
-			hi = nodes
-		}
-		//nocvet:allow goroutine barrier-joined shard over disjoint node ranges; no output can observe the interleaving
-		go func(lo, hi int, sh *shard) {
-			if lo < hi {
-				fn(lo, hi, sh)
-			}
-			done <- struct{}{}
-		}(lo, hi, &f.shards[i])
-	}
-	for i := 0; i < w; i++ {
-		<-done
+// Close releases the fabric's own worker pool. Shared pools (Config.
+// Pool) belong to their creator and are left running.
+func (f *Fabric) Close() {
+	if f.pool != nil && f.pool != f.cfg.Pool {
+		f.pool.Close()
 	}
 }
 
 func (f *Fabric) updateInflight() {
 	var inj, ej int64
 	for i := range f.shards {
-		inj += f.shards[i].stats.FlitsInjected
-		ej += f.shards[i].stats.FlitsEjected
+		inj += f.shards[i].Stats.FlitsInjected
+		ej += f.shards[i].Stats.FlitsEjected
 	}
 	f.inflight = inj - ej
 }
@@ -321,9 +314,8 @@ type inputRef struct {
 	vc  int
 }
 
-func (f *Fabric) phase1(lo, hi int, sh *shard) {
+func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
 	stage := int(f.cycle % int64(f.depth))
-	st := &sh.stats
 	for node := lo; node < hi; node++ {
 		r := &f.routers[node]
 		base := node * maxDirs
@@ -709,9 +701,8 @@ func (f *Fabric) traverseLocal(node int, r *router, nic *noc.NIC, v int, out top
 }
 
 // phase2 commits outgoing flits and credits onto the link pipelines.
-func (f *Fabric) phase2(lo, hi int, sh *shard) {
+func (f *Fabric) phase2(lo, hi int, st *noc.Stats) {
 	stage := int(f.cycle % int64(f.depth))
-	st := &sh.stats
 	for node := lo; node < hi; node++ {
 		base := node * maxDirs
 		for d := 0; d < maxDirs; d++ {

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/noc"
+	"nocsim/internal/par"
 	"nocsim/internal/topology"
 )
 
@@ -37,6 +38,17 @@ type Config struct {
 	BridgeFIFO int
 	// Policy gates and observes injection; nil means noc.Open{}.
 	Policy noc.InjectionPolicy
+	// Workers shards the local-ring loop over ring groups; 0 means 1
+	// (sequential). Each local ring touches only its own slots, FIFOs and
+	// NICs, so groups parallelise cleanly; the global ring stays on the
+	// caller. When >1, Policy must tolerate concurrent calls for
+	// distinct nodes.
+	Workers int
+	// Pool optionally supplies a shared persistent worker pool (the
+	// system simulator passes one pool to the fabric and its own node
+	// loop). Its width must equal Workers. Nil makes the fabric create
+	// its own pool when sharding engages.
+	Pool *par.Pool
 }
 
 // slot is one ring position.
@@ -85,6 +97,16 @@ type Fabric struct {
 	scratchL [][]slot
 	scratchG []slot
 
+	// shards[w] are worker w's counters, cache-line padded so the
+	// parallel local-ring phase never false-shares; Stats() merges them.
+	// The sequential global phase accumulates into shards[0].
+	shards []par.PaddedStats
+	// pool runs the local-ring phase when sharding engages; nil means
+	// sequential stepping. pl is the prebuilt phase closure, so Step
+	// allocates nothing.
+	pool *par.Pool
+	pl   func(lo, hi, worker int)
+
 	stats    noc.Stats
 	inflight int64
 }
@@ -106,6 +128,9 @@ func New(cfg Config) *Fabric {
 	if cfg.Policy == nil {
 		cfg.Policy = noc.Open{}
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
 	groups := cfg.Nodes / cfg.GroupSize
 	f := &Fabric{
 		cfg:    cfg,
@@ -116,6 +141,20 @@ func New(cfg Config) *Fabric {
 		global: make([]slot, max(groups, 2)),
 		l2g:    make([]fifo, groups),
 		g2l:    make([]fifo, groups),
+		shards: make([]par.PaddedStats, cfg.Workers),
+	}
+	// Sharding pays only when every worker gets at least one whole ring;
+	// below that the fabric steps sequentially and never consults the pool.
+	if cfg.Workers > 1 && groups >= cfg.Workers {
+		if cfg.Pool != nil {
+			if cfg.Pool.Workers() != cfg.Workers {
+				panic(fmt.Sprintf("hierring: shared pool width %d != Workers %d", cfg.Pool.Workers(), cfg.Workers))
+			}
+			f.pool = cfg.Pool
+		} else {
+			f.pool = par.New(cfg.Workers)
+		}
+		f.pl = func(lo, hi, w int) { f.localPhase(lo, hi, &f.shards[w].Stats) }
 	}
 	for i := range f.nics {
 		f.nics[i] = noc.NewNIC(i)
@@ -159,9 +198,12 @@ func (f *Fabric) Cycle() int64 { return f.cycle }
 // NIC returns node i's network interface.
 func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
 
-// Stats returns the accumulated counters.
+// Stats returns the accumulated counters, merging worker shards.
 func (f *Fabric) Stats() noc.Stats {
 	s := f.stats
+	for i := range f.shards {
+		s.Merge(f.shards[i].Stats)
+	}
 	s.Cycles = f.cycle
 	return s
 }
@@ -184,59 +226,92 @@ func (f *Fabric) Drained() bool {
 
 // Step advances the fabric one cycle: every ring rotates one stop, with
 // ejection, bridge transfer, and injection happening as slots pass.
+// Local rings are independent (each touches only its own slots, FIFOs
+// and NICs), so they shard across the worker pool; the global ring runs
+// after the barrier on the caller, exactly where it ran sequentially.
 func (f *Fabric) Step() {
 	groups := len(f.local)
-	stops := f.cfg.GroupSize + 1
-	bridgeStop := f.cfg.GroupSize
-
-	// Local rings: the flit that was at stop s-1 arrives at stop s.
-	for g := 0; g < groups; g++ {
-		cur, next := f.local[g], f.scratchL[g]
-		for s := 0; s < stops; s++ {
-			in := cur[(s-1+stops)%stops]
-			if in.ok {
-				f.stats.LinkTraversals++
-			}
-			if s == bridgeStop {
-				next[s] = f.bridgeLocal(g, in)
-			} else {
-				next[s] = f.nodeStop(f.nodeAt(g, s), in)
-			}
-		}
-		f.local[g], f.scratchL[g] = next, cur
+	if f.pool == nil {
+		f.localPhase(0, groups, &f.shards[0].Stats)
+	} else {
+		f.pool.Run(groups, f.pl)
 	}
 
 	// Global ring.
+	st := &f.shards[0].Stats
 	gstops := len(f.global)
 	for s := 0; s < gstops; s++ {
 		in := f.global[(s-1+gstops)%gstops]
 		if in.ok {
-			f.stats.LinkTraversals++
+			st.LinkTraversals++
 		}
 		if s < groups {
-			f.scratchG[s] = f.bridgeGlobal(s, in)
+			f.scratchG[s] = f.bridgeGlobal(s, in, st)
 		} else {
 			f.scratchG[s] = in // filler stop on tiny configurations
 		}
 	}
 	f.global, f.scratchG = f.scratchG, f.global
 
+	f.updateInflight()
 	f.cycle++
+}
+
+// localPhase rotates local rings lo..hi-1 one stop, accumulating
+// counters into st.
+func (f *Fabric) localPhase(lo, hi int, st *noc.Stats) {
+	stops := f.cfg.GroupSize + 1
+	bridgeStop := f.cfg.GroupSize
+	for g := lo; g < hi; g++ {
+		cur, next := f.local[g], f.scratchL[g]
+		for s := 0; s < stops; s++ {
+			in := cur[(s-1+stops)%stops]
+			if in.ok {
+				st.LinkTraversals++
+			}
+			if s == bridgeStop {
+				next[s] = f.bridgeLocal(g, in, st)
+			} else {
+				next[s] = f.nodeStop(f.nodeAt(g, s), in, st)
+			}
+		}
+		f.local[g], f.scratchL[g] = next, cur
+	}
+}
+
+// Close releases the fabric's own worker pool. Shared pools (Config.
+// Pool) belong to their creator and are left running.
+func (f *Fabric) Close() {
+	if f.pool != nil && f.pool != f.cfg.Pool {
+		f.pool.Close()
+	}
+}
+
+// updateInflight derives the in-network flit count from the merged
+// injection/ejection counters: flits enter rings only at injection and
+// leave only at ejection, and a sum of per-shard deltas is independent
+// of shard count.
+func (f *Fabric) updateInflight() {
+	var inj, ej int64
+	for i := range f.shards {
+		inj += f.shards[i].Stats.FlitsInjected
+		ej += f.shards[i].Stats.FlitsEjected
+	}
+	f.inflight = inj - ej
 }
 
 // nodeStop processes a local ring stop: eject a flit addressed here,
 // then inject into an empty slot.
-func (f *Fabric) nodeStop(node int, in slot) slot {
+func (f *Fabric) nodeStop(node int, in slot, st *noc.Stats) slot {
 	nic := f.nics[node]
 	if in.ok && int(in.f.Dst) == node {
-		f.stats.FlitsEjected++
-		f.stats.CrossbarTraversals++
-		f.stats.NetFlitLatencySum += f.cycle - in.f.Inject
+		st.FlitsEjected++
+		st.CrossbarTraversals++
+		st.NetFlitLatencySum += f.cycle - in.f.Inject
 		if _, done := nic.Receive(&in.f, f.cycle); done {
-			f.stats.PacketsDelivered++
-			f.stats.PacketLatencySum += f.cycle - in.f.Enq
+			st.PacketsDelivered++
+			st.PacketLatencySum += f.cycle - in.f.Enq
 		}
-		f.inflight--
 		in = slot{}
 	}
 
@@ -250,21 +325,20 @@ func (f *Fabric) nodeStop(node int, in slot) slot {
 		} else {
 			fl := nic.Pop()
 			fl.Inject = f.cycle
-			f.stats.FlitsInjected++
-			f.stats.QueueLatencySum += f.cycle - fl.Enq
-			f.stats.CrossbarTraversals++
-			f.inflight++
+			st.FlitsInjected++
+			st.QueueLatencySum += f.cycle - fl.Enq
+			st.CrossbarTraversals++
 			in = slot{f: fl, ok: true}
 			injected = true
 		}
 	}
 	if wanted {
-		f.stats.WantedCycles++
+		st.WantedCycles++
 		if !injected {
 			if throttled {
-				f.stats.ThrottledCycles++
+				st.ThrottledCycles++
 			} else {
-				f.stats.StarvedCycles++
+				st.StarvedCycles++
 			}
 		}
 	}
@@ -279,18 +353,18 @@ func (f *Fabric) nodeStop(node int, in slot) slot {
 // bridgeLocal processes a local ring's bridge stop: flits leaving the
 // ring drop into the local-to-global FIFO (or keep circulating when it
 // is full); an empty slot picks up the next global-to-local arrival.
-func (f *Fabric) bridgeLocal(g int, in slot) slot {
+func (f *Fabric) bridgeLocal(g int, in slot, st *noc.Stats) slot {
 	if in.ok && f.ring(int(in.f.Dst)) != g {
 		if !f.l2g[g].full() {
 			f.l2g[g].push(in.f)
-			f.stats.BufferWrites++
+			st.BufferWrites++
 			in = slot{}
 		}
 		// else: circulate another lap.
 	}
 	if !in.ok && !f.g2l[g].empty() {
 		fl := f.g2l[g].pop()
-		f.stats.BufferReads++
+		st.BufferReads++
 		in = slot{f: fl, ok: true}
 	}
 	return in
@@ -299,17 +373,17 @@ func (f *Fabric) bridgeLocal(g int, in slot) slot {
 // bridgeGlobal processes ring g's stop on the global ring: flits for
 // ring g drop into its global-to-local FIFO; an empty slot picks up the
 // next local-to-global departure.
-func (f *Fabric) bridgeGlobal(g int, in slot) slot {
+func (f *Fabric) bridgeGlobal(g int, in slot, st *noc.Stats) slot {
 	if in.ok && f.ring(int(in.f.Dst)) == g {
 		if !f.g2l[g].full() {
 			f.g2l[g].push(in.f)
-			f.stats.BufferWrites++
+			st.BufferWrites++
 			in = slot{}
 		}
 	}
 	if !in.ok && !f.l2g[g].empty() {
 		fl := f.l2g[g].pop()
-		f.stats.BufferReads++
+		st.BufferReads++
 		in = slot{f: fl, ok: true}
 	}
 	return in

@@ -94,6 +94,29 @@ func (s Stats) StarvationRate(nodes int) float64 {
 	return float64(s.StarvedCycles) / (float64(s.Cycles) * float64(nodes))
 }
 
+// Merge adds o's event counters into s. Cycles and Links are fabric
+// properties, not per-shard events, and are left alone — the fabrics
+// use Merge to fold worker-shard counters into a snapshot. Integer
+// addition commutes, so the merged totals are independent of shard
+// count: this is what keeps parallel runs byte-identical to Workers=1.
+func (s *Stats) Merge(o Stats) {
+	s.FlitsInjected += o.FlitsInjected
+	s.FlitsEjected += o.FlitsEjected
+	s.PacketsDelivered += o.PacketsDelivered
+	s.Deflections += o.Deflections
+	s.LinkTraversals += o.LinkTraversals
+	s.NetFlitLatencySum += o.NetFlitLatencySum
+	s.QueueLatencySum += o.QueueLatencySum
+	s.PacketLatencySum += o.PacketLatencySum
+	s.StarvedCycles += o.StarvedCycles
+	s.ThrottledCycles += o.ThrottledCycles
+	s.WantedCycles += o.WantedCycles
+	s.BufferReads += o.BufferReads
+	s.BufferWrites += o.BufferWrites
+	s.CrossbarTraversals += o.CrossbarTraversals
+	s.Arbitrations += o.Arbitrations
+}
+
 // Sub returns s - o, the delta of two snapshots. Links is preserved.
 func (s Stats) Sub(o Stats) Stats {
 	d := s

@@ -1,0 +1,112 @@
+// Package stepbench defines the fabric-stepping benchmark matrix and
+// its measurement loop, shared by the `go test -bench` entry points
+// and cmd/benchjson. Every fabric is driven open-loop by the uniform
+// random injector at a fixed sub-saturation rate, so a benchmark
+// measures the per-cycle hot path (arbitration, routing, link commit)
+// under realistic occupancy rather than an idle network.
+package stepbench
+
+import (
+	"fmt"
+	"testing"
+
+	"nocsim/internal/noc"
+	"nocsim/internal/noc/bless"
+	"nocsim/internal/noc/buffered"
+	"nocsim/internal/noc/hierring"
+	"nocsim/internal/topology"
+	"nocsim/internal/traffic"
+)
+
+const (
+	// rate is the per-node flit injection probability per cycle: busy
+	// enough that arbitration contends, below every fabric's saturation.
+	rate = 0.08
+	// warmup cycles fill the pipelines before timing starts.
+	warmup = 500
+	// seed fixes the injector stream so runs are comparable.
+	seed = 42
+)
+
+// Case is one fabric configuration in the benchmark matrix.
+type Case struct {
+	// Name is "family/size", e.g. "bless/32x32".
+	Name string
+	// New builds the fabric with the given intra-fabric worker count.
+	New func(workers int) noc.Network
+}
+
+// Cases returns the benchmark matrix: each fabric family at a small
+// and a large size, so both the per-node cost and the sharding
+// behaviour are visible.
+func Cases() []Case {
+	mesh := func(k int) *topology.Topology { return topology.NewSquare(topology.Mesh, k) }
+	return []Case{
+		{Name: "bless/8x8", New: func(w int) noc.Network {
+			return bless.New(bless.Config{Topology: mesh(8), Workers: w})
+		}},
+		{Name: "bless/32x32", New: func(w int) noc.Network {
+			return bless.New(bless.Config{Topology: mesh(32), Workers: w})
+		}},
+		{Name: "buffered/8x8", New: func(w int) noc.Network {
+			return buffered.New(buffered.Config{Topology: mesh(8), Workers: w})
+		}},
+		{Name: "buffered/32x32", New: func(w int) noc.Network {
+			return buffered.New(buffered.Config{Topology: mesh(32), Workers: w})
+		}},
+		{Name: "hierring/64", New: func(w int) noc.Network {
+			return hierring.New(hierring.Config{Nodes: 64, GroupSize: 8, Workers: w})
+		}},
+		{Name: "hierring/1024", New: func(w int) noc.Network {
+			return hierring.New(hierring.Config{Nodes: 1024, GroupSize: 8, Workers: w})
+		}},
+	}
+}
+
+// Bench runs one case at one worker count: warm the fabric, then time
+// b.N injector+step cycles. It reports cycles/s (stepping throughput)
+// and flithops/s (link traversals retired per second, which normalises
+// throughput by how much traffic the fabric actually moved).
+func Bench(b *testing.B, c Case, workers int) {
+	net := c.New(workers)
+	defer closeNet(net)
+	inj := newInjector(net.Topology().Nodes())
+	for i := 0; i < warmup; i++ {
+		inj.Step(net)
+		net.Step()
+	}
+	start := net.Stats().LinkTraversals
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Step(net)
+		net.Step()
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		hops := net.Stats().LinkTraversals - start
+		b.ReportMetric(float64(b.N)/elapsed, "cycles/s")
+		b.ReportMetric(float64(hops)/elapsed, "flithops/s")
+	}
+}
+
+// newInjector builds the standard open-loop workload for n nodes.
+func newInjector(n int) *traffic.Injector {
+	return traffic.NewInjector(n, rate, traffic.Uniform{Nodes: n}, seed)
+}
+
+// closeNet releases a fabric's worker pool when it owns one.
+func closeNet(net noc.Network) {
+	if c, ok := net.(interface{ Close() }); ok {
+		c.Close()
+	}
+}
+
+// FindCase returns the named case.
+func FindCase(name string) (Case, error) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Case{}, fmt.Errorf("stepbench: unknown case %q", name)
+}

@@ -1,0 +1,68 @@
+package stepbench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchFamily runs every case of one fabric family at one and four
+// workers.
+func benchFamily(b *testing.B, family string) {
+	for _, c := range Cases() {
+		if !strings.HasPrefix(c.Name, family+"/") {
+			continue
+		}
+		for _, w := range []int{1, 4} {
+			c, w := c, w
+			b.Run(fmt.Sprintf("%s/w%d", strings.TrimPrefix(c.Name, family+"/"), w), func(b *testing.B) {
+				Bench(b, c, w)
+			})
+		}
+	}
+}
+
+func BenchmarkStepBless(b *testing.B)    { benchFamily(b, "bless") }
+func BenchmarkStepBuffered(b *testing.B) { benchFamily(b, "buffered") }
+func BenchmarkStepHierRing(b *testing.B) { benchFamily(b, "hierring") }
+
+// TestCasesUnique guards the matrix cmd/benchjson iterates.
+func TestCasesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if seen[c.Name] {
+			t.Errorf("duplicate case %q", c.Name)
+		}
+		seen[c.Name] = true
+		if _, err := FindCase(c.Name); err != nil {
+			t.Errorf("FindCase(%q): %v", c.Name, err)
+		}
+	}
+	if _, err := FindCase("nope"); err == nil {
+		t.Error("FindCase accepted an unknown name")
+	}
+}
+
+// TestStepWorkersInvariance is the fabric-level determinism check: the
+// same open-loop run produces identical counters at Workers=1 and
+// Workers=4 for every case in the matrix.
+func TestStepWorkersInvariance(t *testing.T) {
+	const cycles = 2_000
+	run := func(c Case, workers int) interface{} {
+		net := c.New(workers)
+		defer closeNet(net)
+		n := net.Topology().Nodes()
+		inj := newInjector(n)
+		for i := 0; i < cycles; i++ {
+			inj.Step(net)
+			net.Step()
+		}
+		return net.Stats()
+	}
+	for _, c := range Cases() {
+		if run(c, 1) != run(c, 4) {
+			t.Errorf("%s: stats differ between Workers=1 and Workers=4\n w1: %+v\n w4: %+v",
+				c.Name, run(c, 1), run(c, 4))
+		}
+	}
+}

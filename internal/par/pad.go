@@ -1,0 +1,29 @@
+package par
+
+import (
+	"unsafe"
+
+	"nocsim/internal/noc"
+)
+
+// CacheLine is the assumed coherence granularity. 64 bytes is correct
+// for every x86-64 and almost every arm64 part; a wrong guess costs
+// only a little padding, never correctness.
+const CacheLine = 64
+
+// PaddedStats is one worker shard's counter block, padded so that
+// adjacent shards in a []PaddedStats never share a cache line. It
+// replaces the fabrics' hand-counted `_ [40]byte` pads, which silently
+// went stale whenever noc.Stats gained a field; here the pad is
+// computed from unsafe.Sizeof and checked at compile time.
+type PaddedStats struct {
+	Stats noc.Stats
+	_     [statsPad]byte
+}
+
+// statsPad rounds noc.Stats up to a whole number of cache lines.
+const statsPad = (CacheLine - unsafe.Sizeof(noc.Stats{})%CacheLine) % CacheLine
+
+// Compile-time assertion: PaddedStats is an exact multiple of a cache
+// line (the array length is negative, and the build breaks, if not).
+var _ [0]byte = [unsafe.Sizeof(PaddedStats{}) % CacheLine]byte{}

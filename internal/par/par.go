@@ -1,0 +1,142 @@
+// Package par is the simulator's only sanctioned intra-simulation
+// concurrency primitive: a persistent shard-worker pool with a
+// reusable two-phase barrier. A fabric (or the system simulator)
+// creates one Pool when it is assembled and then runs every per-cycle
+// phase through Pool.Run, which wakes the long-lived workers over a
+// channel-pair barrier instead of spawning fresh goroutines twice per
+// cycle.
+//
+// Determinism contract: Run splits [0, n) into the same contiguous,
+// worker-indexed ranges on every call (shard i is always
+// [i*ceil(n/w), ...)), and it returns only after every shard has
+// finished. Workers touch disjoint state (their node range plus their
+// own padded counter shard), so no output can observe the
+// interleaving: a fabric stepped at Workers=1 and Workers=N produces
+// byte-identical results. The nocvet goroutine rule whitelists this
+// package (alongside internal/runner) so that every goroutine in the
+// tree lives in one of the two audited pools.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// job is one barrier phase: fn applied to every shard of [0, n).
+type job struct {
+	fn func(lo, hi, worker int)
+	n  int
+}
+
+// state carries everything the worker goroutines reference. It is
+// split from Pool so that the automatic cleanup can fire once the
+// Pool handle itself becomes unreachable: workers hold *state, never
+// *Pool.
+type state struct {
+	workers int
+	wake    []chan job // one per helper worker (worker IDs 1..workers-1)
+	done    chan struct{}
+	quit    chan struct{}
+	stopped atomic.Bool
+}
+
+// shutdown stops the workers exactly once; safe to call from Close and
+// from the GC cleanup.
+func (st *state) shutdown() {
+	if st.stopped.CompareAndSwap(false, true) {
+		close(st.quit)
+	}
+}
+
+// Pool is a persistent shard-worker pool. The zero value is not
+// usable; construct with New.
+type Pool struct {
+	st *state
+}
+
+// New creates a pool of the given width. It starts workers-1 helper
+// goroutines (the caller's goroutine always executes shard 0), which
+// sleep between Run calls and exit on Close. A pool that is dropped
+// without Close is reaped by a GC cleanup, so transient fabrics cannot
+// leak goroutines; long-lived owners should still Close deterministically.
+func New(workers int) *Pool {
+	if workers < 1 {
+		panic(fmt.Sprintf("par: pool width %d, want >= 1", workers))
+	}
+	st := &state{
+		workers: workers,
+		wake:    make([]chan job, workers-1),
+		done:    make(chan struct{}, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := range st.wake {
+		st.wake[i] = make(chan job, 1)
+		go st.work(i+1, st.wake[i])
+	}
+	p := &Pool{st: st}
+	runtime.AddCleanup(p, func(st *state) { st.shutdown() }, st)
+	return p
+}
+
+// work is the helper-worker loop: sleep until a phase arrives, execute
+// this worker's shard, signal the barrier.
+func (st *state) work(worker int, wake chan job) {
+	for {
+		select {
+		case j := <-wake:
+			lo, hi := shardRange(j.n, st.workers, worker)
+			if lo < hi {
+				j.fn(lo, hi, worker)
+			}
+			st.done <- struct{}{}
+		case <-st.quit:
+			return
+		}
+	}
+}
+
+// Workers returns the pool width (the number of shards Run produces).
+func (p *Pool) Workers() int { return p.st.workers }
+
+// Run executes one barrier phase: fn(lo, hi, worker) over the fixed
+// contiguous split of [0, n) into Workers() shards, worker w taking
+// shard w. The calling goroutine executes shard 0 itself; Run returns
+// only after every shard has completed, so successive phases of a
+// cycle are fully ordered.
+func (p *Pool) Run(n int, fn func(lo, hi, worker int)) {
+	st := p.st
+	if st.stopped.Load() {
+		panic("par: Run on closed Pool")
+	}
+	j := job{fn: fn, n: n}
+	for _, c := range st.wake {
+		c <- j
+	}
+	if lo, hi := shardRange(n, st.workers, 0); lo < hi {
+		fn(lo, hi, 0)
+	}
+	for range st.wake {
+		<-st.done
+	}
+}
+
+// Close stops the helper workers. It is idempotent; Run must not be
+// called afterwards.
+func (p *Pool) Close() { p.st.shutdown() }
+
+// shardRange returns worker w's contiguous slice of [0, n): the same
+// ceil(n/workers) split at any n, so shard boundaries — and therefore
+// per-shard counter contents — are a pure function of (n, workers).
+func shardRange(n, workers, w int) (lo, hi int) {
+	per := (n + workers - 1) / workers
+	lo = w * per
+	hi = lo + per
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}

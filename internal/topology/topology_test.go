@@ -238,3 +238,100 @@ func TestNewPanicsOnBadSize(t *testing.T) {
 	}()
 	New(Mesh, 0, 5)
 }
+
+// TestRouteTablesMatchComputation cross-checks the precomputed table
+// path against the closed-form path for every (at, dst) pair: the
+// tables are an optimisation, never a behaviour change.
+func TestRouteTablesMatchComputation(t *testing.T) {
+	for _, kind := range []Kind{Mesh, Torus} {
+		for _, dims := range [][2]int{{4, 4}, {5, 3}, {8, 8}} {
+			top := New(kind, dims[0], dims[1])
+			if top.rt == nil {
+				t.Fatalf("%v %dx%d: tables not built", kind, dims[0], dims[1])
+			}
+			plain := New(kind, dims[0], dims[1])
+			plain.rt = nil // force the computed path
+			n := top.Nodes()
+			var tb, cb [NumDirs]Port
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if got, want := top.XYRoute(a, b), plain.XYRoute(a, b); got != want {
+						t.Fatalf("%v %dx%d XYRoute(%d,%d) = %v, computed %v", kind, dims[0], dims[1], a, b, got, want)
+					}
+					if got, want := top.Distance(a, b), plain.Distance(a, b); got != want {
+						t.Fatalf("%v %dx%d Distance(%d,%d) = %d, computed %d", kind, dims[0], dims[1], a, b, got, want)
+					}
+					tabl := top.ProductiveDirs(tb[:0], a, b)
+					comp := plain.ProductiveDirs(cb[:0], a, b)
+					if len(tabl) != len(comp) {
+						t.Fatalf("%v %dx%d ProductiveDirs(%d,%d): table %v, computed %v", kind, dims[0], dims[1], a, b, tabl, comp)
+					}
+					for i := range tabl {
+						if tabl[i] != comp[i] {
+							t.Fatalf("%v %dx%d ProductiveDirs(%d,%d): table %v, computed %v", kind, dims[0], dims[1], a, b, tabl, comp)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableGating pins the table-building policy: true 2-D grids whose
+// table fits the cache budget get tables; 1-D lines and larger grids
+// do not — and the fallback still answers queries.
+func TestTableGating(t *testing.T) {
+	if top := New(Mesh, 16, 16); top.rt == nil {
+		t.Error("16x16 (256 KiB table) should have tables")
+	}
+	if top := New(Mesh, 32, 32); top.rt != nil {
+		t.Error("32x32 (4 MiB table) should not build tables: over the cache budget")
+	}
+	line := New(Mesh, 256, 1)
+	if line.rt != nil {
+		t.Error("1-D line should not build tables")
+	}
+	if d := line.Distance(0, 255); d != 255 {
+		t.Errorf("line fallback Distance = %d, want 255", d)
+	}
+	if p := line.XYRoute(0, 7); p != East {
+		t.Errorf("line fallback XYRoute = %v, want East", p)
+	}
+	if m := line.ProductiveMask(3, 9); m != 1<<uint(East) {
+		t.Errorf("line fallback ProductiveMask = %b, want East only", m)
+	}
+	big := New(Mesh, 65, 64) // 4160 nodes > MaxTableNodes
+	if big.rt != nil {
+		t.Error("4160-node mesh should not build tables")
+	}
+	if d := big.Distance(0, big.Nodes()-1); d != 64+63 {
+		t.Errorf("big fallback Distance = %d, want %d", d, 64+63)
+	}
+	// The budget boundary itself: 512 nodes is exactly 1 MiB.
+	if top := New(Mesh, 32, 16); top.rt == nil {
+		t.Error("512-node mesh (exactly the budget) should have tables")
+	}
+	if top := New(Mesh, 33, 16); top.rt != nil {
+		t.Error("528-node mesh (over the budget) should not have tables")
+	}
+}
+
+// TestProductiveMaskMatchesDirs checks the mask and slice forms agree
+// on both the table and computed paths.
+func TestProductiveMaskMatchesDirs(t *testing.T) {
+	for _, top := range []*Topology{New(Mesh, 6, 6), New(Torus, 6, 6), New(Mesh, 300, 1)} {
+		n := top.Nodes()
+		var buf [NumDirs]Port
+		for a := 0; a < n; a += 7 {
+			for b := 0; b < n; b += 5 {
+				var fromMask uint8
+				for _, d := range top.ProductiveDirs(buf[:0], a, b) {
+					fromMask |= 1 << uint(d)
+				}
+				if m := top.ProductiveMask(a, b); m != fromMask {
+					t.Fatalf("ProductiveMask(%d,%d) = %b, dirs give %b", a, b, m, fromMask)
+				}
+			}
+		}
+	}
+}
