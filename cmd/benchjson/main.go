@@ -35,6 +35,23 @@ type record struct {
 	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
 }
 
+// environment identifies the machine and toolchain a benchmark file was
+// produced on; numbers are only comparable within one environment.
+type environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// benchFile is the output document: environment metadata plus the
+// benchmark matrix.
+type benchFile struct {
+	Env     environment `json:"env"`
+	Records []record    `json:"records"`
+}
+
 func main() {
 	testing.Init() // registers -test.* flags so benchtime is settable
 	var (
@@ -71,7 +88,17 @@ func main() {
 		}
 	}
 
-	js, err := json.MarshalIndent(records, "", "  ")
+	doc := benchFile{
+		Env: environment{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+		Records: records,
+	}
+	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
 	}

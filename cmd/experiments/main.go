@@ -17,11 +17,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"nocsim/internal/exp"
+	"nocsim/internal/obs"
 	"nocsim/internal/plot"
+	"nocsim/internal/runner"
 )
 
 // runJSON is one simulation's report in -json output: the declarative
@@ -70,8 +74,45 @@ func main() {
 		parallel = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
 		asPlot   = flag.Bool("plot", false, "append an ASCII chart of each figure's series")
+		progress = flag.Bool("progress", false, "print a live line per completed run to stderr")
+
+		obsInterval = flag.Int64("obs-interval", 0, "record an interval sample every N cycles (0 = off)")
+		obsTrace    = flag.Uint64("obs-trace", 0, "trace the lifecycle of ~1/N packets as Chrome trace JSON (0 = off, 1 = all)")
+		obsSpatial  = flag.Bool("obs-spatial", false, "collect per-link and per-node heatmap grids")
+		obsDir      = flag.String("obs-dir", "obs", "directory for observability exports and run manifests")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -107,6 +148,13 @@ func main() {
 	}
 	if *parallel > 0 {
 		sc.Parallel = *parallel
+	}
+	sc.Obs = obs.Options{SampleInterval: *obsInterval, TraceSample: *obsTrace, Spatial: *obsSpatial}
+	if sc.Obs.Enabled() {
+		sc.ObsDir = *obsDir
+	}
+	if *progress {
+		sc.Progress = runner.NewProgress(os.Stderr)
 	}
 
 	var ids []string

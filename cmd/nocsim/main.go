@@ -13,9 +13,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"nocsim/internal/app"
+	"nocsim/internal/obs"
 	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/topology"
@@ -40,8 +43,29 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "congestion-aware productive-port routing (BLESS)")
 		sideBuffer = flag.Int("side-buffer", 0, "MinBD-style side buffer depth in flits (BLESS)")
 		writebacks = flag.Bool("writebacks", false, "model store traffic and dirty-eviction writebacks")
+
+		obsInterval = flag.Int64("obs-interval", 0, "record an interval sample every N cycles (0 = off)")
+		obsTrace    = flag.Uint64("obs-trace", 0, "trace the lifecycle of ~1/N packets as Chrome trace JSON (0 = off, 1 = all)")
+		obsSpatial  = flag.Bool("obs-spatial", false, "collect per-link and per-node heatmap grids")
+		obsDir      = flag.String("obs-dir", "obs", "directory for observability exports and the run manifest")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *epoch == 0 {
 		*epoch = *cycles / 10
@@ -114,9 +138,40 @@ func main() {
 		os.Exit(1)
 	}
 
-	s := sim.New(runner.Baseline(w, *size, *size, sc, opts...))
+	obsOpt := obs.Options{SampleInterval: *obsInterval, TraceSample: *obsTrace, Spatial: *obsSpatial}
+	if obsOpt.Enabled() {
+		opts = append(opts, runner.WithObs(obsOpt))
+	}
+
+	cfg := runner.Baseline(w, *size, *size, sc, opts...)
+	start := time.Now()
+	s := sim.New(cfg)
 	s.Run(*cycles)
+	elapsed := time.Since(start)
 	report(s, w, *verbose)
+	if obsOpt.Enabled() {
+		label := fmt.Sprintf("nocsim-%dx%d-%s-%s", *size, *size, *router, *wl)
+		if err := runner.ExportObs(s, *obsDir, label, cfg, elapsed); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observability exports written to %s/%s.*\n", *obsDir, label)
+	}
+	s.Close()
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nocsim:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func buildWorkload(spec string, n int, seed uint64) (workload.Workload, error) {

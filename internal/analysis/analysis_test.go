@@ -20,6 +20,8 @@ var fixtureCases = []struct {
 }{
 	{"wallclock", "nocsim/internal/sim"},
 	{"wallclock_exempt", "nocsim/cmd/probe"},
+	{"wallclock_obs", "nocsim/internal/obs"},
+	{"wallclock_exempt_runner", "nocsim/internal/runner"},
 	{"globalrand", "nocsim/internal/traffic"},
 	{"globalrand_clean", "nocsim/internal/traffic"},
 	{"maprange", "nocsim/internal/stats"},

@@ -14,6 +14,7 @@ var mapRangePkgs = []string{
 	"internal/stats",
 	"internal/plot",
 	"internal/noc",
+	"internal/obs",
 }
 
 // MapRange forbids ranging over a map in the output and aggregation
@@ -22,7 +23,7 @@ var mapRangePkgs = []string{
 // provably cannot reach any output (pure accumulation, set rebuild).
 var MapRange = &Analyzer{
 	Name: "maprange",
-	Doc:  "no range over a map in non-test files of sim/exp/stats/plot/noc",
+	Doc:  "no range over a map in non-test files of sim/exp/stats/plot/noc/obs",
 	Run: func(pass *Pass) {
 		if pass.Info == nil {
 			return

@@ -1,0 +1,31 @@
+// Package wallclockrunner pins the other side of the wallclock
+// exemption boundary: the fixture is analyzed as nocsim/internal/runner,
+// the one library package allowed to read the host clock. The shapes
+// here mirror the sanctioned uses — the live progress reporter and the
+// manifest's elapsed stamp — and the rule must stay silent on all of
+// them.
+package wallclockrunner
+
+import "time"
+
+// progress mirrors the runner's live reporter: per-run completion
+// lines timed on the wall clock, diagnostics only.
+type progress struct {
+	start time.Time
+}
+
+func (p *progress) begin() {
+	p.start = time.Now()
+}
+
+func (p *progress) elapsed() time.Duration {
+	return time.Since(p.start)
+}
+
+// stampManifest mirrors the executor timing one run for its manifest's
+// elapsed_ms field (excluded from determinism comparisons).
+func stampManifest() float64 {
+	start := time.Now()
+	elapsed := time.Since(start)
+	return float64(elapsed.Microseconds()) / 1000
+}

@@ -1,0 +1,32 @@
+// Package wallclockobs pins the exemption boundary of the wallclock
+// rule on the observability side: the fixture is analyzed as
+// nocsim/internal/obs, which must stay cycle-indexed — collectors that
+// read the host clock would make exports differ between machines and
+// runs. The sanctioned wall-clock users (the runner's progress
+// reporter, manifest elapsed stamping) live in internal/runner; see
+// the wallclock_exempt_runner fixture.
+package wallclockobs
+
+import "time"
+
+// sample is a stand-in interval record.
+type sample struct {
+	cycle int64
+	at    time.Time
+}
+
+func record(cycle int64) sample {
+	return sample{
+		cycle: cycle,
+		at:    time.Now(), // want "time.Now reads the wall clock"
+	}
+}
+
+func age(s sample) time.Duration {
+	return time.Since(s.at) // want "time.Since reads the wall clock"
+}
+
+func goodDelta(endCycle, startCycle int64) int64 {
+	// Simulated-time arithmetic is the deterministic alternative.
+	return endCycle - startCycle
+}

@@ -11,11 +11,15 @@ var wallclockFuncs = []string{"Now", "Since", "Until"}
 
 // Wallclock forbids reading the wall clock outside cmd/ and
 // internal/runner. Simulated time is the cycle counter; host time may
-// only be observed by the process entry points and the run executor,
-// which report elapsed wall time without feeding it back into results.
+// only be observed by the process entry points and the run executor —
+// that sanction covers the runner's progress reporter and the
+// elapsed_ms field it stamps into run manifests, both diagnostics that
+// never feed back into results. The observability collectors
+// (internal/obs) are NOT exempt: every collector is indexed by
+// simulated cycle, which is what keeps their exports reproducible.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "no time.Now/time.Since/time.Until outside cmd/ and internal/runner",
+	Doc:  "no time.Now/time.Since/time.Until outside cmd/ and internal/runner (the runner's progress reporter and manifest timing are the sanctioned uses)",
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
 		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" {

@@ -21,6 +21,7 @@ import (
 	"math/bits"
 
 	"nocsim/internal/noc"
+	"nocsim/internal/obs"
 	"nocsim/internal/par"
 	"nocsim/internal/rng"
 	"nocsim/internal/topology"
@@ -92,6 +93,9 @@ type Config struct {
 	// loop). Its width must equal Workers. Nil makes the fabric create
 	// its own pool when sharding engages.
 	Pool *par.Pool
+	// Probe supplies the observability hooks; the zero Probe (nil
+	// collectors) costs one predictable branch per event.
+	Probe obs.Probe
 }
 
 const maxDirs = int(topology.NumDirs)
@@ -144,6 +148,11 @@ type Fabric struct {
 	stats    noc.Stats
 	inflight int64
 
+	// tr and sp are the observability collectors; nil when disabled
+	// (the common case), so every hook is one predictable branch.
+	tr *obs.Tracer
+	sp *obs.Spatial
+
 	randSrc []*rng.Source // per node, Random arbiter only
 }
 
@@ -177,6 +186,8 @@ func New(cfg Config) *Fabric {
 		in:     make([]slot, n*maxDirs*cfg.HopLatency),
 		outBuf: make([]slot, n*maxDirs),
 		shards: make([]par.PaddedStats, cfg.Workers),
+		tr:     cfg.Probe.Tracer,
+		sp:     cfg.Probe.Spatial,
 	}
 	// Sharding pays only when every worker gets a few nodes; below that
 	// the fabric steps sequentially and the pool is never consulted.
@@ -331,6 +342,12 @@ func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
 				st.FlitsEjected++
 				st.CrossbarTraversals++
 				st.NetFlitLatencySum += f.cycle - fl.Inject
+				if f.sp != nil {
+					f.sp.AddEject(node)
+				}
+				if f.tr != nil {
+					f.tr.Eject(f.cycle, node, fl)
+				}
 				if _, done := nic.Receive(fl, f.cycle); done {
 					st.PacketsDelivered++
 					st.PacketLatencySum += f.cycle - fl.Enq
@@ -407,6 +424,9 @@ func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []s
 		f.side[idx] = *fl
 		f.sideCount[node]++
 		st.BufferWrites++
+		if f.tr != nil {
+			f.tr.Buffer(f.cycle, node, fl)
+		}
 		return
 	}
 
@@ -435,6 +455,12 @@ func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []s
 	out[best] = slot{f: *fl, ok: true}
 	st.CrossbarTraversals++
 	st.Deflections++
+	if f.sp != nil {
+		f.sp.AddDeflect(node)
+	}
+	if f.tr != nil {
+		f.tr.Deflect(f.cycle, node, fl)
+	}
 }
 
 // reinjectSide moves the side buffer's head flit back into the router
@@ -486,14 +512,26 @@ func (f *Fabric) inject(node int, nic *noc.NIC, used *[maxDirs]bool, out []slot,
 		st.QueueLatencySum += f.cycle - fl.Enq
 		st.CrossbarTraversals++
 		injected = true
+		if f.sp != nil {
+			f.sp.AddInject(node)
+		}
+		if f.tr != nil {
+			f.tr.Inject(f.cycle, node, &fl)
+		}
 	}
 	if wanted {
 		st.WantedCycles++
 		if !injected {
 			if throttled {
 				st.ThrottledCycles++
+				if f.sp != nil {
+					f.sp.AddThrottle(node)
+				}
 			} else {
 				st.StarvedCycles++
+				if f.sp != nil {
+					f.sp.AddStarve(node)
+				}
 			}
 		}
 	}
@@ -569,6 +607,9 @@ func (f *Fabric) phase2(lo, hi int, st *noc.Stats) {
 			idx := (nb*maxDirs+int(ad))*f.depth + stage
 			f.in[idx] = slot{f: o.f, ok: true}
 			st.LinkTraversals++
+			if f.sp != nil {
+				f.sp.AddLink(node, d)
+			}
 		}
 	}
 }

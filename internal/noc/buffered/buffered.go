@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/noc"
+	"nocsim/internal/obs"
 	"nocsim/internal/par"
 	"nocsim/internal/topology"
 )
@@ -45,6 +46,9 @@ type Config struct {
 	// loop). Its width must equal Workers. Nil makes the fabric create
 	// its own pool when sharding engages.
 	Pool *par.Pool
+	// Probe supplies the observability hooks; the zero Probe (nil
+	// collectors) costs one predictable branch per event.
+	Probe obs.Probe
 }
 
 const (
@@ -149,6 +153,11 @@ type Fabric struct {
 
 	stats noc.Stats
 
+	// tr and sp are the observability collectors; nil when disabled
+	// (the common case), so every hook is one predictable branch.
+	tr *obs.Tracer
+	sp *obs.Spatial
+
 	inflight int64
 }
 
@@ -195,6 +204,8 @@ func New(cfg Config) *Fabric {
 		outFlit:   make([]flitSlot, n*maxDirs),
 		outCredit: make([]creditSlot, n*maxDirs),
 		shards:    make([]par.PaddedStats, cfg.Workers),
+		tr:        cfg.Probe.Tracer,
+		sp:        cfg.Probe.Spatial,
 	}
 	// Sharding pays only when every worker gets a few nodes; below that
 	// the fabric steps sequentially and the pool is never consulted.
@@ -331,6 +342,9 @@ func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
 				}
 				vc.push(fs.f)
 				st.BufferWrites++
+				if f.tr != nil {
+					f.tr.Buffer(f.cycle, node, &fs.f)
+				}
 			}
 			cs := &f.creditIn[(base+d)*f.depth+stage]
 			if cs.vc >= 0 {
@@ -463,8 +477,14 @@ func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
 			if !injected {
 				if throttled {
 					st.ThrottledCycles++
+					if f.sp != nil {
+						f.sp.AddThrottle(node)
+					}
 				} else {
 					st.StarvedCycles++
+					if f.sp != nil {
+						f.sp.AddStarve(node)
+					}
 				}
 			}
 		}
@@ -650,6 +670,12 @@ func (f *Fabric) traverseDir(node int, r *router, nic *noc.NIC, g inputRef, out 
 	if out == topology.Local {
 		st.FlitsEjected++
 		st.NetFlitLatencySum += f.cycle - fl.Inject
+		if f.sp != nil {
+			f.sp.AddEject(node)
+		}
+		if f.tr != nil {
+			f.tr.Eject(f.cycle, node, &fl)
+		}
 		if _, done := nic.Receive(&fl, f.cycle); done {
 			st.PacketsDelivered++
 			st.PacketLatencySum += f.cycle - fl.Enq
@@ -677,9 +703,21 @@ func (f *Fabric) traverseLocal(node int, r *router, nic *noc.NIC, v int, out top
 	st.FlitsInjected++
 	st.QueueLatencySum += f.cycle - fl.Enq
 	st.CrossbarTraversals++
+	if f.sp != nil {
+		f.sp.AddInject(node)
+	}
+	if f.tr != nil {
+		f.tr.Inject(f.cycle, node, &fl)
+	}
 	if out == topology.Local {
 		// Self-addressed packet: immediately delivered.
 		st.FlitsEjected++
+		if f.sp != nil {
+			f.sp.AddEject(node)
+		}
+		if f.tr != nil {
+			f.tr.Eject(f.cycle, node, &fl)
+		}
 		if _, done := nic.Receive(&fl, f.cycle); done {
 			st.PacketsDelivered++
 			st.PacketLatencySum += f.cycle - fl.Enq
@@ -713,6 +751,9 @@ func (f *Fabric) phase2(lo, hi int, st *noc.Stats) {
 				ad := topology.Opposite(topology.Port(d))
 				f.flitIn[(nb*maxDirs+int(ad))*f.depth+stage] = flitSlot{f: o.f, ok: true}
 				st.LinkTraversals++
+				if f.sp != nil {
+					f.sp.AddLink(node, d)
+				}
 			}
 			c := &f.outCredit[base+d]
 			if c.vc >= 0 {

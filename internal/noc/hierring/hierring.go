@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"nocsim/internal/noc"
+	"nocsim/internal/obs"
 	"nocsim/internal/par"
 	"nocsim/internal/topology"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// loop). Its width must equal Workers. Nil makes the fabric create
 	// its own pool when sharding engages.
 	Pool *par.Pool
+	// Probe supplies the observability hooks; the zero Probe (nil
+	// collectors) costs one predictable branch per event. Rings have no
+	// 2D link geometry, so the link grid stays zero; bridge-FIFO entries
+	// are attributed to the ring's first node.
+	Probe obs.Probe
 }
 
 // slot is one ring position.
@@ -107,6 +113,11 @@ type Fabric struct {
 	pool *par.Pool
 	pl   func(lo, hi, worker int)
 
+	// tr and sp are the observability collectors; nil when disabled
+	// (the common case), so every hook is one predictable branch.
+	tr *obs.Tracer
+	sp *obs.Spatial
+
 	stats    noc.Stats
 	inflight int64
 }
@@ -142,6 +153,8 @@ func New(cfg Config) *Fabric {
 		l2g:    make([]fifo, groups),
 		g2l:    make([]fifo, groups),
 		shards: make([]par.PaddedStats, cfg.Workers),
+		tr:     cfg.Probe.Tracer,
+		sp:     cfg.Probe.Spatial,
 	}
 	// Sharding pays only when every worker gets at least one whole ring;
 	// below that the fabric steps sequentially and never consults the pool.
@@ -308,6 +321,12 @@ func (f *Fabric) nodeStop(node int, in slot, st *noc.Stats) slot {
 		st.FlitsEjected++
 		st.CrossbarTraversals++
 		st.NetFlitLatencySum += f.cycle - in.f.Inject
+		if f.sp != nil {
+			f.sp.AddEject(node)
+		}
+		if f.tr != nil {
+			f.tr.Eject(f.cycle, node, &in.f)
+		}
 		if _, done := nic.Receive(&in.f, f.cycle); done {
 			st.PacketsDelivered++
 			st.PacketLatencySum += f.cycle - in.f.Enq
@@ -328,6 +347,12 @@ func (f *Fabric) nodeStop(node int, in slot, st *noc.Stats) slot {
 			st.FlitsInjected++
 			st.QueueLatencySum += f.cycle - fl.Enq
 			st.CrossbarTraversals++
+			if f.sp != nil {
+				f.sp.AddInject(node)
+			}
+			if f.tr != nil {
+				f.tr.Inject(f.cycle, node, &fl)
+			}
 			in = slot{f: fl, ok: true}
 			injected = true
 		}
@@ -337,8 +362,14 @@ func (f *Fabric) nodeStop(node int, in slot, st *noc.Stats) slot {
 		if !injected {
 			if throttled {
 				st.ThrottledCycles++
+				if f.sp != nil {
+					f.sp.AddThrottle(node)
+				}
 			} else {
 				st.StarvedCycles++
+				if f.sp != nil {
+					f.sp.AddStarve(node)
+				}
 			}
 		}
 	}
@@ -356,6 +387,9 @@ func (f *Fabric) nodeStop(node int, in slot, st *noc.Stats) slot {
 func (f *Fabric) bridgeLocal(g int, in slot, st *noc.Stats) slot {
 	if in.ok && f.ring(int(in.f.Dst)) != g {
 		if !f.l2g[g].full() {
+			if f.tr != nil {
+				f.tr.Buffer(f.cycle, f.nodeAt(g, 0), &in.f)
+			}
 			f.l2g[g].push(in.f)
 			st.BufferWrites++
 			in = slot{}
@@ -376,6 +410,9 @@ func (f *Fabric) bridgeLocal(g int, in slot, st *noc.Stats) slot {
 func (f *Fabric) bridgeGlobal(g int, in slot, st *noc.Stats) slot {
 	if in.ok && f.ring(int(in.f.Dst)) == g {
 		if !f.g2l[g].full() {
+			if f.tr != nil {
+				f.tr.Buffer(f.cycle, f.nodeAt(g, 0), &in.f)
+			}
 			f.g2l[g].push(in.f)
 			st.BufferWrites++
 			in = slot{}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+
+	"nocsim/internal/noc"
+)
+
+// Manifest is the reproducibility record written alongside every
+// observed run: everything needed to re-run it (config, seed), to
+// interpret it across machines (go version, platform), and to verify
+// that a re-run — at any parallelism — produced the same simulation
+// (the counters hash). ElapsedMS is the one nondeterministic field; it
+// is filled by the runner or the command, the only layers allowed to
+// read the wall clock.
+type Manifest struct {
+	// Label names the run ("fig2/w03").
+	Label string `json:"label"`
+	// GoVersion, GOOS, GOARCH, GOMAXPROCS and NumCPU describe the
+	// executing environment.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Seed, Nodes and Cycles summarize the run.
+	Seed   uint64 `json:"seed"`
+	Nodes  int    `json:"nodes"`
+	Cycles int64  `json:"cycles"`
+	// ElapsedMS is the measured wall-clock time (nondeterministic;
+	// compare manifests on CountersHash, never on this).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// CountersHash digests the run's final counters; equal hashes mean
+	// the simulations were identical event for event.
+	CountersHash string `json:"counters_hash"`
+	// Config is the full assembled simulation configuration.
+	Config json.RawMessage `json:"config"`
+}
+
+// FillEnv populates the environment fields from the running process.
+func (m *Manifest) FillEnv() {
+	m.GoVersion = runtime.Version()
+	m.GOOS = runtime.GOOS
+	m.GOARCH = runtime.GOARCH
+	m.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	m.NumCPU = runtime.NumCPU()
+}
+
+// Write emits the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding manifest: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// HashCounters digests the fabric counters plus any extra totals
+// (retired instructions, misses) into a short stable hex string. Two
+// runs with equal hashes executed the same simulation: every counter
+// is a sum over per-cycle events, so a single diverging event moves
+// some field. Fields are hashed in declaration order via reflection,
+// so a counter added to noc.Stats is automatically covered.
+func HashCounters(net noc.Stats, extra ...int64) string {
+	h := sha256.New()
+	var b [8]byte
+	v := reflect.ValueOf(net)
+	for i := 0; i < v.NumField(); i++ {
+		binary.LittleEndian.PutUint64(b[:], uint64(v.Field(i).Int()))
+		h.Write(b[:])
+	}
+	for _, e := range extra {
+		binary.LittleEndian.PutUint64(b[:], uint64(e))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

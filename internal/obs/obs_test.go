@@ -1,0 +1,252 @@
+// External tests for the observability layer: they drive full
+// simulations through the runner presets (so configs flow through the
+// sanctioned assembly path) and pin the three export-level contracts —
+// a golden interval-sampler series, worker-count invariance of every
+// export, and Chrome trace-event validity.
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/runner"
+	"nocsim/internal/sim"
+	"nocsim/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// testScale is the small deterministic scale every test here runs at.
+func testScale() runner.Scale {
+	return runner.Scale{Cycles: 8_000, Epoch: 1_000, Seed: 42}
+}
+
+// observedConfig assembles the baseline 4x4 BLESS run with every
+// collector enabled. workers pins the fabric shard count.
+func observedConfig(workers int) sim.Config {
+	sc := testScale()
+	cat, _ := workload.CategoryByName("HML")
+	w := workload.Generate(cat, 16, sc.Seed)
+	return runner.Baseline(w, 4, 4, sc,
+		runner.WithWorkers(workers),
+		runner.WithObs(obs.Options{
+			SampleInterval: 1_000,
+			TraceSample:    4,
+			Spatial:        true,
+		}),
+	)
+}
+
+// runObserved executes one observed simulation to the test scale.
+func runObserved(t *testing.T, workers int) *sim.Sim {
+	t.Helper()
+	s := sim.New(observedConfig(workers))
+	t.Cleanup(s.Close)
+	s.Run(testScale().Cycles)
+	return s
+}
+
+// TestGoldenSamplerJSONL pins the interval-sampler export bytes for a
+// small baseline run. The series covers congestion building up on a
+// 4x4 HML workload; any change to sampling cadence, delta computation,
+// field ordering, or float formatting shows up here. Re-baseline with
+// -update in the same commit as an intentional change.
+func TestGoldenSamplerJSONL(t *testing.T) {
+	s := runObserved(t, 1)
+	var buf bytes.Buffer
+	if err := s.Obs().Sampler.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "sampler_golden.jsonl")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sampler JSONL drifted from golden fixture (%d vs %d bytes); run with -update if intentional",
+			buf.Len(), len(want))
+	}
+	if n := bytes.Count(buf.Bytes(), []byte("\n")); n != int(testScale().Cycles/1_000) {
+		t.Errorf("expected %d samples, got %d", testScale().Cycles/1_000, n)
+	}
+}
+
+// TestExportsWorkerInvariant is the sharding contract: every export
+// must be byte-identical between a sequential fabric and a 4-way
+// sharded one, because collector state is owned per node and shards
+// partition nodes.
+func TestExportsWorkerInvariant(t *testing.T) {
+	type exports struct {
+		jsonl, csv, trace, nodes, links []byte
+	}
+	collect := func(workers int) exports {
+		s := runObserved(t, workers)
+		o := s.Obs()
+		var e exports
+		for _, w := range []struct {
+			dst  *[]byte
+			emit func(*bytes.Buffer) error
+		}{
+			{&e.jsonl, func(b *bytes.Buffer) error { return o.Sampler.WriteJSONL(b) }},
+			{&e.csv, func(b *bytes.Buffer) error { return o.Sampler.WriteCSV(b) }},
+			{&e.trace, func(b *bytes.Buffer) error { return o.Tracer.WriteChromeTrace(b) }},
+			{&e.nodes, func(b *bytes.Buffer) error { return o.Spatial.WriteNodeCSV(b) }},
+			{&e.links, func(b *bytes.Buffer) error { return o.Spatial.WriteLinkCSV(b) }},
+		} {
+			var buf bytes.Buffer
+			if err := w.emit(&buf); err != nil {
+				t.Fatal(err)
+			}
+			*w.dst = buf.Bytes()
+		}
+		return e
+	}
+	seq, par := collect(1), collect(4)
+	for _, c := range []struct {
+		name     string
+		got, ref []byte
+	}{
+		{"sampler JSONL", par.jsonl, seq.jsonl},
+		{"sampler CSV", par.csv, seq.csv},
+		{"chrome trace", par.trace, seq.trace},
+		{"node grid CSV", par.nodes, seq.nodes},
+		{"link grid CSV", par.links, seq.links},
+	} {
+		if !bytes.Equal(c.got, c.ref) {
+			t.Errorf("%s differs between Workers=1 and Workers=4 (%d vs %d bytes)",
+				c.name, len(c.ref), len(c.got))
+		}
+	}
+}
+
+// TestCountersHashWorkerInvariant pins the manifest hash the CI smoke
+// compares across -parallel settings: identical simulations must
+// digest identically, and any diverging counter must move the hash.
+func TestCountersHashWorkerInvariant(t *testing.T) {
+	h := func(workers int) string {
+		s := runObserved(t, workers)
+		m := s.Metrics()
+		var retired int64
+		for _, r := range m.Retired {
+			retired += r
+		}
+		return obs.HashCounters(m.Net, retired, m.Misses)
+	}
+	h1, h4 := h(1), h(4)
+	if h1 != h4 {
+		t.Errorf("counters hash differs across worker counts: %s vs %s", h1, h4)
+	}
+	s := runObserved(t, 1)
+	m := s.Metrics()
+	perturbed := m.Net
+	perturbed.Deflections++
+	if obs.HashCounters(m.Net) == obs.HashCounters(perturbed) {
+		t.Error("counters hash insensitive to a single diverging event")
+	}
+}
+
+// chromeTraceDoc mirrors the Chrome trace-event JSON schema the
+// exporter must satisfy for Perfetto's legacy ingestion.
+type chromeTraceDoc struct {
+	TraceEvents []struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		Ts   *int64          `json:"ts"`
+		Dur  int64           `json:"dur"`
+		Pid  *int64          `json:"pid"`
+		Tid  *uint64         `json:"tid"`
+		S    string          `json:"s"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// TestChromeTraceValid checks the export parses as Chrome trace-event
+// JSON with the invariants Perfetto needs: a traceEvents array, known
+// phase codes, required fields per phase, and non-negative durations.
+func TestChromeTraceValid(t *testing.T) {
+	s := runObserved(t, 1)
+	var buf bytes.Buffer
+	if err := s.Obs().Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTraceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents for a traced congested run")
+	}
+	sawComplete, sawInstant := false, false
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %d misses a required field: %+v", i, ev)
+		}
+		switch ev.Ph {
+		case "X":
+			sawComplete = true
+			if ev.Dur < 0 {
+				t.Fatalf("event %d: negative duration %d", i, ev.Dur)
+			}
+		case "i":
+			sawInstant = true
+			if ev.S == "" {
+				t.Fatalf("instant event %d misses scope", i)
+			}
+		default:
+			t.Fatalf("event %d: unknown phase %q", i, ev.Ph)
+		}
+		if *ev.Ts < 0 {
+			t.Fatalf("event %d: negative timestamp %d", i, *ev.Ts)
+		}
+	}
+	if !sawComplete || !sawInstant {
+		t.Errorf("trace lacks phase variety: complete=%v instant=%v", sawComplete, sawInstant)
+	}
+}
+
+// TestTracerSamplingDeterministic pins the packet-selection hash: the
+// same sequence numbers must always be sampled, independent of tracer
+// instance, and sample=1 must select everything.
+func TestTracerSamplingDeterministic(t *testing.T) {
+	a := obs.NewTracer(16, 1024, 8)
+	b := obs.NewTracer(16, 1024, 8)
+	selected := 0
+	for seq := uint64(0); seq < 4096; seq++ {
+		if a.Sampled(seq) != b.Sampled(seq) {
+			t.Fatalf("sampling decision for seq %d differs between instances", seq)
+		}
+		if a.Sampled(seq) {
+			selected++
+		}
+	}
+	// A hash-based 1-in-8 selection over 4096 seqs lands near 512.
+	if selected < 256 || selected > 1024 {
+		t.Errorf("1/8 sampling selected %d of 4096 packets", selected)
+	}
+	all := obs.NewTracer(16, 1024, 1)
+	for seq := uint64(0); seq < 64; seq++ {
+		if !all.Sampled(seq) {
+			t.Fatalf("sample=1 must trace every packet, missed seq %d", seq)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+)
+
+// ExportObs writes every enabled collector of an observed simulation
+// into dir as <label>.<kind> files: samples.jsonl and samples.csv
+// (interval time series), trace.json (Chrome trace-event format),
+// nodes.csv and links.csv (spatial grids), and manifest.json (the
+// reproducibility record). It is a no-op when the simulation was built
+// without collectors. All exports except the manifest's elapsed_ms
+// field are deterministic: byte-identical at any Workers or -parallel
+// setting.
+func ExportObs(s *sim.Sim, dir, label string, cfg sim.Config, elapsed time.Duration) error {
+	o := s.Obs()
+	if o == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("runner: creating obs dir: %w", err)
+	}
+	base := filepath.Join(dir, sanitizeLabel(label))
+
+	if o.Sampler != nil {
+		if err := writeFile(base+".samples.jsonl", o.Sampler.WriteJSONL); err != nil {
+			return err
+		}
+		if err := writeFile(base+".samples.csv", o.Sampler.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if o.Tracer != nil {
+		if err := writeFile(base+".trace.json", o.Tracer.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if o.Spatial != nil {
+		if err := writeFile(base+".nodes.csv", o.Spatial.WriteNodeCSV); err != nil {
+			return err
+		}
+		if err := writeFile(base+".links.csv", o.Spatial.WriteLinkCSV); err != nil {
+			return err
+		}
+	}
+
+	m := s.Metrics()
+	var retired int64
+	for _, r := range m.Retired {
+		retired += r
+	}
+	rawCfg, err := json.Marshal(&cfg)
+	if err != nil {
+		return fmt.Errorf("runner: encoding config for manifest: %w", err)
+	}
+	man := obs.Manifest{
+		Label:        label,
+		Seed:         cfg.Seed,
+		Nodes:        m.Nodes,
+		Cycles:       m.Cycles,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		CountersHash: obs.HashCounters(m.Net, retired, m.Misses),
+		Config:       rawCfg,
+	}
+	man.FillEnv()
+	return writeFile(base+".manifest.json", man.Write)
+}
+
+// writeFile creates path and streams one collector export into it.
+func writeFile(path string, emit func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runner: creating %s: %w", path, err)
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitizeLabel maps a run label onto a safe file stem: path
+// separators and shell-hostile characters become dashes.
+func sanitizeLabel(label string) string {
+	var b strings.Builder
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	if b.Len() == 0 {
+		return "run"
+	}
+	return b.String()
+}

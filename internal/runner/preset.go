@@ -2,6 +2,7 @@ package runner
 
 import (
 	"nocsim/internal/core"
+	"nocsim/internal/obs"
 	"nocsim/internal/sim"
 	"nocsim/internal/topology"
 	"nocsim/internal/workload"
@@ -128,6 +129,12 @@ func WithRecordEpochs() Option {
 // executor's oversubscription-safe choice.
 func WithWorkers(n int) Option {
 	return func(c *sim.Config) { c.Workers = n }
+}
+
+// WithObs enables the observability collectors for this run,
+// overriding the scale-level default.
+func WithObs(o obs.Options) Option {
+	return func(c *sim.Config) { c.Obs = o }
 }
 
 // WithRingGroup selects the hierarchical ring fabric with local rings

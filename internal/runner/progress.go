@@ -1,0 +1,56 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is the live execution reporter: one line per completed run,
+// serialized across the pool's worker goroutines. It lives in the
+// runner because reporting needs the wall clock, and internal/runner
+// (with cmd/) is the only layer the determinism lint allows to read
+// it; everything it prints is diagnostic and never feeds back into a
+// simulation or a result.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+	start time.Time
+}
+
+// NewProgress returns a reporter writing to w (typically stderr).
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w}
+}
+
+// begin arms the reporter for a plan of total runs.
+func (p *Progress) begin(total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total = total
+	p.done = 0
+	p.start = time.Now()
+}
+
+// finish reports one completed run.
+func (p *Progress) finish(st Stat) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "[%*d/%d] %-40s %5d nodes %9d cycles %8.2fs (total %.1fs)\n",
+		digits(p.total), p.done, p.total, st.Label, st.Nodes, st.Cycles,
+		st.Elapsed.Seconds(), time.Since(p.start).Seconds())
+}
+
+// digits returns the print width of n, for aligned counters.
+func digits(n int) int {
+	w := 1
+	for n >= 10 {
+		n /= 10
+		w++
+	}
+	return w
+}

@@ -57,13 +57,18 @@ type Stat struct {
 
 // Plan is an ordered collection of declared runs.
 type Plan struct {
-	sc    Scale
-	runs  []Run
-	stats []Stat
+	sc       Scale
+	runs     []Run
+	stats    []Stat
+	progress *Progress
 }
 
-// NewPlan starts an empty plan at the given scale.
-func NewPlan(sc Scale) *Plan { return &Plan{sc: sc} }
+// NewPlan starts an empty plan at the given scale, inheriting the
+// scale's progress reporter.
+func NewPlan(sc Scale) *Plan { return &Plan{sc: sc, progress: sc.Progress} }
+
+// SetProgress attaches a live per-run completion reporter; nil detaches.
+func (p *Plan) SetProgress(pr *Progress) { p.progress = pr }
 
 // Add declares a run and returns its index, which is also the index of
 // its metrics in Execute's result.
@@ -92,6 +97,9 @@ func (p *Plan) Execute() []sim.Metrics {
 	}
 	pool := p.sc.pool(n)
 	intra := intraWorkers(p.sc, pool)
+	if p.progress != nil {
+		p.progress.begin(n)
+	}
 	if pool == 1 {
 		for i := range p.runs {
 			out[i] = p.execOne(i, intra)
@@ -125,6 +133,9 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 	if cfg.Workers == 0 {
 		cfg.Workers = WorkersFor(nodes, intra)
 	}
+	if !cfg.Obs.Enabled() {
+		cfg.Obs = p.sc.Obs
+	}
 	start := time.Now()
 	s := sim.New(cfg)
 	defer s.Close()
@@ -142,7 +153,16 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 		}
 	}
 	m := s.Metrics()
-	p.stats[i] = Stat{Label: r.Label, Nodes: nodes, Cycles: m.Cycles, Elapsed: time.Since(start)}
+	elapsed := time.Since(start)
+	if p.sc.ObsDir != "" {
+		if err := ExportObs(s, p.sc.ObsDir, r.Label, cfg, elapsed); err != nil {
+			panic(err)
+		}
+	}
+	p.stats[i] = Stat{Label: r.Label, Nodes: nodes, Cycles: m.Cycles, Elapsed: elapsed}
+	if p.progress != nil {
+		p.progress.finish(p.stats[i])
+	}
 	return m
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"nocsim/internal/core"
+	"nocsim/internal/obs"
 )
 
 // Scale sets the cost/fidelity trade-off of every experiment.
@@ -26,6 +27,16 @@ type Scale struct {
 	Parallel int
 	// Seed roots all randomness.
 	Seed uint64
+	// Obs configures the observability collectors for every run whose
+	// config leaves them unset; the zero value observes nothing.
+	Obs obs.Options
+	// ObsDir, when non-empty, makes the executor export every observed
+	// run's collectors and manifest into this directory.
+	ObsDir string
+	// Progress, when non-nil, receives a live line per completed run on
+	// every Plan executed at this scale (wall-clock diagnostics only;
+	// results are unaffected).
+	Progress *Progress
 }
 
 // DefaultScale finishes the full suite in minutes on a laptop while

@@ -28,6 +28,7 @@ import (
 	"nocsim/internal/noc/bless"
 	"nocsim/internal/noc/buffered"
 	"nocsim/internal/noc/hierring"
+	"nocsim/internal/obs"
 	"nocsim/internal/par"
 	"nocsim/internal/topology"
 	"nocsim/internal/trace"
@@ -174,6 +175,9 @@ type Config struct {
 	Workers int
 	// Seed makes the whole system deterministic.
 	Seed uint64
+	// Obs configures the observability collectors (zero disables them;
+	// disabled collectors cost one nil check per fabric event).
+	Obs obs.Options
 	// RecordEpochs keeps per-epoch, per-node IPF and starvation samples
 	// for distribution plots (Fig. 9, Table 1 variance).
 	RecordEpochs bool
@@ -284,6 +288,10 @@ type Sim struct {
 	controlPackets    int64
 	samples           []EpochSample
 
+	// obs owns the observability collectors; nil when Config.Obs
+	// disables them all.
+	obs *obs.Observer
+
 	decisions []core.Decision
 }
 
@@ -323,6 +331,21 @@ func New(cfg Config) *Sim {
 			}
 		}
 	}
+
+	// Observability collectors (nil when disabled).
+	active := 0
+	for _, a := range cfg.Apps {
+		if a != nil {
+			active++
+		}
+	}
+	s.obs = obs.New(cfg.Obs, obs.Meta{
+		Nodes:        n,
+		Width:        top.Width(),
+		Height:       top.Height(),
+		ActiveNodes:  active,
+		FlitsPerMiss: float64(cfg.ReqFlits + cfg.RepFlits),
+	})
 
 	// Congestion-control policy.
 	switch cfg.Controller {
@@ -369,6 +392,7 @@ func New(cfg Config) *Sim {
 			Policy:     s.policy,
 			Workers:    cfg.Workers,
 			Pool:       s.pool,
+			Probe:      s.obs.Probe(),
 		})
 	case HierRing:
 		s.net = hierring.New(hierring.Config{
@@ -377,6 +401,7 @@ func New(cfg Config) *Sim {
 			Policy:    s.policy,
 			Workers:   cfg.Workers,
 			Pool:      s.pool,
+			Probe:     s.obs.Probe(),
 		})
 	default:
 		arb := bless.OldestFirst
@@ -393,6 +418,7 @@ func New(cfg Config) *Sim {
 			Seed:       cfg.Seed,
 			Workers:    cfg.Workers,
 			Pool:       s.pool,
+			Probe:      s.obs.Probe(),
 		})
 	}
 
@@ -554,7 +580,30 @@ func (s *Sim) Step() {
 	if s.cycle%s.cfg.Params.Epoch == 0 {
 		s.runEpoch()
 	}
+
+	// 6. Interval sample, fed from the merged (shard-count invariant)
+	// counters on the stepping goroutine.
+	if s.obs != nil && s.obs.Sampler != nil && s.cycle%s.obs.Sampler.Interval == 0 {
+		s.recordSample()
+	}
 }
+
+// recordSample closes one observability window: cumulative fabric
+// counters plus cumulative retired instructions and network misses.
+func (s *Sim) recordSample() {
+	var retired, misses int64
+	for i, c := range s.cores {
+		if c == nil {
+			continue
+		}
+		retired += c.Retired()
+		misses += s.misses[i]
+	}
+	s.obs.Sampler.Record(s.cycle, s.net.Stats(), retired, misses)
+}
+
+// Obs returns the observability collectors, or nil when disabled.
+func (s *Sim) Obs() *obs.Observer { return s.obs }
 
 // stepNode dispatches node's ready L2 replies and steps its core. It
 // touches only node-local state (see Step), so distinct nodes may run
