@@ -18,6 +18,16 @@ import (
 	"nocsim/internal/workload"
 )
 
+// execute runs the plan, converting a harness panic into an error.
+func execute(p *runner.Plan) (ms []sim.Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return p.Execute(), nil
+}
+
 func main() {
 	var (
 		size     = flag.Int("size", 8, "mesh edge length")
@@ -70,7 +80,14 @@ func main() {
 	for _, mode := range modes {
 		plan.Add("compare/"+mode.name, mode.cfg, sc.Cycles)
 	}
-	ms := plan.Execute()
+	// Execute before printing anything: a failed run (the runner panics
+	// on infrastructure failures) exits non-zero with a message instead
+	// of a partial table.
+	ms, err := execute(plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+		os.Exit(1)
+	}
 
 	model := power.Default()
 	fmt.Printf("%-18s %10s %8s %8s %9s %10s %10s\n",

@@ -26,7 +26,21 @@ import (
 	"nocsim/internal/obs"
 	"nocsim/internal/plot"
 	"nocsim/internal/runner"
+	"nocsim/internal/serve"
 )
+
+// runDriver executes one experiment driver, converting a harness panic
+// — a failed remote execution against -server, a broken export dir —
+// into an error so main exits non-zero with a message instead of a
+// stack trace.
+func runDriver(d exp.Driver, sc exp.Scale) (r *exp.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	return d(sc), nil
+}
 
 // runJSON is one simulation's report in -json output: the declarative
 // label plus the measured wall clock (which the deterministic Result
@@ -75,6 +89,8 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit results as JSON instead of text")
 		asPlot   = flag.Bool("plot", false, "append an ASCII chart of each figure's series")
 		progress = flag.Bool("progress", false, "print a live line per completed run to stderr")
+
+		server = flag.String("server", "", "nocd daemon URL; plain runs execute remotely against its result cache")
 
 		obsInterval = flag.Int64("obs-interval", 0, "record an interval sample every N cycles (0 = off)")
 		obsTrace    = flag.Uint64("obs-trace", 0, "trace the lifecycle of ~1/N packets as Chrome trace JSON (0 = off, 1 = all)")
@@ -156,6 +172,9 @@ func main() {
 	if *progress {
 		sc.Progress = runner.NewProgress(os.Stderr)
 	}
+	if *server != "" {
+		sc.Remote = serve.NewClient(*server)
+	}
 
 	var ids []string
 	switch {
@@ -176,7 +195,11 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		r := d(sc)
+		r, err := runDriver(d, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")

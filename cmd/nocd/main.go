@@ -1,0 +1,63 @@
+// Command nocd is the simulation-as-a-service daemon: it accepts run
+// plans over HTTP (POST /v1/runs), executes them on a bounded job queue
+// through the runner, and answers repeat submissions from a
+// content-addressed result cache. See internal/serve for the API and
+// the determinism argument that makes the cache sound.
+//
+// All goroutines live inside internal/serve (the sanctioned service
+// layer); this entry point only parses flags, wires signals, and
+// blocks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"nocsim/internal/runner"
+	"nocsim/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache", "nocd-cache", "content-addressed result cache directory")
+	queueCap := flag.Int("queue", 64, "job queue capacity (submissions beyond it get 429)")
+	jobs := flag.Int("jobs", 1, "concurrent jobs")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job simulation budget, 0 disables")
+	sampleInterval := flag.Int64("sample-interval", 1000, "interval-sampler period for streamed run events")
+	workers := flag.Int("workers", runtime.NumCPU(), "intra-sim worker shards per large fabric")
+	parallel := flag.Int("parallel", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	sc := runner.DefaultScale()
+	sc.Workers = *workers
+	sc.Parallel = *parallel
+
+	srv, err := serve.New(serve.Config{
+		Scale:          sc,
+		CacheDir:       *cacheDir,
+		QueueCap:       *queueCap,
+		Jobs:           *jobs,
+		JobTimeout:     *jobTimeout,
+		SampleInterval: *sampleInterval,
+		Log:            os.Stderr,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if err := srv.ListenAndServe(*addr, stop); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "nocd:", err)
+	os.Exit(1)
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,19 @@ import (
 
 	"nocsim/internal/exp"
 )
+
+// guard runs fn, converting a harness panic (the runner panics on
+// infrastructure failures) into an error so main exits non-zero with a
+// message instead of a stack trace.
+func guard(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	fn()
+	return nil
+}
 
 func main() {
 	var (
@@ -34,13 +48,21 @@ func main() {
 	sc.Workers = *workers
 	sc.Parallel = *parallel
 
+	// Each sweep renders into a buffer and reaches stdout only once it
+	// has fully succeeded: a failed run exits non-zero with a message,
+	// never with a partial table.
 	run := func(id string) {
 		d, ok := exp.Lookup(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "sweep: no driver %q\n", id)
 			os.Exit(1)
 		}
-		d(sc).Render(os.Stdout)
+		var buf bytes.Buffer
+		if err := guard(func() { d(sc).Render(&buf) }); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(buf.Bytes())
 	}
 
 	switch {
@@ -50,12 +72,20 @@ func main() {
 	case *param == "epoch":
 		run("epoch")
 	case *param != "":
-		r, ok := exp.SweepParam(*param, sc)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q\n", *param)
+		var buf bytes.Buffer
+		err := guard(func() {
+			r, ok := exp.SweepParam(*param, sc)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q\n", *param)
+				os.Exit(1)
+			}
+			r.Render(&buf)
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			os.Exit(1)
 		}
-		r.Render(os.Stdout)
+		os.Stdout.Write(buf.Bytes())
 	default:
 		fmt.Fprintln(os.Stderr, "sweep: pass -param <name> or -all")
 		os.Exit(2)

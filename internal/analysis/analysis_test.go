@@ -22,6 +22,7 @@ var fixtureCases = []struct {
 	{"wallclock_exempt", "nocsim/cmd/probe"},
 	{"wallclock_obs", "nocsim/internal/obs"},
 	{"wallclock_exempt_runner", "nocsim/internal/runner"},
+	{"wallclock_exempt_serve", "nocsim/internal/serve"},
 	{"globalrand", "nocsim/internal/traffic"},
 	{"globalrand_clean", "nocsim/internal/traffic"},
 	{"maprange", "nocsim/internal/stats"},
@@ -31,6 +32,7 @@ var fixtureCases = []struct {
 	{"goroutine", "nocsim/internal/exp"},
 	{"goroutine_exempt", "nocsim/internal/runner"},
 	{"goroutine_exempt_par", "nocsim/internal/par"},
+	{"goroutine_exempt_serve", "nocsim/internal/serve"},
 	{"panicmsg", "nocsim/internal/cache"},
 	{"panicmsg_main", "nocsim/cmd/probe"},
 }

@@ -2,19 +2,23 @@ package analysis
 
 import "go/ast"
 
-// Goroutine forbids go statements and sync.WaitGroup outside the two
+// Goroutine forbids go statements and sync.WaitGroup outside the three
 // sanctioned concurrency layers: internal/runner (cross-simulation —
 // the bounded pool keeps results in declaration order at any -parallel
-// level) and internal/par (intra-simulation — the persistent shard
-// pool whose barrier-joined workers cover disjoint index ranges, so no
-// interleaving can reach any output). Every fabric's per-cycle
-// parallelism must go through par.Pool rather than spawning its own
-// goroutines.
+// level), internal/par (intra-simulation — the persistent shard pool
+// whose barrier-joined workers cover disjoint index ranges, so no
+// interleaving can reach any output), and internal/serve (the service
+// daemon's HTTP listener and job-queue workers, which sit strictly
+// above the runner: a job's simulations still execute through the
+// runner's pool, and concurrent jobs share no simulator state). Every
+// fabric's per-cycle parallelism must go through par.Pool rather than
+// spawning its own goroutines.
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "no go statements or sync.WaitGroup outside internal/runner and internal/par",
+	Doc:  "no go statements or sync.WaitGroup outside internal/runner, internal/par and internal/serve",
 	Run: func(pass *Pass) {
-		if pass.Rel() == "internal/runner" || pass.Rel() == "internal/par" {
+		rel := pass.Rel()
+		if rel == "internal/runner" || rel == "internal/par" || rel == "internal/serve" {
 			return
 		}
 		for _, f := range pass.Files {

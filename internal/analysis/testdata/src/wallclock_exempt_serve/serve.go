@@ -1,0 +1,22 @@
+// Package wcexemptserve pins the service side of the wallclock
+// exemption boundary: the fixture is analyzed as nocsim/internal/serve,
+// where request-latency metrics, job deadlines and stream poll timing
+// legitimately read the host clock. The shapes here mirror the
+// sanctioned uses, and the rule must stay silent on all of them.
+package wcexemptserve
+
+import "time"
+
+// observe mirrors the /metrics middleware timing one request.
+func observe(h func()) time.Duration {
+	start := time.Now()
+	h()
+	return time.Since(start)
+}
+
+// expired mirrors a job deadline check polled between run windows; a
+// tripped deadline discards the job, so the clock never reaches a
+// cached or reported result.
+func expired(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}

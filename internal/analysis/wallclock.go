@@ -9,20 +9,23 @@ import (
 // of them inside simulator code makes output depend on machine speed.
 var wallclockFuncs = []string{"Now", "Since", "Until"}
 
-// Wallclock forbids reading the wall clock outside cmd/ and
-// internal/runner. Simulated time is the cycle counter; host time may
-// only be observed by the process entry points and the run executor —
-// that sanction covers the runner's progress reporter and the
-// elapsed_ms field it stamps into run manifests, both diagnostics that
-// never feed back into results. The observability collectors
-// (internal/obs) are NOT exempt: every collector is indexed by
-// simulated cycle, which is what keeps their exports reproducible.
+// Wallclock forbids reading the wall clock outside cmd/,
+// internal/runner and internal/serve. Simulated time is the cycle
+// counter; host time may only be observed by the process entry points,
+// the run executor, and the service daemon. The runner sanction covers
+// its progress reporter and the elapsed_ms field it stamps into run
+// manifests; the serve sanction covers request-latency metrics, job
+// deadlines and stream poll intervals — all diagnostics or robustness
+// plumbing that never feeds back into a simulation (a timed-out job is
+// discarded, never cached). The observability collectors (internal/obs)
+// are NOT exempt: every collector is indexed by simulated cycle, which
+// is what keeps their exports reproducible.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "no time.Now/time.Since/time.Until outside cmd/ and internal/runner (the runner's progress reporter and manifest timing are the sanctioned uses)",
+	Doc:  "no time.Now/time.Since/time.Until outside cmd/, internal/runner and internal/serve (run timing, request metrics and job deadlines are the sanctioned uses)",
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
-		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" {
+		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" || rel == "internal/serve" {
 			return
 		}
 		for _, f := range pass.Files {
@@ -38,7 +41,7 @@ var Wallclock = &Analyzer{
 				for _, fn := range wallclockFuncs {
 					if isPkgSel(e, timeName, fn) {
 						pass.Reportf(f, e.Pos(),
-							"time.%s reads the wall clock; simulator code must be deterministic (only cmd/ and internal/runner may time runs)", fn)
+							"time.%s reads the wall clock; simulator code must be deterministic (only cmd/, internal/runner and internal/serve may time runs)", fn)
 					}
 				}
 				return true

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"nocsim/internal/noc"
+)
+
+// pinnedStats builds the fixture counters for the hash pin: every
+// field set, all distinct, listed in declaration order.
+func pinnedStats() noc.Stats {
+	return noc.Stats{
+		Cycles:             1,
+		Links:              2,
+		FlitsInjected:      3,
+		FlitsEjected:       4,
+		PacketsDelivered:   5,
+		Deflections:        6,
+		LinkTraversals:     7,
+		NetFlitLatencySum:  8,
+		QueueLatencySum:    9,
+		PacketLatencySum:   10,
+		StarvedCycles:      11,
+		ThrottledCycles:    12,
+		WantedCycles:       13,
+		BufferReads:        14,
+		BufferWrites:       15,
+		CrossbarTraversals: 16,
+		Arbitrations:       17,
+	}
+}
+
+// pinnedCountersHash is HashCounters(pinnedStats(), 100, 200), frozen.
+// The content-addressed result cache and every manifest comparison
+// assume this digest is stable across releases: if this test fails,
+// either noc.Stats fields were reordered/added (which silently
+// invalidates every stored counters hash — bump deliberately) or the
+// hash construction changed.
+const pinnedCountersHash = "41c2e518455afcbb4180003a934f794a"
+
+func TestHashCountersPinned(t *testing.T) {
+	got := HashCounters(pinnedStats(), 100, 200)
+	if got != pinnedCountersHash {
+		t.Fatalf("HashCounters(pinned fixture) = %s, want %s (hash construction or noc.Stats layout changed)",
+			got, pinnedCountersHash)
+	}
+}
+
+// TestHashCountersLiteralOrderInvariant pins that the digest depends on
+// the struct's declaration order, never on how a literal spells it: the
+// same counters written field-last-first hash identically.
+func TestHashCountersLiteralOrderInvariant(t *testing.T) {
+	reordered := noc.Stats{
+		Arbitrations:       17,
+		CrossbarTraversals: 16,
+		BufferWrites:       15,
+		BufferReads:        14,
+		WantedCycles:       13,
+		ThrottledCycles:    12,
+		StarvedCycles:      11,
+		PacketLatencySum:   10,
+		QueueLatencySum:    9,
+		NetFlitLatencySum:  8,
+		LinkTraversals:     7,
+		Deflections:        6,
+		PacketsDelivered:   5,
+		FlitsEjected:       4,
+		FlitsInjected:      3,
+		Links:              2,
+		Cycles:             1,
+	}
+	if got := HashCounters(reordered, 100, 200); got != pinnedCountersHash {
+		t.Fatalf("reordered literal hashes to %s, want %s", got, pinnedCountersHash)
+	}
+}
+
+// TestHashCountersSensitivity: every counter and every extra moves the
+// digest — a single diverging event cannot go unnoticed.
+func TestHashCountersSensitivity(t *testing.T) {
+	base := HashCounters(pinnedStats(), 100, 200)
+	s := pinnedStats()
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		mutated := pinnedStats()
+		mv := reflect.ValueOf(&mutated).Elem().Field(i)
+		mv.SetInt(mv.Int() + 1)
+		if HashCounters(mutated, 100, 200) == base {
+			t.Errorf("mutating field %s did not change the hash", v.Type().Field(i).Name)
+		}
+	}
+	if HashCounters(pinnedStats(), 101, 200) == base {
+		t.Error("mutating an extra did not change the hash")
+	}
+	if HashCounters(pinnedStats(), 100) == base {
+		t.Error("dropping an extra did not change the hash")
+	}
+}
+
+// TestManifestRoundTrip: Write emits JSON that parses back to the same
+// manifest, and FillEnv is stable (idempotent), so re-stamping a
+// manifest cannot change its bytes.
+func TestManifestRoundTrip(t *testing.T) {
+	m := Manifest{
+		Label:        "roundtrip/w00",
+		Seed:         42,
+		Nodes:        16,
+		Cycles:       4_000,
+		ElapsedMS:    12.5,
+		CountersHash: HashCounters(pinnedStats(), 100, 200),
+		Config:       json.RawMessage(`{"Width":4,"Height":4}`),
+	}
+	m.FillEnv()
+	if m.GoVersion == "" || m.GOMAXPROCS == 0 || m.NumCPU == 0 {
+		t.Fatalf("FillEnv left environment fields empty: %+v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("written manifest does not parse: %v", err)
+	}
+	// The indented writer reflows the embedded raw config's whitespace,
+	// so compare it structurally and everything else exactly.
+	var cfgIn, cfgOut map[string]any
+	if err := json.Unmarshal(m.Config, &cfgIn); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(back.Config, &cfgOut); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfgIn, cfgOut) {
+		t.Fatalf("config did not round-trip: %v vs %v", cfgIn, cfgOut)
+	}
+	norm, normBack := m, back
+	norm.Config, normBack.Config = nil, nil
+	if !reflect.DeepEqual(norm, normBack) {
+		t.Fatalf("manifest did not round-trip:\n in: %+v\nout: %+v", norm, normBack)
+	}
+
+	again := back
+	again.FillEnv()
+	if !reflect.DeepEqual(back, again) {
+		t.Fatal("FillEnv is not idempotent on the same process")
+	}
+
+	var buf2 bytes.Buffer
+	if err := again.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-written manifest bytes differ")
+	}
+}
+
+// TestSamplerSink pins the streaming hook: a sink observes exactly the
+// recorded series, in order, and detaching stops delivery without
+// touching the stored samples.
+func TestSamplerSink(t *testing.T) {
+	s := NewSampler(100, Meta{Nodes: 4, ActiveNodes: 4, FlitsPerMiss: 5})
+	var seen []Sample
+	s.SetSink(func(sm Sample) { seen = append(seen, sm) })
+
+	s.Record(100, noc.Stats{Cycles: 100, FlitsInjected: 10}, 50, 2)
+	s.Record(200, noc.Stats{Cycles: 200, FlitsInjected: 30}, 120, 5)
+	s.SetSink(nil)
+	s.Record(300, noc.Stats{Cycles: 300, FlitsInjected: 60}, 200, 9)
+
+	if len(seen) != 2 {
+		t.Fatalf("sink saw %d samples, want 2 (recorded before detach)", len(seen))
+	}
+	if got := s.Samples(); len(got) != 3 {
+		t.Fatalf("sampler stored %d samples, want 3", len(got))
+	}
+	if !reflect.DeepEqual(seen, s.Samples()[:2]) {
+		t.Fatal("sink samples differ from the stored series")
+	}
+}

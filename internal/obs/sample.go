@@ -45,6 +45,7 @@ type Sampler struct {
 
 	meta        Meta
 	samples     []Sample
+	sink        func(Sample)
 	prevNet     noc.Stats
 	prevRetired int64
 	prevMisses  int64
@@ -87,7 +88,17 @@ func (s *Sampler) Record(cycle int64, net noc.Stats, retired, misses int64) {
 		sm.IPF = float64(dRetired) / (float64(dMisses) * s.meta.FlitsPerMiss)
 	}
 	s.samples = append(s.samples, sm)
+	if s.sink != nil {
+		s.sink(sm)
+	}
 }
+
+// SetSink registers fn to receive every subsequently recorded sample,
+// synchronously on the recording goroutine (the simulator's step loop,
+// between cycles). Streaming consumers — the serve layer's live run
+// event streams — attach here; the sink observes the same deterministic
+// series the exports contain and cannot perturb it. A nil fn detaches.
+func (s *Sampler) SetSink(fn func(Sample)) { s.sink = fn }
 
 // Samples returns the recorded series (shared backing array; callers
 // must not mutate).

@@ -26,8 +26,11 @@ func ExportObs(s *sim.Sim, dir, label string, cfg sim.Config, elapsed time.Durat
 	if o == nil {
 		return nil
 	}
+	// MkdirAll is a no-op on a pre-existing directory, so exporting many
+	// runs (or re-running) into one ObsDir is idempotent; only a
+	// non-directory squatting on the path fails.
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("runner: creating obs dir: %w", err)
+		return fmt.Errorf("runner: creating obs dir %s: %w", dir, err)
 	}
 	base := filepath.Join(dir, sanitizeLabel(label))
 
@@ -76,6 +79,8 @@ func ExportObs(s *sim.Sim, dir, label string, cfg sim.Config, elapsed time.Durat
 }
 
 // writeFile creates path and streams one collector export into it.
+// Every failure path returns a pkg:-prefixed wrapped error, so a caller
+// surfacing it names the layer without a stack walk.
 func writeFile(path string, emit func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -83,9 +88,12 @@ func writeFile(path string, emit func(w io.Writer) error) error {
 	}
 	if err := emit(f); err != nil {
 		f.Close()
-		return err
+		return fmt.Errorf("runner: exporting %s: %w", path, err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("runner: exporting %s: %w", path, err)
+	}
+	return nil
 }
 
 // sanitizeLabel maps a run label onto a safe file stem: path

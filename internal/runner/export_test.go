@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"nocsim/internal/obs"
+	"nocsim/internal/sim"
 	"nocsim/internal/workload"
 )
 
@@ -109,6 +111,39 @@ func TestExportObsParallelInvariant(t *testing.T) {
 		if a, b := hash(dirSeq), hash(dirPar); a != b {
 			t.Errorf("%s counters hash differs between -parallel 1 and 4: %s vs %s", label, a, b)
 		}
+	}
+}
+
+// TestExportObsIdempotentDir pins the directory contract: exporting
+// into a pre-existing ObsDir (the normal many-runs-one-dir case, and
+// any re-run) succeeds, while a non-directory squatting on the path
+// fails with a runner:-prefixed wrapped error instead of a bare OS one.
+func TestExportObsIdempotentDir(t *testing.T) {
+	dir := t.TempDir() // already exists: MkdirAll must be a no-op
+	executePlan(t, 1, dir)
+	executePlan(t, 1, dir) // re-export over existing files
+	if _, err := os.Stat(filepath.Join(dir, "export-w00.manifest.json")); err != nil {
+		t.Fatalf("re-export into existing dir lost files: %v", err)
+	}
+
+	squat := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(squat, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc := planScale(1, squat)
+	cat, _ := workload.CategoryByName("HML")
+	w := workload.Generate(cat, 16, sc.Seed)
+	cfg := Baseline(w, 4, 4, sc)
+	cfg.Obs = sc.Obs
+	s := sim.New(cfg)
+	defer s.Close()
+	s.Run(100)
+	err := ExportObs(s, squat, "squat", cfg, 0)
+	if err == nil {
+		t.Fatal("ExportObs succeeded with a file squatting on the obs dir")
+	}
+	if !strings.HasPrefix(err.Error(), "runner: ") {
+		t.Errorf("error %q lacks the runner: prefix", err)
 	}
 }
 

@@ -16,6 +16,8 @@
 package runner
 
 import (
+	"encoding/json"
+	"fmt"
 	"sync"
 	"time"
 
@@ -42,6 +44,20 @@ type Run struct {
 	// worker goroutine, so it must touch only state owned by this Run
 	// (e.g. a slot of a per-run slice).
 	Observe func(*sim.Sim)
+	// Start, when non-nil, is called with the assembled simulation
+	// before the first cycle (on the worker goroutine). Service layers
+	// use it to attach streaming sinks to the run's collectors.
+	Start func(*sim.Sim)
+	// Cancel, when non-nil, is polled between windows of CancelEvery
+	// cycles (and between Stride windows); returning true stops the run
+	// early. A cancelled run's metrics cover only the cycles executed,
+	// so callers must treat them as partial and never cache them. The
+	// window split itself cannot change results: stepping is window-size
+	// invariant (Run(a) then Run(b) is Run(a+b)).
+	Cancel func() bool
+	// CancelEvery is the Cancel polling granularity in cycles; 0 means
+	// 10_000. Ignored when Cancel is nil or Stride is set.
+	CancelEvery int64
 }
 
 // Stat reports one executed run. Elapsed is wall clock and therefore
@@ -95,13 +111,24 @@ func (p *Plan) Execute() []sim.Metrics {
 	if n == 0 {
 		return out
 	}
-	pool := p.sc.pool(n)
-	intra := intraWorkers(p.sc, pool)
 	if p.progress != nil {
 		p.progress.begin(n)
 	}
-	if pool == 1 {
+	local := make([]int, 0, n)
+	if p.sc.Remote != nil {
+		local = p.executeRemote(out)
+	} else {
 		for i := range p.runs {
+			local = append(local, i)
+		}
+	}
+	if len(local) == 0 {
+		return out
+	}
+	pool := p.sc.pool(len(local))
+	intra := intraWorkers(p.sc, pool)
+	if pool == 1 {
+		for _, i := range local {
 			out[i] = p.execOne(i, intra)
 		}
 		return out
@@ -117,12 +144,60 @@ func (p *Plan) Execute() []sim.Metrics {
 			}
 		}()
 	}
-	for i := range p.runs {
+	for _, i := range local {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 	return out
+}
+
+// executeRemote ships every plain run — no Observe/Stride/Start/Cancel
+// hook, no local obs export — to the scale's Remote executor, filling
+// their slots of out and stats directly, and returns the indices that
+// must still execute in-process (hooked runs need the live simulation).
+// A remote failure is a harness failure, not a driver-recoverable
+// condition, so it panics like the executor's other infrastructure
+// errors; command entry points turn it into a message and a non-zero
+// exit.
+func (p *Plan) executeRemote(out []sim.Metrics) (local []int) {
+	spec := PlanSpec{Scale: ScaleSpec{Cycles: p.sc.Cycles, Epoch: p.sc.Epoch, Seed: p.sc.Seed}}
+	var remote []int
+	for i, r := range p.runs {
+		if r.Observe != nil || r.Start != nil || r.Cancel != nil || r.Stride > 0 || p.sc.ObsDir != "" {
+			local = append(local, i)
+			continue
+		}
+		raw, err := json.Marshal(&r.Config)
+		if err != nil {
+			panic(fmt.Sprintf("runner: encoding config of remote run %q: %v", r.Label, err))
+		}
+		spec.Runs = append(spec.Runs, RunSpec{Label: r.Label, Cycles: r.Cycles, Config: raw})
+		remote = append(remote, i)
+	}
+	if len(remote) == 0 {
+		return local
+	}
+	results, err := p.sc.Remote.ExecuteSpecs(spec)
+	if err != nil {
+		panic(fmt.Sprintf("runner: remote execution: %v", err))
+	}
+	if len(results) != len(remote) {
+		panic(fmt.Sprintf("runner: remote executor returned %d results for %d runs", len(results), len(remote)))
+	}
+	for k, i := range remote {
+		out[i] = results[k].Metrics
+		p.stats[i] = Stat{
+			Label:   p.runs[i].Label,
+			Nodes:   nodesOf(p.runs[i].Config),
+			Cycles:  results[k].Metrics.Cycles,
+			Elapsed: time.Duration(results[k].ElapsedMS * float64(time.Millisecond)),
+		}
+		if p.progress != nil {
+			p.progress.finish(p.stats[i])
+		}
+	}
+	return local
 }
 
 // execOne assembles and runs one declared simulation.
@@ -139,14 +214,36 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 	start := time.Now()
 	s := sim.New(cfg)
 	defer s.Close()
-	if r.Stride > 0 {
+	if r.Start != nil {
+		r.Start(s)
+	}
+	switch {
+	case r.Stride > 0:
 		for done := int64(0); done < r.Cycles; done += r.Stride {
+			if r.Cancel != nil && r.Cancel() {
+				break
+			}
 			s.Run(r.Stride)
 			if r.Observe != nil {
 				r.Observe(s)
 			}
 		}
-	} else {
+	case r.Cancel != nil:
+		every := r.CancelEvery
+		if every <= 0 {
+			every = 10_000
+		}
+		for done := int64(0); done < r.Cycles && !r.Cancel(); done += every {
+			w := every
+			if done+w > r.Cycles {
+				w = r.Cycles - done
+			}
+			s.Run(w)
+		}
+		if r.Observe != nil {
+			r.Observe(s)
+		}
+	default:
 		s.Run(r.Cycles)
 		if r.Observe != nil {
 			r.Observe(s)

@@ -37,6 +37,12 @@ type Scale struct {
 	// every Plan executed at this scale (wall-clock diagnostics only;
 	// results are unaffected).
 	Progress *Progress
+	// Remote, when non-nil, ships every plain run (no Observe/Stride/
+	// Start/Cancel hook, no ObsDir export) to a remote executor — the
+	// nocd daemon — instead of simulating in-process; hooked runs still
+	// execute locally. The determinism contract makes the two paths
+	// return identical metrics.
+	Remote Remote
 }
 
 // DefaultScale finishes the full suite in minutes on a laptop while

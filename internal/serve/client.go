@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"nocsim/internal/runner"
+)
+
+// Client is the daemon's HTTP client side and the runner.Remote
+// implementation behind cmd/experiments -server: it submits a plan,
+// polls the job to completion, and hands the results back in plan
+// order. The determinism contract makes a plan executed through a
+// Client metrics-identical to the same plan executed in-process.
+type Client struct {
+	base string
+	hc   *http.Client
+	// poll is the job status polling period.
+	poll time.Duration
+}
+
+// NewClient returns a client for a daemon at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{},
+		poll: 200 * time.Millisecond,
+	}
+}
+
+var _ runner.Remote = (*Client)(nil)
+
+// ExecuteSpecs submits the plan and blocks until the daemon finishes
+// it, returning one result per run in plan order.
+func (c *Client) ExecuteSpecs(spec runner.PlanSpec) ([]runner.RemoteResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding plan: %w", err)
+	}
+	var sub SubmitResponse
+	if err := c.do("POST", "/v1/runs", body, &sub); err != nil {
+		return nil, err
+	}
+	for {
+		var jr JobResponse
+		if err := c.do("GET", "/v1/runs/"+sub.ID, nil, &jr); err != nil {
+			return nil, err
+		}
+		switch jr.Status {
+		case stateDone:
+			if len(jr.Results) != len(spec.Runs) {
+				return nil, fmt.Errorf("serve: job %s returned %d results for %d runs",
+					sub.ID, len(jr.Results), len(spec.Runs))
+			}
+			out := make([]runner.RemoteResult, len(jr.Results))
+			for i, r := range jr.Results {
+				out[i] = runner.RemoteResult{
+					Metrics:   r.Metrics,
+					ElapsedMS: r.ElapsedMS,
+					Cached:    r.Cached,
+				}
+			}
+			return out, nil
+		case stateFailed:
+			return nil, fmt.Errorf("serve: job %s failed: %s", sub.ID, jr.Error)
+		}
+		time.Sleep(c.poll)
+	}
+}
+
+// do runs one JSON round trip, mapping non-2xx answers to errors via
+// the daemon's ErrorResponse body.
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("serve: building %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("serve: reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("serve: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}

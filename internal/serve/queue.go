@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/runner"
+	"nocsim/internal/sim"
+)
+
+// Job states, in lifecycle order.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one accepted plan moving through the queue. The immutable
+// fields are set at submission; everything mutable is guarded by mu.
+// Lock ordering: the server's mu is never acquired while holding a
+// job's mu (workers touch s.mu first, then j.mu, or each alone).
+type job struct {
+	id   string
+	key  string
+	sc   runner.Scale
+	runs []runner.ResolvedRun
+
+	mu         sync.Mutex
+	state      string
+	errMsg     string
+	results    []RunResult
+	events     []json.RawMessage
+	eventsDone bool
+}
+
+func (j *job) getState() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+// emit appends one event to the job's stream buffer. Marshal failures
+// are impossible for the event shapes used (plain structs of strings,
+// bools and floats), so they are swallowed rather than crashing a
+// worker.
+func (j *job) emit(ev any) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	j.events = append(j.events, b)
+	j.mu.Unlock()
+}
+
+// finish records the job's terminal state and closes the event stream:
+// the final event is appended and eventsDone set under one critical
+// section, so a streamer that observes done has necessarily been handed
+// every event.
+func (j *job) finish(results []RunResult, errMsg string) {
+	st := stateDone
+	if errMsg != "" {
+		st = stateFailed
+	}
+	last, _ := json.Marshal(jobEvent{Type: "job_done", Job: j.id, State: st, Error: errMsg})
+	j.mu.Lock()
+	j.state = st
+	j.errMsg = errMsg
+	j.results = results
+	j.events = append(j.events, last)
+	j.eventsDone = true
+	j.mu.Unlock()
+}
+
+// eventsSince returns the buffered events from index n on, plus whether
+// the stream is complete. When done is true the returned slice contains
+// every remaining event.
+func (j *job) eventsSince(n int) ([]json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > len(j.events) {
+		n = len(j.events)
+	}
+	return j.events[n:], j.eventsDone
+}
+
+// response snapshots the job as its GET /v1/runs/{id} body.
+func (j *job) response() JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobResponse{
+		ID:      j.id,
+		Status:  j.state,
+		PlanKey: j.key,
+		Error:   j.errMsg,
+		Results: j.results,
+	}
+}
+
+// Start launches the queue workers. Call once, before serving requests.
+func (s *Server) Start() {
+	for w := 0; w < s.cfg.Jobs; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+}
+
+// Drain stops intake (further submissions get 503), closes the queue
+// and blocks until every accepted job has finished. Safe to call once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// runJob executes one job on a worker goroutine, translating a panic
+// out of the execution stack (the runner panics on infrastructure
+// failures) into a failed job instead of a dead worker. The job leaves
+// the dedup set strictly before it turns observable as done/failed, so
+// a client that saw a terminal state and resubmits always gets a fresh
+// job (which then hits the cache) rather than a stale dedup answer.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	s.inflight++
+	s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			s.release(j)
+			j.finish(nil, fmt.Sprintf("%v", r))
+			s.logf("job %s panicked: %v", j.id, r)
+		}
+		s.mu.Lock()
+		s.inflight--
+		s.jobsTotal++
+		s.mu.Unlock()
+	}()
+	j.setState(stateRunning)
+	j.emit(jobEvent{Type: "job", Job: j.id, State: stateRunning})
+	results, errMsg := s.execute(j)
+	s.release(j)
+	j.finish(results, errMsg)
+}
+
+// release removes the job from the dedup set.
+func (s *Server) release(j *job) {
+	s.mu.Lock()
+	delete(s.active, j.key)
+	s.mu.Unlock()
+}
+
+// execute resolves each run against the cache and simulates the misses
+// through the runner, returning the per-run results or a failure
+// message. Fresh results are verified-by-construction (the counters
+// hash is computed from the metrics being stored) and written back
+// crash-safely; a cache write failure degrades to a log line, it never
+// fails the job.
+func (s *Server) execute(j *job) ([]RunResult, string) {
+	results := make([]RunResult, len(j.runs))
+	var miss []int
+	for i, r := range j.runs {
+		e, err := s.cache.Get(r.Key)
+		if err != nil {
+			s.logf("job %s: %v (re-simulating)", j.id, err)
+		}
+		if e == nil {
+			miss = append(miss, i)
+			continue
+		}
+		results[i] = RunResult{
+			Label: r.Label, Key: r.Key, Cached: true,
+			CountersHash: e.Manifest.CountersHash,
+			Metrics:      e.Metrics,
+		}
+		j.emit(runDoneEvent{Type: "run_done", Label: r.Label, Key: r.Key,
+			Cached: true, CountersHash: e.Manifest.CountersHash})
+	}
+
+	if len(miss) > 0 {
+		sc := j.sc
+		sc.Remote = nil // the daemon is the remote; execute in-process
+		sc.ObsDir = ""
+		sc.Obs = obs.Options{SampleInterval: s.cfg.SampleInterval}
+
+		// The deadline is written before the plan executes and only read
+		// afterwards (the cancel closure shares no mutable state), so the
+		// runner's worker goroutines race on nothing.
+		var deadline time.Time
+		var cancel func() bool
+		if s.cfg.JobTimeout > 0 {
+			deadline = time.Now().Add(s.cfg.JobTimeout)
+			cancel = func() bool { return time.Now().After(deadline) }
+		}
+		every := sc.Epoch
+		if every <= 0 {
+			every = 1000
+		}
+
+		plan := runner.NewPlan(sc)
+		for _, i := range miss {
+			r := j.runs[i]
+			label := r.Label
+			plan.AddRun(runner.Run{
+				Label:  r.Label,
+				Config: r.Config,
+				Cycles: r.Cycles,
+				Start: func(sm *sim.Sim) {
+					if o := sm.Obs(); o != nil && o.Sampler != nil {
+						o.Sampler.SetSink(func(smp obs.Sample) {
+							j.emit(sampleEvent{Type: "sample", Label: label, Sample: smp})
+						})
+					}
+				},
+				Cancel:      cancel,
+				CancelEvery: every,
+			})
+		}
+		metrics := plan.Execute()
+		stats := plan.Stats()
+
+		for k, i := range miss {
+			r := j.runs[i]
+			m := metrics[k]
+			if m.Cycles < r.Cycles {
+				// The cancel closure tripped mid-run: the metrics are
+				// partial, must never reach the cache, and fail the job.
+				return nil, fmt.Sprintf("serve: job exceeded %v timeout (run %q stopped at cycle %d of %d)",
+					s.cfg.JobTimeout, r.Label, m.Cycles, r.Cycles)
+			}
+			var retired int64
+			for _, rt := range m.Retired {
+				retired += rt
+			}
+			hash := obs.HashCounters(m.Net, retired, m.Misses)
+			elapsedMS := float64(stats[k].Elapsed.Microseconds()) / 1000
+
+			rawCfg, err := json.Marshal(&r.Config)
+			if err != nil {
+				return nil, fmt.Sprintf("serve: encoding config of run %q: %v", r.Label, err)
+			}
+			man := obs.Manifest{
+				Label:        r.Label,
+				Seed:         r.Config.Seed,
+				Nodes:        m.Nodes,
+				Cycles:       m.Cycles,
+				ElapsedMS:    elapsedMS,
+				CountersHash: hash,
+				Config:       rawCfg,
+			}
+			man.FillEnv()
+			if err := s.cache.Put(&Entry{Key: r.Key, Manifest: man, Metrics: m}); err != nil {
+				s.logf("job %s: %v (result served uncached)", j.id, err)
+			}
+			results[i] = RunResult{
+				Label: r.Label, Key: r.Key, Cached: false,
+				CountersHash: hash, ElapsedMS: elapsedMS, Metrics: m,
+			}
+			j.emit(runDoneEvent{Type: "run_done", Label: r.Label, Key: r.Key,
+				Cached: false, CountersHash: hash})
+		}
+	}
+	return results, ""
+}

@@ -1,0 +1,383 @@
+// Package serve is the simulation-as-a-service layer: a long-running
+// daemon (cmd/nocd) that accepts run plans over HTTP, executes them on
+// a bounded job queue layered over the runner, and answers repeat
+// submissions from a content-addressed on-disk result cache.
+//
+// The cache is sound because of — and only because of — the simulator's
+// determinism contract: a run's results are a pure function of its
+// canonicalized configuration and cycle budget (runner.CacheKey), never
+// of worker counts, pool sizes or which process executed it. Equal keys
+// therefore mean equal counters, which the stored manifest's counters
+// hash makes checkable: every cache read re-derives the hash from the
+// stored metrics and refuses mismatches, so serving from cache is
+// indistinguishable from re-simulating, byte for byte.
+//
+// The daemon is sanctioned ground for the two things the simulator
+// forbids elsewhere: wall-clock reads (request latency metrics, job
+// deadlines, stream polling — none of which can reach a cached or
+// reported result; a timed-out job is discarded, never cached) and
+// goroutines outside the runner's pools (the HTTP listener and the
+// queue workers, which sit strictly above the runner and share no
+// simulator state).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"nocsim/internal/runner"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Scale is the base execution scale; submitted plans may override
+	// cycles, epoch and seed (runner.ScaleSpec) but never the execution
+	// resources.
+	Scale runner.Scale
+	// CacheDir roots the content-addressed result cache.
+	CacheDir string
+	// QueueCap bounds the accepted-but-unstarted jobs; submissions
+	// beyond it are rejected with 429. 0 means 64.
+	QueueCap int
+	// Jobs is the number of queue workers (concurrent jobs). 0 means 1.
+	Jobs int
+	// JobTimeout bounds one job's simulation time; a job that exceeds it
+	// is failed and its partial results discarded. 0 disables.
+	JobTimeout time.Duration
+	// SampleInterval is the interval-sampler period attached to every
+	// fresh run for event streaming. 0 means 1000.
+	SampleInterval int64
+	// Log receives operational lines; nil discards them.
+	Log io.Writer
+}
+
+// Server is the daemon: cache, queue, and HTTP surface.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	mux   *http.ServeMux
+
+	mu        sync.Mutex
+	jobs      map[string]*job // by id, append-only
+	active    map[string]*job // by plan key, queued or running only
+	seq       int64
+	draining  bool
+	inflight  int
+	jobsTotal int64
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	em        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// endpointStats accumulates one route's request count and latency.
+type endpointStats struct {
+	count   int64
+	seconds float64
+}
+
+// New builds a Server over the given cache directory. Call Start (or
+// ListenAndServe, which does) before submitting work.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 1000
+	}
+	cache, err := OpenCache(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     cache,
+		jobs:      make(map[string]*job),
+		active:    make(map[string]*job),
+		queue:     make(chan *job, cfg.QueueCap),
+		endpoints: make(map[string]*endpointStats),
+	}
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/runs", s.handleSubmit)
+	s.route("GET /v1/runs/{id}", s.handleJob)
+	s.route("GET /v1/runs/{id}/events", s.handleEvents)
+	s.route("GET /v1/cache/stats", s.handleCacheStats)
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result store (tests and stats).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// route registers a pattern with per-endpoint latency instrumentation.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		elapsed := time.Since(start)
+		s.em.Lock()
+		ep := s.endpoints[pattern]
+		if ep == nil {
+			ep = &endpointStats{}
+			s.endpoints[pattern] = ep
+		}
+		ep.count++
+		ep.seconds += elapsed.Seconds()
+		s.em.Unlock()
+	})
+}
+
+// handleSubmit accepts a PlanSpec, resolves and validates it atomically
+// against the daemon's base scale, dedups it against queued/running
+// work, and enqueues it — or answers 429 when the queue is full, 503
+// when draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec runner.PlanSpec
+	if err := dec.Decode(&spec); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding plan: %v", err)
+		return
+	}
+	sc, runs, err := spec.Resolve(s.cfg.Scale)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := planKey(runs)
+	cached := 0
+	for _, rr := range runs {
+		if s.cache.Contains(rr.Key) {
+			cached++
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.fail(w, http.StatusServiceUnavailable, "draining; not accepting new jobs")
+		return
+	}
+	if ex, ok := s.active[key]; ok {
+		s.mu.Unlock()
+		s.writeJSON(w, http.StatusOK, SubmitResponse{
+			ID: ex.id, Status: ex.getState(), Dedup: true,
+			CachedRuns: cached, TotalRuns: len(runs), PlanKey: key,
+		})
+		return
+	}
+	s.seq++
+	j := &job{
+		id:    fmt.Sprintf("job-%06d", s.seq),
+		key:   key,
+		sc:    sc,
+		runs:  runs,
+		state: stateQueued,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.seq--
+		s.mu.Unlock()
+		s.fail(w, http.StatusTooManyRequests, "queue full (%d jobs); retry later", s.cfg.QueueCap)
+		return
+	}
+	s.jobs[j.id] = j
+	s.active[key] = j
+	s.mu.Unlock()
+
+	j.emit(jobEvent{Type: "job", Job: j.id, State: stateQueued})
+	s.logf("job %s accepted: %d runs, %d cached, plan %s", j.id, len(runs), cached, short(key))
+	s.writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID: j.id, Status: stateQueued,
+		CachedRuns: cached, TotalRuns: len(runs), PlanKey: key,
+	})
+}
+
+// handleJob answers a job's current status and, once done, results.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		s.fail(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.response())
+}
+
+// handleEvents streams a job's event buffer as NDJSON: the backlog is
+// replayed immediately, then the stream follows the live buffer until
+// the job finishes or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		s.fail(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		evs, done := j.eventsSince(sent)
+		for _, e := range evs {
+			if _, err := w.Write(append(e, '\n')); err != nil {
+				return
+			}
+		}
+		sent += len(evs)
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := HealthResponse{
+		Status:     "ok",
+		QueueDepth: len(s.queue),
+		InFlight:   s.inflight,
+		Jobs:       s.jobsTotal,
+	}
+	s.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics emits a flat Prometheus-style text page. Lines are
+// assembled into a sorted set so the output order is deterministic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	s.mu.Lock()
+	depth, inflight, jobs := len(s.queue), s.inflight, s.jobsTotal
+	s.mu.Unlock()
+
+	lines := []string{
+		fmt.Sprintf("nocd_cache_entries %d", cs.Entries),
+		fmt.Sprintf("nocd_cache_bytes %d", cs.Bytes),
+		fmt.Sprintf("nocd_cache_hits_total %d", cs.Hits),
+		fmt.Sprintf("nocd_cache_misses_total %d", cs.Misses),
+		fmt.Sprintf("nocd_cache_writes_total %d", cs.Writes),
+		fmt.Sprintf("nocd_cache_hit_ratio %g", cs.HitRatio),
+		fmt.Sprintf("nocd_queue_depth %d", depth),
+		fmt.Sprintf("nocd_inflight_jobs %d", inflight),
+		fmt.Sprintf("nocd_jobs_total %d", jobs),
+	}
+	s.em.Lock()
+	for pattern, ep := range s.endpoints {
+		lines = append(lines,
+			fmt.Sprintf("nocd_http_requests_total{path=%q} %d", pattern, ep.count),
+			fmt.Sprintf("nocd_http_request_seconds_sum{path=%q} %g", pattern, ep.seconds))
+	}
+	s.em.Unlock()
+	sort.Strings(lines)
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+}
+
+// job looks a job up by id.
+func (s *Server) job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// ListenAndServe runs the daemon until a signal arrives on stop, then
+// drains: intake closes (503), queued jobs finish, the HTTP server
+// shuts down gracefully, and the method returns nil for a clean drain.
+func (s *Server) ListenAndServe(addr string, stop <-chan os.Signal) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listening on %s: %w", addr, err)
+	}
+	s.Start()
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	s.logf("listening on %s (cache %s, queue %d, %d workers)",
+		ln.Addr(), s.cfg.CacheDir, s.cfg.QueueCap, s.cfg.Jobs)
+
+	select {
+	case sig := <-stop:
+		s.logf("received %v; draining", sig)
+	case err := <-errc:
+		return fmt.Errorf("serve: http server: %w", err)
+	}
+
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	cs := s.cache.Stats()
+	s.mu.Lock()
+	jobs := s.jobsTotal
+	s.mu.Unlock()
+	s.logf("drained cleanly; %d jobs served, cache %d hits / %d misses", jobs, cs.Hits, cs.Misses)
+	return nil
+}
+
+// planKey digests a resolved plan into one content address: the sha256
+// over the runs' own keys, in order (each run key already covers its
+// config and cycle budget).
+func planKey(runs []runner.ResolvedRun) string {
+	keys := make([]string, len(runs))
+	for i, r := range runs {
+		keys[i] = r.Key
+	}
+	return runner.DigestStrings(keys)
+}
+
+// writeJSON answers one request with a JSON body.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// fail answers one request with an ErrorResponse.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// logf writes one operational line; results never depend on it.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.Log, "nocd: "+format+"\n", args...)
+}
