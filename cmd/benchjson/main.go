@@ -5,19 +5,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson                  # write BENCH_step.json
-//	go run ./cmd/benchjson -o results.json  # alternate path
-//	go run ./cmd/benchjson -time 200ms      # longer per-case runs
+//	go run ./cmd/benchjson -label pr6-after  # append a labeled run
+//	go run ./cmd/benchjson -fresh            # discard prior runs
+//	go run ./cmd/benchjson -o results.json   # alternate path
+//	go run ./cmd/benchjson -time 200ms       # longer per-case runs
 //
+// The output file accumulates labeled runs so before/after pairs live
+// side by side in one document. Re-using a label replaces that run.
 // Each record reports one (case, workers) cell: nanoseconds per
-// simulated cycle and flit-hops retired per second, the two metrics
-// the stepping benchmarks emit.
+// simulated cycle, flit-hops retired per second, and steady-state
+// heap allocations per cycle (which the pooled hot path keeps at
+// zero; see the stepbench zero-allocation test).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"runtime"
 	"testing"
@@ -33,6 +39,8 @@ type record struct {
 	NsPerCycle     float64 `json:"ns_per_cycle"`
 	CyclesPerSec   float64 `json:"cycles_per_sec"`
 	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
 }
 
 // environment identifies the machine and toolchain a benchmark file was
@@ -45,22 +53,76 @@ type environment struct {
 	NumCPU     int    `json:"num_cpu"`
 }
 
+// run is one labeled sweep of the benchmark matrix.
+type run struct {
+	Label   string   `json:"label"`
+	Records []record `json:"records"`
+}
+
 // benchFile is the output document: environment metadata plus the
-// benchmark matrix.
+// accumulated labeled runs. The legacy single-run form (a top-level
+// "records" array) is still read and migrated to a run labeled
+// "legacy" on the next write.
 type benchFile struct {
-	Env     environment `json:"env"`
-	Records []record    `json:"records"`
+	Env  environment `json:"env"`
+	Runs []run       `json:"runs"`
+
+	// LegacyRecords captures the pre-labeled-run schema on read; it is
+	// never written back.
+	LegacyRecords []record `json:"records,omitempty"`
+}
+
+// load reads an existing output file and migrates the legacy schema.
+// A missing file yields an empty document.
+func load(path string) (benchFile, error) {
+	var doc benchFile
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return doc, nil
+	}
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(doc.LegacyRecords) > 0 {
+		doc.Runs = append([]run{{Label: "legacy", Records: doc.LegacyRecords}}, doc.Runs...)
+		doc.LegacyRecords = nil
+	}
+	return doc, nil
+}
+
+// upsert replaces the run with the same label, or appends.
+func upsert(runs []run, r run) []run {
+	for i := range runs {
+		if runs[i].Label == r.Label {
+			runs[i] = r
+			return runs
+		}
+	}
+	return append(runs, r)
 }
 
 func main() {
 	testing.Init() // registers -test.* flags so benchtime is settable
 	var (
 		out      = flag.String("o", "BENCH_step.json", "output path")
+		label    = flag.String("label", "run", "label for this sweep; re-using a label replaces that run")
+		fresh    = flag.Bool("fresh", false, "discard runs already in the output file")
 		benchFor = flag.Duration("time", 100*time.Millisecond, "minimum run time per benchmark cell")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchFor.String()); err != nil {
 		fail(err)
+	}
+
+	doc := benchFile{}
+	if !*fresh {
+		var err error
+		if doc, err = load(*out); err != nil {
+			fail(err)
+		}
 	}
 
 	workerSet := []int{1}
@@ -82,22 +144,23 @@ func main() {
 				NsPerCycle:     nsPerCycle,
 				CyclesPerSec:   r.Extra["cycles/s"],
 				FlitHopsPerSec: r.Extra["flithops/s"],
+				AllocsPerCycle: float64(r.MemAllocs) / float64(r.N),
+				BytesPerCycle:  float64(r.MemBytes) / float64(r.N),
 			})
-			fmt.Printf("%-16s w=%-2d %12.0f ns/cycle %14.0f flit-hops/s\n",
-				c.Name, w, nsPerCycle, r.Extra["flithops/s"])
+			fmt.Printf("%-16s w=%-2d %12.0f ns/cycle %14.0f flit-hops/s %8.2f allocs/cycle\n",
+				c.Name, w, nsPerCycle, r.Extra["flithops/s"],
+				float64(r.MemAllocs)/float64(r.N))
 		}
 	}
 
-	doc := benchFile{
-		Env: environment{
-			GoVersion:  runtime.Version(),
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			NumCPU:     runtime.NumCPU(),
-		},
-		Records: records,
+	doc.Env = environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 	}
+	doc.Runs = upsert(doc.Runs, run{Label: *label, Records: records})
 	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
@@ -105,7 +168,7 @@ func main() {
 	if err := os.WriteFile(*out, append(js, '\n'), 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("wrote %s (%d records)\n", *out, len(records))
+	fmt.Printf("wrote %s (%d runs, %d records in %q)\n", *out, len(doc.Runs), len(records), *label)
 }
 
 func fail(err error) {

@@ -62,6 +62,10 @@ func (d *Distributed) Tick(node int, wanted, injected, throttled bool) {
 	d.M.Tick(node, wanted && !injected && !throttled)
 }
 
+// TickIdle fast-forwards the starvation window over fabric-skipped
+// idle cycles (noc.IdleTicker).
+func (d *Distributed) TickIdle(node int, cycles int64) { d.M.TickIdle(node, cycles) }
+
 // MarkCongested reports whether node is currently starving past the
 // threshold; the fabric then sets the congestion bit on departing flits.
 func (d *Distributed) MarkCongested(node int) bool {

@@ -20,6 +20,8 @@
 //     more intensive they are.
 package core
 
+import "math/bits"
+
 // DefaultWindow is W, the starvation-rate window in cycles (§6.1).
 const DefaultWindow = 128
 
@@ -83,6 +85,54 @@ func (m *Monitor) Tick(node int, starved bool) {
 	p++
 	if p == m.window {
 		p = 0
+	}
+	m.pos[node] = int32(p)
+}
+
+// TickIdle advances node's window by k consecutive not-starved cycles
+// in one call, producing exactly the state k individual
+// Tick(node, false) calls would: the k positions starting at the
+// write cursor are cleared (adjusting the running sum by their old
+// bits) and the cursor advances k mod W. Active-set fabrics use it to
+// fast-forward nodes they skipped while idle; a skipped node is by
+// definition one with nothing to inject, i.e. not starved.
+func (m *Monitor) TickIdle(node int, k int64) {
+	if k <= 0 {
+		return
+	}
+	base := node * m.words
+	if k >= int64(m.window) {
+		// Every window bit is overwritten by a zero; only the cursor's
+		// final phase survives.
+		for w := 0; w < m.words; w++ {
+			m.bits[base+w] = 0
+		}
+		m.sums[node] = 0
+		m.pos[node] = int32((int64(m.pos[node]) + k) % int64(m.window))
+		return
+	}
+	p := int(m.pos[node])
+	n := int(k)
+	for n > 0 {
+		word := base + p/64
+		off := p % 64
+		span := 64 - off
+		if span > n {
+			span = n
+		}
+		mask := ^uint64(0)
+		if span < 64 {
+			mask = ((uint64(1) << uint(span)) - 1) << uint(off)
+		}
+		if cleared := m.bits[word] & mask; cleared != 0 {
+			m.sums[node] -= int32(bits.OnesCount64(cleared))
+			m.bits[word] &^= mask
+		}
+		p += span
+		if p == m.window {
+			p = 0
+		}
+		n -= span
 	}
 	m.pos[node] = int32(p)
 }

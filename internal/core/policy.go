@@ -26,5 +26,11 @@ func (p *Policy) Tick(node int, wanted, injected, throttled bool) {
 	p.M.Tick(node, wanted && !injected && !throttled)
 }
 
+// TickIdle fast-forwards the starvation window over cycles the fabric
+// skipped the node as idle (an idle node is never starved); it
+// implements noc.IdleTicker, which lets active-set fabrics skip nodes
+// under this policy.
+func (p *Policy) TickIdle(node int, cycles int64) { p.M.TickIdle(node, cycles) }
+
 // MarkCongested is always false for the central mechanism.
 func (p *Policy) MarkCongested(int) bool { return false }

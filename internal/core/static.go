@@ -34,5 +34,9 @@ func (s *Static) Tick(node int, wanted, injected, throttled bool) {
 	s.M.Tick(node, wanted && !injected && !throttled)
 }
 
+// TickIdle fast-forwards the starvation window over fabric-skipped
+// idle cycles (noc.IdleTicker).
+func (s *Static) TickIdle(node int, cycles int64) { s.M.TickIdle(node, cycles) }
+
 // MarkCongested is always false: static throttling has no signalling.
 func (s *Static) MarkCongested(int) bool { return false }

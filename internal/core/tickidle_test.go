@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"nocsim/internal/rng"
+)
+
+// TestTickIdleEquivalence pins the active-set contract: TickIdle(n, k)
+// must leave the Monitor in exactly the state k individual
+// Tick(n, false) calls produce — bits, sum, and cursor — for every
+// interesting k, including wrap-around and whole-window jumps, from
+// windows seeded with a deterministic starvation pattern.
+func TestTickIdleEquivalence(t *testing.T) {
+	const window = 128
+	src := rng.New(7)
+	for _, k := range []int64{1, 3, 63, 64, 65, 127, 128, 129, 500, 1_000_000} {
+		for trial := 0; trial < 8; trial++ {
+			a := NewMonitor(2, window)
+			b := NewMonitor(2, window)
+			// Seed both monitors identically, leaving the cursor at a
+			// trial-dependent phase.
+			seed := 20*trial + 1
+			for i := 0; i < seed; i++ {
+				starved := src.Bool(0.4)
+				a.Tick(1, starved)
+				b.Tick(1, starved)
+			}
+			for i := int64(0); i < k; i++ {
+				a.Tick(1, false)
+			}
+			b.TickIdle(1, k)
+			if a.Rate(1) != b.Rate(1) {
+				t.Fatalf("k=%d trial=%d: rate %v (ticked) != %v (idle)", k, trial, a.Rate(1), b.Rate(1))
+			}
+			if a.pos[1] != b.pos[1] {
+				t.Fatalf("k=%d trial=%d: pos %d != %d", k, trial, a.pos[1], b.pos[1])
+			}
+			for w := 0; w < a.words; w++ {
+				if a.bits[1*a.words+w] != b.bits[1*b.words+w] {
+					t.Fatalf("k=%d trial=%d: bits word %d differ", k, trial, w)
+				}
+			}
+			// Node 0 was never touched and must stay zeroed.
+			if b.Rate(0) != 0 || b.pos[0] != 0 {
+				t.Fatalf("k=%d: TickIdle leaked into another node", k)
+			}
+		}
+	}
+}

@@ -11,14 +11,31 @@
 // Injection requires a free output link; otherwise the flit waits in the
 // processor-side NIC queue and the cycle counts as starved.
 //
-// The fabric is stepped in two phases per cycle — arbitrate (reads link
-// heads, writes only node-local state) then commit (writes link tails) —
-// which makes large meshes safely parallelisable across worker shards.
+// The fabric is stepped in a single pass per cycle: each router reads
+// its arriving flits, arbitrates, and commits its outputs directly onto
+// the downstream link pipelines. Every link ring carries one spare slot
+// (see Fabric.in), so the slot a router writes this cycle is never one
+// any router reads this cycle, and the pass shards safely across
+// workers with no commit barrier.
+//
+// Two hot-path structures keep stepping cheap. Flits live in a shared
+// noc.FlitPool and the link pipelines carry 4-byte handles, so an empty
+// pipeline slot is a zero word and steady-state stepping allocates
+// nothing. An active set skips routers with no work at all: a node is
+// stepped only while it has NIC traffic, side-buffered flits, or flits
+// somewhere in its incoming pipelines, and a router re-activates a
+// neighbour whenever it commits a flit toward it (NIC Send notifies
+// likewise). Skipping is exact, not approximate — see stepRouter — and
+// engages only when the injection policy's per-cycle observation can be
+// replayed in bulk (noc.IdleTicker) or is a no-op (noc.Open), and never
+// under adaptive routing, whose per-cycle load decay is cheap only in
+// the dense loop.
 package bless
 
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"nocsim/internal/noc"
 	"nocsim/internal/obs"
@@ -83,6 +100,12 @@ type Config struct {
 	// stays minimal (only productive ports are preferred), so delivery
 	// guarantees are unchanged.
 	Adaptive bool
+	// NoActiveSet forces every router to be stepped every cycle even
+	// when the active-set conditions hold. Skipping is exact — counters
+	// and observability output are identical either way (pinned by
+	// TestActiveSetExact in stepbench) — so this exists for that test
+	// and for isolating the optimisation in benchmarks.
+	NoActiveSet bool
 	// Seed seeds the Random arbiter's per-node streams.
 	Seed uint64
 	// Workers shards the per-cycle node loop; 0 means 1 (sequential).
@@ -100,10 +123,45 @@ type Config struct {
 
 const maxDirs = int(topology.NumDirs)
 
-// slot is one pipeline stage of a link.
-type slot struct {
-	f  noc.Flit
-	ok bool
+// linkRef locates the downstream end of one outgoing link; see
+// Fabric.links.
+type linkRef struct {
+	idx, nb int32
+}
+
+// arrKey is one collected arrival's arbitration state, copied out of
+// the flit pool's hot plane so the sort and routing loops run on
+// L1-resident scratch instead of re-chasing scattered pool entries.
+// inject/seq/index replicate noc.Older's field order.
+type arrKey struct {
+	inject int64
+	seq    uint64
+	dst    int32
+	index  uint8
+}
+
+// olderKey is noc.OlderHot on copied keys: the same Oldest-First total
+// order (injection cycle, packet sequence, flit index).
+func olderKey(a, b *arrKey) bool {
+	if a.inject != b.inject {
+		return a.inject < b.inject
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.index < b.index
+}
+
+// stepScratch is one worker's arbitration workspace: the collected
+// arrival handles and their arbitration keys, the age order, and the
+// departing flit per output port. Padded so two workers' scratch never
+// shares a cache line.
+type stepScratch struct {
+	hs   [maxDirs]noc.Handle
+	keys [maxDirs]arrKey
+	ord  [maxDirs]int32
+	out  [maxDirs]noc.Handle
+	_    [64]byte
 }
 
 // Fabric is the bufferless network. It implements noc.Network.
@@ -114,20 +172,47 @@ type Fabric struct {
 	cycle  int64
 	depth  int
 
-	nics []*noc.NIC
-	// in holds, for node n and arrival direction d, the d-th incoming
-	// link's pipeline: in[(n*4+d)*depth + stage]. Entry (cycle%depth) is
-	// read at the head in the cycle it arrives and rewritten at the tail
-	// for arrival depth cycles later. Each link has one writer (the
-	// upstream node) and one reader (node n).
-	in []slot
+	// ejectW, injectW, sideCap and arb mirror the Config fields the
+	// per-node loop consults every cycle, hoisted onto the Fabric so the
+	// hot path loads them without chasing the embedded Config.
+	ejectW  int
+	injectW int
+	sideCap int32
+	arb     Arbiter
 
-	// outBuf[(n*4)+d] carries phase-1 port assignments to phase 2.
-	outBuf []slot
+	nics []*noc.NIC
+	// fpool stores every in-network flit; pipelines carry its handles.
+	// hotp caches fpool's hot plane across one step (refreshed after
+	// each Reserve, the only growth point) so per-flit hot accesses are
+	// one indexed load.
+	fpool *noc.FlitPool
+	hotp  []noc.FlitHot
+	// in holds the incoming link pipelines in stage-major layout:
+	// in[stage*planeSz + n*4 + d] is stage s of the link arriving at
+	// node n from direction d. The ring has ringLen = depth+1 stages:
+	// the head plane (cycle%ringLen) is read by node n in the cycle a
+	// flit arrives, while the upstream router writes into plane
+	// (cycle+depth)%ringLen for arrival depth cycles later. With one
+	// spare plane those two indices can never coincide, so routers
+	// commit outputs directly during the node pass — no phase-2
+	// barrier or staging buffer — and cross-node traffic still lands
+	// on distinct array elements. Stage-major order makes the node
+	// pass sweep each plane sequentially (a node's four read slots are
+	// 16 contiguous bytes, and a commit lands near the reader's
+	// cursor), so the working set per cycle is two L1-resident planes
+	// instead of the whole array. Each link has one writer (the
+	// upstream node) and one reader (node n); 0 means empty.
+	in      []noc.Handle
+	ringLen int
+	planeSz int
+	// stage and wstage are this cycle's read and write ring slots,
+	// computed once per Step so the per-node loop never divides.
+	stage  int
+	wstage int
 
 	// side[n*SideBuffer ...] are the per-node MinBD side buffers (ring
 	// per node); sideHead/sideCount index them. Empty when disabled.
-	side      []noc.Flit
+	side      []noc.Handle
 	sideHead  []int32
 	sideCount []int32
 
@@ -136,14 +221,74 @@ type Fabric struct {
 	// Only node n's phase-1 shard touches its row.
 	load []uint32
 
+	// Active-set state (nil / unused when skip is false). Because
+	// commits happen during the node pass, activation must not race
+	// with the owner's deactivation; active[n] is a tiny atomic state
+	// machine: 0 idle, 1 active, 2 freshly woken. Activators (link
+	// committers, NIC Send notifications) Store 2; the owner
+	// normalises 2→1 with a CAS before stepping and deactivates with
+	// CAS(1→0), which fails — leaving the node awake — whenever an
+	// activation raced in. A woken node's extra step is a no-op
+	// (counter-invisible), so the set of stepped nodes may vary with
+	// worker count but every observable output is identical.
+	// lastTick[n] counts the cycles for which the policy has observed
+	// node n, so a skipped stretch is replayed in one IdleTicker call
+	// on wake-up.
+	skip     bool
+	active   []uint32
+	idle     noc.IdleTicker
+	lastTick []int64
+
+	// openPol short-circuits the injection-policy interface calls when
+	// the policy is noc.Open: three dynamic dispatches per node per
+	// cycle (Allow, MarkCongested, Tick) compile down to nothing in the
+	// common unthrottled configuration.
+	openPol bool
+
+	// atomicAct selects the activation flavour: with worker sharding,
+	// commits use the 3-state atomic protocol described on active;
+	// sequential stepping uses plain load-checked stores and scans the
+	// write stage too, which is race-free with a single goroutine and
+	// saves two atomics per link traversal.
+	atomicAct bool
+
+	// links[n*4+d] resolves the link leaving node n in direction d to
+	// its destination pipeline: idx is the in-plane offset
+	// neighbour*4+arrivalDir, nb the neighbour; idx is -1 off the mesh
+	// edge. Committing is pure table walks with this in place.
+	links []linkRef
+
+	// inCount[n] counts the flits currently queued in node n's incoming
+	// pipelines (all stages of its in-column). Maintained only under
+	// sequential stepping (atomicAct false, fixed at construction),
+	// where it replaces the per-plane alive scan with one load;
+	// sharded stepping keeps the scan because cross-shard commits
+	// would race on the counters.
+	inCount []int32
+
+	// fastRT caches Topology.RouteTableInUse so the arbitration loops
+	// can take the inlinable packed-table lookup without an interface
+	// query per flit.
+	fastRT bool
+
+	// scr[w] is worker w's arbitration scratch. The per-flit arrays
+	// live here rather than on stepRouter's frame so stepping a node
+	// does not re-zero ~100 bytes of locals: every slot is written
+	// before it is read (hs/hot/ord up to na, out only for ports whose
+	// free bit was claimed).
+	scr []stepScratch
+
+	// reserveNeeds is Step's per-shard Reserve argument, kept allocated.
+	reserveNeeds []int
+
 	// shards[w] are worker w's counters, cache-line padded so parallel
 	// phases never false-share; Stats() merges them.
 	shards []par.PaddedStats
-	// pool runs the two barrier phases when sharding engages; nil means
-	// sequential stepping. p1 and p2 are the prebuilt phase closures, so
-	// Step allocates nothing.
-	pool   *par.Pool
-	p1, p2 func(lo, hi, worker int)
+	// pool runs the node pass when sharding engages; nil means
+	// sequential stepping. p1 is the prebuilt closure, so Step
+	// allocates nothing.
+	pool *par.Pool
+	p1   func(lo, hi, worker int)
 
 	stats    noc.Stats
 	inflight int64
@@ -178,16 +323,23 @@ func New(cfg Config) *Fabric {
 	}
 	n := cfg.Topology.Nodes()
 	f := &Fabric{
-		top:    cfg.Topology,
-		cfg:    cfg,
-		policy: cfg.Policy,
-		depth:  cfg.HopLatency,
-		nics:   make([]*noc.NIC, n),
-		in:     make([]slot, n*maxDirs*cfg.HopLatency),
-		outBuf: make([]slot, n*maxDirs),
-		shards: make([]par.PaddedStats, cfg.Workers),
-		tr:     cfg.Probe.Tracer,
-		sp:     cfg.Probe.Spatial,
+		top:          cfg.Topology,
+		cfg:          cfg,
+		policy:       cfg.Policy,
+		depth:        cfg.HopLatency,
+		ringLen:      cfg.HopLatency + 1,
+		planeSz:      n * maxDirs,
+		nics:         make([]*noc.NIC, n),
+		fpool:        noc.NewFlitPool(cfg.Workers),
+		in:           make([]noc.Handle, n*maxDirs*(cfg.HopLatency+1)),
+		reserveNeeds: make([]int, cfg.Workers),
+		shards:       make([]par.PaddedStats, cfg.Workers),
+		tr:           cfg.Probe.Tracer,
+		sp:           cfg.Probe.Spatial,
+		ejectW:       cfg.EjectWidth,
+		injectW:      cfg.InjectWidth,
+		sideCap:      int32(cfg.SideBuffer),
+		arb:          cfg.Arb,
 	}
 	// Sharding pays only when every worker gets a few nodes; below that
 	// the fabric steps sequentially and the pool is never consulted.
@@ -200,11 +352,42 @@ func New(cfg Config) *Fabric {
 		} else {
 			f.pool = par.New(cfg.Workers)
 		}
-		f.p1 = func(lo, hi, w int) { f.phase1(lo, hi, &f.shards[w].Stats) }
-		f.p2 = func(lo, hi, w int) { f.phase2(lo, hi, &f.shards[w].Stats) }
+		f.p1 = func(lo, hi, w int) { f.phase1(lo, hi, w, &f.shards[w].Stats) }
+	}
+	f.atomicAct = f.pool != nil
+	f.fastRT = cfg.Topology.RouteTableInUse()
+	f.scr = make([]stepScratch, cfg.Workers)
+	f.idle, _ = cfg.Policy.(noc.IdleTicker)
+	_, open := cfg.Policy.(noc.Open)
+	f.openPol = open
+	f.skip = !cfg.NoActiveSet && !cfg.Adaptive && (open || f.idle != nil)
+	if f.skip && !f.atomicAct {
+		f.inCount = make([]int32, n)
+	}
+	f.links = make([]linkRef, n*maxDirs)
+	for node := 0; node < n; node++ {
+		for d := 0; d < maxDirs; d++ {
+			nb := cfg.Topology.Neighbor(node, topology.Port(d))
+			if nb < 0 {
+				f.links[node*maxDirs+d] = linkRef{idx: -1, nb: -1}
+				continue
+			}
+			ad := int(topology.Opposite(topology.Port(d)))
+			f.links[node*maxDirs+d] = linkRef{
+				idx: int32(nb*maxDirs + ad),
+				nb:  int32(nb),
+			}
+		}
+	}
+	if f.skip {
+		f.active = make([]uint32, n)
+		f.lastTick = make([]int64, n)
 	}
 	for i := range f.nics {
 		f.nics[i] = noc.NewNIC(i)
+		if f.skip {
+			f.nics[i].SetNotify(f.activate)
+		}
 	}
 	if cfg.Arb == Random {
 		root := rng.New(cfg.Seed ^ 0xb1e55)
@@ -214,7 +397,7 @@ func New(cfg Config) *Fabric {
 		}
 	}
 	if cfg.SideBuffer > 0 {
-		f.side = make([]noc.Flit, n*cfg.SideBuffer)
+		f.side = make([]noc.Handle, n*cfg.SideBuffer)
 		f.sideHead = make([]int32, n)
 		f.sideCount = make([]int32, n)
 	}
@@ -225,6 +408,19 @@ func New(cfg Config) *Fabric {
 	return f
 }
 
+// activate flags a node as freshly woken (see the active field's state
+// machine). Atomic because commits and NIC notifications may come from
+// any worker shard.
+func (f *Fabric) activate(node int) {
+	if !f.atomicAct {
+		// Sequential fabrics take Sends only between steps; a plain
+		// store keeps the NIC notify off the atomic path.
+		f.active[node] = 2
+		return
+	}
+	atomic.StoreUint32(&f.active[node], 2)
+}
+
 // Topology returns the fabric's topology.
 func (f *Fabric) Topology() *topology.Topology { return f.top }
 
@@ -233,6 +429,20 @@ func (f *Fabric) Cycle() int64 { return f.cycle }
 
 // NIC returns node i's network interface.
 func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
+
+// ActiveSet reports whether active-set skipping is engaged and, if so,
+// how many nodes are currently flagged active. Sequential regions only.
+func (f *Fabric) ActiveSet() (active int, enabled bool) {
+	if !f.skip {
+		return 0, false
+	}
+	for _, a := range f.active {
+		if a != 0 {
+			active++
+		}
+	}
+	return active, true
+}
 
 // Stats returns the accumulated counters, merging worker shards.
 func (f *Fabric) Stats() noc.Stats {
@@ -260,16 +470,48 @@ func (f *Fabric) Drained() bool {
 // InFlight returns the number of flits currently inside the network.
 func (f *Fabric) InFlight() int64 { return f.inflight }
 
-// Step advances one cycle: phase 1 arbitrates every router, phase 2
-// commits the chosen outputs onto the link pipelines.
+// SyncPolicy replays every pending idle stretch into the policy so its
+// per-node state (starvation windows) is as if no router had been
+// skipped. The system simulator calls it before each policy epoch; it
+// implements noc.PolicySyncer.
+func (f *Fabric) SyncPolicy() {
+	if !f.skip || f.idle == nil {
+		return
+	}
+	for node := range f.lastTick {
+		if gap := f.cycle - f.lastTick[node]; gap > 0 {
+			f.idle.TickIdle(node, gap)
+			f.lastTick[node] = f.cycle
+		}
+	}
+}
+
+// Step advances one cycle: a single pass over the (active) routers,
+// each reading its arriving flits, arbitrating, and committing its
+// outputs onto the downstream link pipelines.
 func (f *Fabric) Step() {
 	nodes := f.top.Nodes()
+	f.stage = int(f.cycle % int64(f.ringLen))
+	f.wstage = f.stage + f.depth
+	if f.wstage >= f.ringLen {
+		f.wstage -= f.ringLen
+	}
 	if f.pool == nil {
-		f.phase1(0, nodes, &f.shards[0].Stats)
-		f.phase2(0, nodes, &f.shards[0].Stats)
+		f.reserveNeeds[0] = nodes * f.cfg.InjectWidth
+		for w := 1; w < len(f.reserveNeeds); w++ {
+			f.reserveNeeds[w] = 0
+		}
+		f.fpool.Reserve(f.reserveNeeds)
+		f.hotp = f.fpool.HotPlane()
+		f.phase1(0, nodes, 0, &f.shards[0].Stats)
 	} else {
+		per := (nodes + f.cfg.Workers - 1) / f.cfg.Workers
+		for w := range f.reserveNeeds {
+			f.reserveNeeds[w] = per * f.cfg.InjectWidth
+		}
+		f.fpool.Reserve(f.reserveNeeds)
+		f.hotp = f.fpool.HotPlane()
 		f.pool.Run(nodes, f.p1)
-		f.pool.Run(nodes, f.p2)
 	}
 	f.updateInflight()
 	f.cycle++
@@ -283,134 +525,299 @@ func (f *Fabric) Close() {
 	}
 }
 
-// phase1 reads link heads for nodes [lo,hi), arbitrates, ejects, injects,
-// and records the chosen outputs in outBuf. It writes only node-local
-// state (its own in-slots, its outBuf row, its NIC) and shard counters.
-func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
-	stage := int(f.cycle % int64(f.depth))
-	var arr [maxDirs]noc.Flit
-	var ord [maxDirs]int
+// phase1 steps nodes [lo,hi), skipping inactive ones when the active
+// set is engaged. Each router touches only single-writer state: its own
+// pipeline heads, its NIC, the write-stage slots of its outgoing links
+// (disjoint from every same-cycle read; see the in field), shard
+// counters, and the atomic active words.
+func (f *Fabric) phase1(lo, hi, w int, st *noc.Stats) {
+	if !f.skip {
+		for node := lo; node < hi; node++ {
+			f.stepRouter(node, w, st)
+		}
+		return
+	}
+	if !f.atomicAct {
+		// Sequential stepping: nothing can race the owner between its
+		// load and its store, so the state machine runs on plain
+		// accesses (a demotion or deactivation can never clobber a
+		// concurrent wake-up — there is none).
+		for node := lo; node < hi; node++ {
+			a := f.active[node]
+			if a == 0 {
+				continue
+			}
+			alive := f.stepRouter(node, w, st)
+			if a == 2 {
+				f.active[node] = 1
+			} else if !alive {
+				f.active[node] = 0
+			}
+		}
+		return
+	}
 	for node := lo; node < hi; node++ {
-		// Collect arrivals at the head stage and clear the slots.
-		na := 0
-		base := node * maxDirs
-		for d := 0; d < maxDirs; d++ {
-			s := &f.in[(base+d)*f.depth+stage]
-			if s.ok {
-				arr[na] = s.f
-				na++
-				s.ok = false
-			}
+		a := atomic.LoadUint32(&f.active[node])
+		if a == 0 {
+			continue
 		}
-		st.Arbitrations += int64(na)
-
-		// Order contenders. Oldest-First sorts by the age total order;
-		// Random shuffles.
-		for i := 0; i < na; i++ {
-			ord[i] = i
-		}
-		if f.cfg.Arb == OldestFirst {
-			for i := 1; i < na; i++ { // insertion sort, na <= 4
-				j := i
-				for j > 0 && noc.Older(&arr[ord[j]], &arr[ord[j-1]]) {
-					ord[j], ord[j-1] = ord[j-1], ord[j]
-					j--
-				}
-			}
-		} else if na > 1 {
-			src := f.randSrc[node]
-			for i := na - 1; i > 0; i-- {
-				j := src.Intn(i + 1)
-				ord[i], ord[j] = ord[j], ord[i]
-			}
-		}
-
-		// Eject up to EjectWidth arrivals destined here, in priority
-		// order; the rest must be routed onward (deflected past their
-		// destination, as FLIT-BLESS does under ejection contention).
-		out := f.outBuf[base : base+maxDirs]
-		for d := range out {
-			out[d].ok = false
-		}
-		nic := f.nics[node]
-		ejected := 0
-		var used [maxDirs]bool
-		for k := 0; k < na; k++ {
-			fl := &arr[ord[k]]
-			if int(fl.Dst) == node && ejected < f.cfg.EjectWidth {
-				ejected++
-				st.FlitsEjected++
-				st.CrossbarTraversals++
-				st.NetFlitLatencySum += f.cycle - fl.Inject
-				if f.sp != nil {
-					f.sp.AddEject(node)
-				}
-				if f.tr != nil {
-					f.tr.Eject(f.cycle, node, fl)
-				}
-				if _, done := nic.Receive(fl, f.cycle); done {
-					st.PacketsDelivered++
-					st.PacketLatencySum += f.cycle - fl.Enq
-				}
-				fl.Dst = -1 // consumed marker
-				continue
-			}
-		}
-
-		// Assign output ports in priority order. With MinBD side
-		// buffering, one would-be-deflected flit per cycle is absorbed
-		// into the side buffer instead of misrouting.
-		sideSlot := f.side != nil && f.sideCount[node] < int32(f.cfg.SideBuffer)
-		for k := 0; k < na; k++ {
-			fl := &arr[ord[k]]
-			if fl.Dst == -1 {
-				continue
-			}
-			f.assignPort(node, fl, &used, out, st, &sideSlot)
-		}
-
-		// Side-buffer re-injection: one buffered flit per cycle re-enters
-		// when a port is free, with priority over NI injection (MinBD).
-		f.reinjectSide(node, &used, out, st)
-
-		// Injection: the node may inject while an output link is free.
-		f.inject(node, nic, &used, out, st)
-
-		// Distributed congestion signalling: mark every departing flit.
-		if f.policy.MarkCongested(node) {
-			for d := range out {
-				if out[d].ok {
-					out[d].f.CongBit = true
-				}
-			}
-		}
-
-		// Adaptive routing's local congestion estimate: decay every 64
-		// cycles, count this cycle's busy output ports.
-		if f.load != nil {
-			if f.cycle&63 == 0 {
-				for d := 0; d < maxDirs; d++ {
-					f.load[base+d] -= f.load[base+d] >> 1
-				}
-			}
-			for d := 0; d < maxDirs; d++ {
-				if out[d].ok {
-					f.load[base+d]++
-				}
-			}
+		alive := f.stepRouter(node, w, st)
+		if a == 2 {
+			// Freshly woken: demote to plain-active rather than ever
+			// deactivating, so a flit committed toward this node during
+			// the cycle that woke it survives to next cycle's pipeline
+			// scan. A failed CAS means another activation landed — the
+			// node simply stays at 2.
+			atomic.CompareAndSwapUint32(&f.active[node], 2, 1)
+		} else if !alive {
+			// The CAS fails — leaving the node awake — whenever an
+			// activation raced in after this cycle's load.
+			atomic.CompareAndSwapUint32(&f.active[node], 1, 0)
 		}
 	}
 }
 
-// assignPort gives fl an output direction: its XY choice if free, else
-// a free productive direction, else — if a side-buffer slot is
+// stepRouter runs one router's cycle: read link heads, arbitrate,
+// eject, inject, commit outputs downstream. It reports whether the node
+// still has any work (NIC traffic, side-buffered flits, or flits in its
+// incoming pipelines — everything that could make a future cycle differ
+// from a no-op, so skipping a !alive node is exact).
+func (f *Fabric) stepRouter(node, w int, st *noc.Stats) (alive bool) {
+	if f.skip && f.idle != nil {
+		// Replay the skipped stretch into the policy's starvation
+		// window; inject's Tick below then covers this cycle. The
+		// bookkeeping only exists for IdleTicker policies — SyncPolicy
+		// and this replay are the sole readers — so other policies
+		// skip the per-node store entirely.
+		if gap := f.cycle - f.lastTick[node]; gap > 0 {
+			f.idle.TickIdle(node, gap)
+		}
+		f.lastTick[node] = f.cycle + 1
+	}
+
+	stage := f.stage
+	base := node * maxDirs
+
+	// Collect arrivals at the head stage and clear the slots. The
+	// scratch arrays are reused across nodes; only the first na slots
+	// are ever read back.
+	sc := &f.scr[w]
+	hs := &sc.hs
+	keys := &sc.keys
+	ord := &sc.ord
+	na := 0
+	head := f.in[stage*f.planeSz+base : stage*f.planeSz+base+maxDirs]
+	for d, h := range head {
+		if h != 0 {
+			hs[na] = h
+			fh := &f.hotp[h]
+			keys[na] = arrKey{inject: fh.Inject, seq: fh.Seq, dst: fh.Dst, index: fh.Index}
+			na++
+			head[d] = 0
+		}
+	}
+	st.Arbitrations += int64(na)
+	if f.inCount != nil {
+		f.inCount[node] -= int32(na)
+	}
+
+	// Order contenders. Oldest-First sorts by the age total order;
+	// Random shuffles.
+	for i := 0; i < na; i++ {
+		ord[i] = int32(i)
+	}
+	if f.arb == OldestFirst {
+		for i := 1; i < na; i++ { // insertion sort, na <= 4
+			j := i
+			for j > 0 && olderKey(&keys[ord[j]], &keys[ord[j-1]]) {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
+				j--
+			}
+		}
+	} else if na > 1 {
+		src := f.randSrc[node]
+		for i := na - 1; i > 0; i-- {
+			j := src.Intn(i + 1)
+			ord[i], ord[j] = ord[j], ord[i]
+		}
+	}
+
+	// One pass over the age order does both ejection and port
+	// assignment: eject up to EjectWidth arrivals destined here (the
+	// rest are routed onward, deflected past their destination as
+	// FLIT-BLESS does under ejection contention). Ejection never
+	// consumes an output port, so a merged pass assigns exactly the
+	// ports the separate eject-then-assign passes did. The common
+	// transit case — the XY port or a productive alternative is free
+	// under the default routing — is inlined; ejection overflow,
+	// side-buffering, deflection and adaptive routing take the
+	// assignPort slow path. With MinBD side buffering, one
+	// would-be-deflected flit per cycle is absorbed into the side
+	// buffer instead of misrouting.
+	out := sc.out[:]
+	nic := f.nics[node]
+	ejected := 0
+	// free tracks the node's unassigned valid output ports as a
+	// bitmask; assigning a port clears its bit.
+	full := f.top.PortMask(node)
+	free := full
+	sideSlot := f.side != nil && f.sideCount[node] < f.sideCap
+	cross := int64(0) // batched st.CrossbarTraversals
+	for k := 0; k < na; k++ {
+		i := ord[k]
+		ak := &keys[i]
+		dst := int(ak.dst)
+		if dst == node && ejected < f.ejectW {
+			ejected++
+			st.FlitsEjected++
+			cross++
+			st.NetFlitLatencySum += f.cycle - ak.inject
+			var fl noc.Flit
+			f.fpool.Get(hs[i], &fl)
+			if f.sp != nil {
+				f.sp.AddEject(node)
+			}
+			if f.tr != nil {
+				f.tr.Eject(f.cycle, node, &fl)
+			}
+			if _, done := nic.Receive(&fl, f.cycle); done {
+				st.PacketsDelivered++
+				st.PacketLatencySum += f.cycle - fl.Enq
+			}
+			f.fpool.Free(w, hs[i])
+			continue
+		}
+		if dst != node && f.load == nil && f.fastRT {
+			xy, prod := f.top.RouteEntryFast(node, dst)
+			if free&(1<<uint(xy)) != 0 { // xy != Local: dst differs
+				free &^= 1 << uint(xy)
+				out[xy] = hs[i]
+				cross++
+				continue
+			}
+			if m := prod & free; m != 0 {
+				d := bits.TrailingZeros8(m)
+				free &^= 1 << uint(d)
+				out[d] = hs[i]
+				cross++
+				continue
+			}
+		}
+		f.assignPort(node, hs[i], dst, &free, out, st, &sideSlot)
+	}
+	st.CrossbarTraversals += cross
+
+	// Side-buffer re-injection: one buffered flit per cycle re-enters
+	// when a port is free, with priority over NI injection (MinBD).
+	if f.side != nil {
+		f.reinjectSide(node, &free, out, st)
+	}
+
+	// Injection: the node may inject while an output link is free. An
+	// empty NIC under the Open policy makes inject a no-op (wanted
+	// stays false and there is no Tick to deliver), so the call is
+	// skipped outright.
+	if !f.openPol || nic.HasTraffic() {
+		f.inject(node, w, nic, &free, out, st)
+	}
+
+	// Adaptive routing's periodic decay of the local congestion
+	// estimate (this cycle's busy ports are counted in the commit loop).
+	if f.load != nil && f.cycle&63 == 0 {
+		for d := 0; d < maxDirs; d++ {
+			f.load[base+d] -= f.load[base+d] >> 1
+		}
+	}
+
+	// Commit departing flits straight onto the downstream pipelines.
+	// The write stage trails every same-cycle read by one ring slot, so
+	// these stores are invisible until the arrival cycle; congestion
+	// marking and neighbour activation piggyback on the same walk.
+	if assigned := full &^ free; assigned != 0 {
+		cong := !f.openPol && f.policy.MarkCongested(node)
+		wbase := f.wstage * f.planeSz
+		st.LinkTraversals += int64(bits.OnesCount8(assigned))
+		for m := assigned; m != 0; m &= m - 1 {
+			d := bits.TrailingZeros8(m)
+			h := out[d]
+			if cong {
+				f.hotp[h].CongBit = true
+			}
+			if f.load != nil {
+				f.load[base+d]++
+			}
+			lk := f.links[base+d]
+			f.in[wbase+int(lk.idx)] = h
+			if f.sp != nil {
+				f.sp.AddLink(node, d)
+			}
+			if f.skip {
+				if !f.atomicAct {
+					// Single goroutine: a plain load-checked store
+					// suffices (the receiver may already have stepped
+					// and deactivated this cycle).
+					f.inCount[lk.nb]++
+					if f.active[lk.nb] == 0 {
+						f.active[lk.nb] = 1
+					}
+				} else if atomic.LoadUint32(&f.active[lk.nb]) != 2 {
+					// Load-checked: at load the neighbour is usually
+					// flagged already, and skipping the store keeps the
+					// cache line clean for other committers. Anything
+					// not already freshly woken must be re-stamped 2 so
+					// a racing deactivation CAS fails.
+					atomic.StoreUint32(&f.active[lk.nb], 2)
+				}
+			}
+		}
+	}
+
+	alive = nic.HasTraffic() || (f.side != nil && f.sideCount[node] > 0)
+	if f.skip && !alive {
+		// Scan the incoming pipelines for queued flits. Under worker
+		// sharding the write stage is excluded: it held no flit at the
+		// cycle's start (its previous tenant was read last cycle), and
+		// only a concurrent neighbour commit can fill it — a commit
+		// whose Store(2) re-activates this node by itself, so skipping
+		// the slot is both race-free and wakeup-safe. Sequential
+		// stepping scans every slot instead: an earlier node may have
+		// committed toward this one without re-flagging it (it was
+		// still active at commit time), and the full scan is what keeps
+		// that flit's node awake.
+		if !f.atomicAct {
+			// Sequential stepping: the occupancy counter is exact (it
+			// is maintained by the same goroutine doing the scanning),
+			// so "any flit queued toward this node" is one load. An
+			// earlier node may have committed toward this one without
+			// re-flagging it; the counter is what keeps it awake.
+			alive = f.inCount[node] != 0
+		} else {
+			for s := 0; s < f.ringLen && !alive; s++ {
+				if s == f.wstage {
+					continue
+				}
+				q := s*f.planeSz + base
+				for _, h := range f.in[q : q+maxDirs] {
+					if h != 0 {
+						alive = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return alive
+}
+
+// assignPort gives flit h an output direction: its XY choice if free,
+// else a free productive direction, else — if a side-buffer slot is
 // available this cycle — the side buffer, else the least-harmful free
 // direction (a deflection).
-func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []slot, st *noc.Stats, sideSlot *bool) {
-	if int(fl.Dst) != node {
-		if d := f.desiredPort(node, int(fl.Dst), used); d != topology.Invalid {
-			used[d] = true
-			out[d] = slot{f: *fl, ok: true}
+func (f *Fabric) assignPort(node int, h noc.Handle, dst int, free *uint8, out []noc.Handle, st *noc.Stats, sideSlot *bool) {
+	if dst != node {
+		if d := f.desiredPort(node, dst, *free); d != topology.Invalid {
+			*free &^= 1 << uint(d)
+			out[d] = h
 			st.CrossbarTraversals++
 			return
 		}
@@ -421,11 +828,13 @@ func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []s
 		*sideSlot = false
 		d := f.cfg.SideBuffer
 		idx := node*d + int(f.sideHead[node]+f.sideCount[node])%d
-		f.side[idx] = *fl
+		f.side[idx] = h
 		f.sideCount[node]++
 		st.BufferWrites++
 		if f.tr != nil {
-			f.tr.Buffer(f.cycle, node, fl)
+			var fl noc.Flit
+			f.fpool.Get(h, &fl)
+			f.tr.Buffer(f.cycle, node, &fl)
 		}
 		return
 	}
@@ -435,13 +844,11 @@ func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []s
 	// number of flits needing ports never exceeds the node's degree.
 	best := topology.Invalid
 	bestDist := int(^uint(0) >> 1)
-	for d := topology.Port(0); d < topology.NumDirs; d++ {
-		if used[d] || !f.top.HasPort(node, d) {
-			continue
-		}
+	for m := *free; m != 0; m &= m - 1 {
+		d := topology.Port(bits.TrailingZeros8(m))
 		dist := 0
-		if int(fl.Dst) != node {
-			dist = f.top.Distance(f.top.Neighbor(node, d), int(fl.Dst))
+		if dst != node {
+			dist = f.top.Distance(f.top.Neighbor(node, d), dst)
 		}
 		if dist < bestDist {
 			best = d
@@ -449,34 +856,36 @@ func (f *Fabric) assignPort(node int, fl *noc.Flit, used *[maxDirs]bool, out []s
 		}
 	}
 	if best == topology.Invalid {
-		panic(fmt.Sprintf("bless: no free port at node %d for flit %v->%v", node, fl.Src, fl.Dst))
+		panic(fmt.Sprintf("bless: no free port at node %d for flit ->%d", node, dst))
 	}
-	used[best] = true
-	out[best] = slot{f: *fl, ok: true}
+	*free &^= 1 << uint(best)
+	out[best] = h
 	st.CrossbarTraversals++
 	st.Deflections++
 	if f.sp != nil {
 		f.sp.AddDeflect(node)
 	}
 	if f.tr != nil {
-		f.tr.Deflect(f.cycle, node, fl)
+		var fl noc.Flit
+		f.fpool.Get(h, &fl)
+		f.tr.Deflect(f.cycle, node, &fl)
 	}
 }
 
 // reinjectSide moves the side buffer's head flit back into the router
 // when an output port is free (one per cycle, before NI injection).
-func (f *Fabric) reinjectSide(node int, used *[maxDirs]bool, out []slot, st *noc.Stats) {
-	if f.side == nil || f.sideCount[node] == 0 {
+func (f *Fabric) reinjectSide(node int, free *uint8, out []noc.Handle, st *noc.Stats) {
+	if f.sideCount[node] == 0 {
 		return
 	}
 	d := f.cfg.SideBuffer
-	head := &f.side[node*d+int(f.sideHead[node])]
-	dir := f.freePortToward(node, int(head.Dst), used)
+	h := f.side[node*d+int(f.sideHead[node])]
+	dir := f.freePortToward(node, int(f.fpool.Hot(h).Dst), *free)
 	if dir == topology.Invalid {
 		return
 	}
-	used[dir] = true
-	out[dir] = slot{f: *head, ok: true}
+	*free &^= 1 << uint(dir)
+	out[dir] = h
 	f.sideHead[node] = (f.sideHead[node] + 1) % int32(d)
 	f.sideCount[node]--
 	st.BufferReads++
@@ -486,28 +895,28 @@ func (f *Fabric) reinjectSide(node int, used *[maxDirs]bool, out []slot, st *noc
 // inject moves up to InjectWidth flits from the NIC into free output
 // ports, consulting the policy for request flits, and reports the
 // starvation outcome.
-func (f *Fabric) inject(node int, nic *noc.NIC, used *[maxDirs]bool, out []slot, st *noc.Stats) {
+func (f *Fabric) inject(node, w int, nic *noc.NIC, free *uint8, out []noc.Handle, st *noc.Stats) {
 	wanted := false
 	injected := false
 	throttled := false
-	for w := 0; w < f.cfg.InjectWidth; w++ {
+	for i := 0; i < f.injectW; i++ {
 		head := nic.Head()
 		if head == nil {
 			break
 		}
 		wanted = true
-		dir := f.freePortToward(node, int(head.Dst), used)
+		dir := f.freePortToward(node, int(head.Dst), *free)
 		if dir == topology.Invalid {
 			break // no free output link: starved
 		}
-		if noc.ThrottledKind(head.Kind) && !f.policy.Allow(node) {
+		if noc.ThrottledKind(head.Kind) && !f.openPol && !f.policy.Allow(node) {
 			throttled = true
 			break // blocked by Algorithm 3's gate, not by the network
 		}
 		fl := nic.Pop()
 		fl.Inject = f.cycle
-		used[dir] = true
-		out[dir] = slot{f: fl, ok: true}
+		*free &^= 1 << uint(dir)
+		out[dir] = f.fpool.Alloc(w, &fl)
 		st.FlitsInjected++
 		st.QueueLatencySum += f.cycle - fl.Enq
 		st.CrossbarTraversals++
@@ -535,36 +944,43 @@ func (f *Fabric) inject(node int, nic *noc.NIC, used *[maxDirs]bool, out []slot,
 			}
 		}
 	}
-	f.policy.Tick(node, wanted, injected, throttled)
+	if !f.openPol {
+		f.policy.Tick(node, wanted, injected, throttled)
+	}
 }
 
-// desiredPort returns fl's preferred free productive output direction:
-// strict XY first under the default routing, or the least-recently-busy
-// productive port under adaptive routing. Invalid means no productive
-// port is free. Both the XY choice and the productive set are
-// precomputed table lookups; the mask is scanned low-bit-first, which
-// matches the direction order the old slice-based loop produced.
-func (f *Fabric) desiredPort(node, dst int, used *[maxDirs]bool) topology.Port {
+// desiredPort returns the flit's preferred free productive output
+// direction: strict XY first under the default routing, or the
+// least-recently-busy productive port under adaptive routing. Invalid
+// means no productive port is free. Both the XY choice and the
+// productive set are precomputed table lookups; the mask is scanned
+// low-bit-first, which matches the direction order the old slice-based
+// loop produced.
+func (f *Fabric) desiredPort(node, dst int, free uint8) topology.Port {
 	if f.load == nil {
 		// Strict XY, falling back to any free productive direction.
-		if w := f.top.XYRoute(node, dst); w != topology.Local && !used[w] && f.top.HasPort(node, w) {
-			return w
+		// One fused table load answers both queries; the XY port is
+		// always valid when it exists, so free alone gates it.
+		var xy topology.Port
+		var prod uint8
+		if f.fastRT {
+			xy, prod = f.top.RouteEntryFast(node, dst)
+		} else {
+			xy, prod = f.top.RouteEntry(node, dst)
 		}
-		for m := f.top.ProductiveMask(node, dst); m != 0; m &= m - 1 {
-			if d := topology.Port(bits.TrailingZeros8(m)); !used[d] {
-				return d
-			}
+		if xy != topology.Local && free&(1<<uint(xy)) != 0 {
+			return xy
+		}
+		if m := prod & free; m != 0 {
+			return topology.Port(bits.TrailingZeros8(m))
 		}
 		return topology.Invalid
 	}
 	// Adaptive: least-loaded free productive direction.
 	best := topology.Invalid
 	bestLoad := ^uint32(0)
-	for m := f.top.ProductiveMask(node, dst); m != 0; m &= m - 1 {
+	for m := f.top.ProductiveMask(node, dst) & free; m != 0; m &= m - 1 {
 		d := topology.Port(bits.TrailingZeros8(m))
-		if used[d] {
-			continue
-		}
 		if l := f.load[node*maxDirs+int(d)]; l < bestLoad {
 			best = d
 			bestLoad = l
@@ -575,43 +991,16 @@ func (f *Fabric) desiredPort(node, dst int, used *[maxDirs]bool) topology.Port {
 
 // freePortToward returns a free output direction, preferring productive
 // directions toward dst, or Invalid if every valid port is taken.
-func (f *Fabric) freePortToward(node, dst int, used *[maxDirs]bool) topology.Port {
+func (f *Fabric) freePortToward(node, dst int, free uint8) topology.Port {
 	if dst != node {
-		if d := f.desiredPort(node, dst, used); d != topology.Invalid {
+		if d := f.desiredPort(node, dst, free); d != topology.Invalid {
 			return d
 		}
 	}
-	for d := topology.Port(0); d < topology.NumDirs; d++ {
-		if !used[d] && f.top.HasPort(node, d) {
-			return d
-		}
+	if free != 0 {
+		return topology.Port(bits.TrailingZeros8(free))
 	}
 	return topology.Invalid
-}
-
-// phase2 commits outBuf onto the link pipelines for nodes [lo,hi). The
-// target ring slot (cycle%depth) was already consumed by its reader in
-// phase 1 of this cycle and will be read again depth cycles from now.
-func (f *Fabric) phase2(lo, hi int, st *noc.Stats) {
-	stage := int(f.cycle % int64(f.depth))
-	for node := lo; node < hi; node++ {
-		base := node * maxDirs
-		for d := 0; d < maxDirs; d++ {
-			o := &f.outBuf[base+d]
-			if !o.ok {
-				continue
-			}
-			o.ok = false
-			nb := f.top.Neighbor(node, topology.Port(d))
-			ad := topology.Opposite(topology.Port(d))
-			idx := (nb*maxDirs+int(ad))*f.depth + stage
-			f.in[idx] = slot{f: o.f, ok: true}
-			st.LinkTraversals++
-			if f.sp != nil {
-				f.sp.AddLink(node, d)
-			}
-		}
-	}
 }
 
 // updateInflight recomputes the in-flight counter from shard totals.

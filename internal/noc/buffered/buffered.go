@@ -11,10 +11,27 @@
 // XY routing on a mesh is acyclic, so credit-based flow control is
 // deadlock-free without extra VC disciplines; the package therefore
 // supports mesh topologies only.
+//
+// The hot path mirrors the bufferless fabric's: a flit is pooled (a
+// 4-byte noc.FlitPool handle) for its whole journey — allocated at
+// injection, freed at ejection — and both the link pipelines and the
+// input VC ring buffers carry handles, so a hop moves one word instead
+// of copying a 56-byte flit in and out of a buffer. Each link ring has
+// HopLatency+1 slots so a router commits its outputs directly onto the
+// downstream pipelines during the single node pass (the write stage
+// trails every same-cycle read; see the bufferless fabric's in field),
+// and an active set skips routers with no buffered flits, no NIC
+// traffic, and nothing arriving on their flit or credit pipelines.
+// Committers re-activate the downstream neighbour on every flit or
+// credit commit and NIC Send notifies on enqueue, so skipping is exact;
+// it engages under the same policy conditions as the bufferless fabric
+// (noc.Open or noc.IdleTicker).
 package buffered
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"nocsim/internal/noc"
 	"nocsim/internal/obs"
@@ -39,6 +56,10 @@ type Config struct {
 	EjectWidth int
 	// Policy gates and observes injection; nil means noc.Open{}.
 	Policy noc.InjectionPolicy
+	// NoActiveSet forces every router to be stepped every cycle even
+	// when the active-set conditions hold; see the bufferless fabric's
+	// field of the same name.
+	NoActiveSet bool
 	// Workers shards the per-cycle node loop; 0 means 1.
 	Workers int
 	// Pool optionally supplies a shared persistent worker pool (the
@@ -61,41 +82,30 @@ const (
 	numLocalVC = 2
 )
 
-// inVC is the state of one input virtual channel.
+// inVC is the state of one input virtual channel. The buffer parks
+// pool handles, not flit values: a buffered flit's state lives in the
+// shared pool from injection to ejection.
 type inVC struct {
-	buf    []noc.Flit // ring of cap BufDepth
-	head   int
-	count  int
+	buf    []noc.Handle // ring of cap BufDepth
+	head   int16
+	count  int16
 	route  topology.Port
 	routed bool
 	outVC  int8 // allocated downstream VC, -1 if none
-}
-
-func (v *inVC) front() *noc.Flit { return &v.buf[v.head] }
-
-func (v *inVC) push(f noc.Flit) {
-	v.buf[(v.head+v.count)%len(v.buf)] = f
-	v.count++
-}
-
-func (v *inVC) pop() noc.Flit {
-	f := v.buf[v.head]
-	v.head = (v.head + 1) % len(v.buf)
-	v.count--
-	return f
-}
-
-// outVC tracks one output virtual channel: whether a packet currently
-// owns it, and the downstream buffer credit balance.
-type outVC struct {
-	busy    bool
-	credits int
 }
 
 // router is the per-node state.
 type router struct {
 	// in[dir*VCs+vc] are the four direction input ports.
 	in []inVC
+	// nonEmpty has bit dir*VCs+vc set iff that input VC holds a flit,
+	// so the allocator scans and the active-set alive test walk only
+	// occupied VCs (at most 32 bits: 4 dirs × ≤8 VCs).
+	nonEmpty uint32
+	// busy has bit dir*VCs+vc set iff output VC vc toward direction dir
+	// is owned by an in-flight packet, so VC allocation finds a free
+	// output VC with one mask op instead of a scan.
+	busy uint32
 	// local[vc] is the injection pseudo-port: route/outVC state for the
 	// packet at the front of the corresponding NIC queue.
 	local [numLocalVC]struct {
@@ -103,19 +113,69 @@ type router struct {
 		routed bool
 		outVC  int8
 	}
-	// out[dir*VCs+vc] is the output VC state toward each neighbour.
-	out []outVC
+	// out[dir*VCs+vc] is the downstream buffer credit balance of each
+	// output VC.
+	out []int32
 }
 
-type flitSlot struct {
-	f  noc.Flit
-	ok bool
+// linkRef locates the downstream end of one outgoing link: idx is the
+// plane offset neighbour*4+arrivalDir — the flit and credit pipelines
+// share this geometry — and nb the neighbour; idx is -1 off the mesh
+// edge (XY routing never selects such a port).
+type linkRef struct {
+	idx int32
+	nb  int32
 }
 
-// creditSlot carries at most one credit per link per cycle (switch
-// allocation frees at most one buffer slot per input port per cycle).
-type creditSlot struct {
-	vc int8 // -1 means none
+// ageKey is the Oldest-First sort key (noc.Older's exact field order)
+// copied out of a candidate's front flit, so allocation and grant
+// comparisons are self-contained value compares with no repeated pool
+// or NIC-front lookups.
+type ageKey struct {
+	inject int64
+	seq    uint64
+	index  uint8
+}
+
+func (a ageKey) older(b ageKey) bool {
+	if a.inject != b.inject {
+		return a.inject < b.inject
+	}
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.index < b.index
+}
+
+// nominee is one switch-allocation candidate: a direction input VC
+// (dir in 0..3) or the local injection port (dir == localDir), with its
+// routed output and age key captured at nomination time.
+type nominee struct {
+	dir   int8 // -1 means none
+	vc    int8
+	route topology.Port
+	age   ageKey
+}
+
+// localDir tags the local injection port in a nominee.
+const localDir = int8(maxDirs)
+
+// vcReq is one output-VC allocation request.
+type vcReq struct {
+	dir, vc int8
+	age     ageKey
+}
+
+// scratch is one worker's switch-allocation scratch space. Keeping it
+// per worker (rather than on the stack) means stepping a router zeroes
+// no arrays: every slot is explicitly written before it is read. The
+// pad keeps neighbouring workers' scratch off shared cache lines.
+type scratch struct {
+	noms     [maxDirs + 1]nominee
+	granted  [maxDirs]nominee
+	localReq [maxDirs + 1]nominee
+	reqs     [maxDirs*8 + numLocalVC]vcReq
+	_        [64]byte
 }
 
 // Fabric is the buffered VC network. It implements noc.Network.
@@ -126,30 +186,77 @@ type Fabric struct {
 	cycle  int64
 	depth  int
 	vcs    int
+	ejectW int
 
 	nics    []*noc.NIC
 	routers []router
 
-	// Link pipelines, indexed like the bufferless fabric:
-	// flitIn[(node*4+arrivalDir)*depth+stage], single writer (upstream),
-	// single reader (node).
-	flitIn []flitSlot
-	// creditIn[(node*4+outDir)*depth+stage]: credits returning to node's
-	// output port outDir, written by the downstream neighbour.
-	creditIn []creditSlot
+	// fpool stores every in-network flit; buffers and links carry its
+	// handles. Injection allocates a handle, ejection frees it.
+	fpool *noc.FlitPool
+	// hotp caches fpool.HotPlane() across one Step, so per-flit hot
+	// accesses are one indexed load. Refreshed after every Reserve.
+	hotp []noc.FlitHot
+	// Link pipelines in stage-major layout (see the bufferless
+	// fabric's in field): lin[stage*planeSz + node*4 + arrivalDir]
+	// with ringLen = depth+1 stages. The head plane (cycle%ringLen) is
+	// read by the node pass while upstream routers commit into the
+	// disjoint plane (cycle+depth)%ringLen, so a single pass per cycle
+	// needs no separate commit phase, and each plane is swept
+	// sequentially. Single writer per slot.
+	//
+	// A slot packs the flit and the returning credit that share the
+	// physical link: low 32 bits are the flit's pool handle (0 = none)
+	// and bits 32..39 hold credit+1 (0 = none; the credit is the freed
+	// VC index on node's output port toward arrivalDir's opposite).
+	// One word per link per cycle halves the memory the receive and
+	// commit walks touch, and the zero value means "empty link".
+	lin     []uint64
+	ringLen int
+	planeSz int
+	// stage and wstage are this cycle's read and write ring slots,
+	// computed once per Step so the per-node loop never divides.
+	stage  int
+	wstage int
+	// inCount[n] counts the flits and credits currently queued in node
+	// n's incoming pipelines. Maintained only under sequential stepping
+	// (atomicAct false, fixed at construction), where it replaces the
+	// per-plane alive scan with one load; sharded stepping keeps the
+	// scan because cross-shard commits would race on the counters.
+	inCount []int32
 
-	// Phase-1 → phase-2 buffers.
-	outFlit   []flitSlot   // [node*4+dir]
-	outCredit []creditSlot // [node*4+dir]: credit to send upstream on arrival dir
+	// links[n*4+d] resolves the link leaving node n in direction d.
+	links []linkRef
+
+	// Active-set state; see the bufferless fabric for the three-state
+	// protocol (0 idle, 1 active, 2 freshly woken) and the write
+	// discipline.
+	skip     bool
+	active   []uint32
+	idle     noc.IdleTicker
+	lastTick []int64
+
+	// openPol short-circuits the injection-policy interface calls when
+	// the policy is noc.Open (always allow, never mark, no-op ticks).
+	openPol bool
+	// atomicAct selects the activation flavour: atomic three-state
+	// stores under worker sharding, plain load-checked stores when the
+	// fabric steps sequentially.
+	atomicAct bool
+
+	// reserveNeeds is Step's per-shard Reserve argument, kept allocated.
+	reserveNeeds []int
+	// scr[w] is worker w's allocation scratch space.
+	scr []scratch
 
 	// shards[w] are worker w's counters, cache-line padded so parallel
 	// phases never false-share; Stats() merges them.
 	shards []par.PaddedStats
-	// pool runs the two barrier phases when sharding engages; nil means
-	// sequential stepping. p1 and p2 are the prebuilt phase closures, so
-	// Step allocates nothing.
-	pool   *par.Pool
-	p1, p2 func(lo, hi, worker int)
+	// pool runs the node pass when sharding engages; nil means
+	// sequential stepping. p1 is the prebuilt closure, so Step
+	// allocates nothing.
+	pool *par.Pool
+	p1   func(lo, hi, worker int)
 
 	stats noc.Stats
 
@@ -191,21 +298,26 @@ func New(cfg Config) *Fabric {
 		cfg.Workers = 1
 	}
 	n := cfg.Topology.Nodes()
+	ringLen := cfg.HopLatency + 1
 	f := &Fabric{
-		top:       cfg.Topology,
-		cfg:       cfg,
-		policy:    cfg.Policy,
-		depth:     cfg.HopLatency,
-		vcs:       cfg.VCs,
-		nics:      make([]*noc.NIC, n),
-		routers:   make([]router, n),
-		flitIn:    make([]flitSlot, n*maxDirs*cfg.HopLatency),
-		creditIn:  make([]creditSlot, n*maxDirs*cfg.HopLatency),
-		outFlit:   make([]flitSlot, n*maxDirs),
-		outCredit: make([]creditSlot, n*maxDirs),
-		shards:    make([]par.PaddedStats, cfg.Workers),
-		tr:        cfg.Probe.Tracer,
-		sp:        cfg.Probe.Spatial,
+		top:          cfg.Topology,
+		cfg:          cfg,
+		policy:       cfg.Policy,
+		depth:        cfg.HopLatency,
+		vcs:          cfg.VCs,
+		ejectW:       cfg.EjectWidth,
+		nics:         make([]*noc.NIC, n),
+		routers:      make([]router, n),
+		fpool:        noc.NewFlitPool(cfg.Workers),
+		lin:          make([]uint64, n*maxDirs*ringLen),
+		ringLen:      ringLen,
+		planeSz:      n * maxDirs,
+		links:        make([]linkRef, n*maxDirs),
+		reserveNeeds: make([]int, cfg.Workers),
+		scr:          make([]scratch, cfg.Workers),
+		shards:       make([]par.PaddedStats, cfg.Workers),
+		tr:           cfg.Probe.Tracer,
+		sp:           cfg.Probe.Spatial,
 	}
 	// Sharding pays only when every worker gets a few nodes; below that
 	// the fabric steps sequentially and the pool is never consulted.
@@ -218,28 +330,50 @@ func New(cfg Config) *Fabric {
 		} else {
 			f.pool = par.New(cfg.Workers)
 		}
-		f.p1 = func(lo, hi, w int) { f.phase1(lo, hi, &f.shards[w].Stats) }
-		f.p2 = func(lo, hi, w int) { f.phase2(lo, hi, &f.shards[w].Stats) }
+		f.p1 = func(lo, hi, w int) { f.phase1(lo, hi, w, &f.shards[w].Stats) }
 	}
-	for i := range f.creditIn {
-		f.creditIn[i].vc = -1
+	f.atomicAct = f.pool != nil
+	f.idle, _ = cfg.Policy.(noc.IdleTicker)
+	_, open := cfg.Policy.(noc.Open)
+	f.openPol = open
+	f.skip = !cfg.NoActiveSet && (open || f.idle != nil)
+	if f.skip && !f.atomicAct {
+		f.inCount = make([]int32, n)
 	}
-	for i := range f.outCredit {
-		f.outCredit[i].vc = -1
+	if f.skip {
+		f.active = make([]uint32, n)
+		f.lastTick = make([]int64, n)
+	}
+	for node := 0; node < n; node++ {
+		for d := 0; d < maxDirs; d++ {
+			nb := cfg.Topology.Neighbor(node, topology.Port(d))
+			if nb < 0 {
+				f.links[node*maxDirs+d] = linkRef{idx: -1, nb: -1}
+				continue
+			}
+			ad := int(topology.Opposite(topology.Port(d)))
+			f.links[node*maxDirs+d] = linkRef{
+				idx: int32(nb*maxDirs + ad),
+				nb:  int32(nb),
+			}
+		}
 	}
 	for i := range f.nics {
 		f.nics[i] = noc.NewNIC(i)
+		if f.skip {
+			f.nics[i].SetNotify(f.activate)
+		}
 	}
 	for i := range f.routers {
 		r := &f.routers[i]
 		r.in = make([]inVC, maxDirs*cfg.VCs)
-		r.out = make([]outVC, maxDirs*cfg.VCs)
+		r.out = make([]int32, maxDirs*cfg.VCs)
 		for j := range r.in {
-			r.in[j].buf = make([]noc.Flit, cfg.BufDepth)
+			r.in[j].buf = make([]noc.Handle, cfg.BufDepth)
 			r.in[j].outVC = -1
 		}
 		for j := range r.out {
-			r.out[j].credits = cfg.BufDepth
+			r.out[j] = int32(cfg.BufDepth)
 		}
 		for v := range r.local {
 			r.local[v].outVC = -1
@@ -247,6 +381,19 @@ func New(cfg Config) *Fabric {
 	}
 	f.stats.Links = cfg.Topology.Links()
 	return f
+}
+
+// activate flags a node as freshly woken (see the bufferless fabric's
+// active-state machine). Atomic because commits and NIC notifications
+// may come from any worker shard.
+func (f *Fabric) activate(node int) {
+	if !f.atomicAct {
+		// Sequential fabrics take Sends only between steps; a plain
+		// store keeps the NIC notify off the atomic path.
+		f.active[node] = 2
+		return
+	}
+	atomic.StoreUint32(&f.active[node], 2)
 }
 
 // Topology returns the fabric's topology.
@@ -257,6 +404,20 @@ func (f *Fabric) Cycle() int64 { return f.cycle }
 
 // NIC returns node i's network interface.
 func (f *Fabric) NIC(i int) *noc.NIC { return f.nics[i] }
+
+// ActiveSet reports whether active-set skipping is engaged and, if so,
+// how many nodes are currently flagged active. Sequential regions only.
+func (f *Fabric) ActiveSet() (active int, enabled bool) {
+	if !f.skip {
+		return 0, false
+	}
+	for _, a := range f.active {
+		if a != 0 {
+			active++
+		}
+	}
+	return active, true
+}
 
 // Stats returns the accumulated counters, merging worker shards.
 func (f *Fabric) Stats() noc.Stats {
@@ -285,15 +446,47 @@ func (f *Fabric) Drained() bool {
 	return true
 }
 
-// Step advances one cycle.
+// SyncPolicy replays every pending idle stretch into the policy; it
+// implements noc.PolicySyncer. See the bufferless fabric.
+func (f *Fabric) SyncPolicy() {
+	if !f.skip || f.idle == nil {
+		return
+	}
+	for node := range f.lastTick {
+		if gap := f.cycle - f.lastTick[node]; gap > 0 {
+			f.idle.TickIdle(node, gap)
+			f.lastTick[node] = f.cycle
+		}
+	}
+}
+
+// Step advances one cycle: a single pass over the (active) routers,
+// each running its pipeline and committing outgoing flits and credits
+// straight onto the downstream link rings.
 func (f *Fabric) Step() {
 	nodes := f.top.Nodes()
+	f.stage = int(f.cycle % int64(f.ringLen))
+	f.wstage = f.stage + f.depth
+	if f.wstage >= f.ringLen {
+		f.wstage -= f.ringLen
+	}
 	if f.pool == nil {
-		f.phase1(0, nodes, &f.shards[0].Stats)
-		f.phase2(0, nodes, &f.shards[0].Stats)
+		// At most one injection (the only Alloc) per node-cycle.
+		f.reserveNeeds[0] = nodes
+		for w := 1; w < len(f.reserveNeeds); w++ {
+			f.reserveNeeds[w] = 0
+		}
+		f.fpool.Reserve(f.reserveNeeds)
+		f.hotp = f.fpool.HotPlane()
+		f.phase1(0, nodes, 0, &f.shards[0].Stats)
 	} else {
+		per := (nodes + f.cfg.Workers - 1) / f.cfg.Workers
+		for w := range f.reserveNeeds {
+			f.reserveNeeds[w] = per
+		}
+		f.fpool.Reserve(f.reserveNeeds)
+		f.hotp = f.fpool.HotPlane()
 		f.pool.Run(nodes, f.p1)
-		f.pool.Run(nodes, f.p2)
 	}
 	f.updateInflight()
 	f.cycle++
@@ -316,198 +509,364 @@ func (f *Fabric) updateInflight() {
 	f.inflight = inj - ej
 }
 
-// inputRef identifies a switch-allocation candidate: a direction input VC
-// (dir in 0..3) or the local injection port (dir == localDir).
-const localDir = maxDirs
-
-type inputRef struct {
-	dir int
-	vc  int
-}
-
-func (f *Fabric) phase1(lo, hi int, st *noc.Stats) {
-	stage := int(f.cycle % int64(f.depth))
-	for node := lo; node < hi; node++ {
-		r := &f.routers[node]
-		base := node * maxDirs
-
-		// 1. Receive arriving flits into input buffers; consume credits.
-		for d := 0; d < maxDirs; d++ {
-			fs := &f.flitIn[(base+d)*f.depth+stage]
-			if fs.ok {
-				fs.ok = false
-				vc := &r.in[d*f.vcs+int(fs.f.VC)]
-				if vc.count >= len(vc.buf) {
-					panic(fmt.Sprintf("buffered: input buffer overflow at node %d dir %d vc %d", node, d, fs.f.VC))
-				}
-				vc.push(fs.f)
-				st.BufferWrites++
-				if f.tr != nil {
-					f.tr.Buffer(f.cycle, node, &fs.f)
-				}
-			}
-			cs := &f.creditIn[(base+d)*f.depth+stage]
-			if cs.vc >= 0 {
-				r.out[d*f.vcs+int(cs.vc)].credits++
-				cs.vc = -1
-			}
+// phase1 runs the router pipeline for nodes [lo,hi), skipping inactive
+// ones when the active set is engaged, with the bufferless fabric's
+// three-state wake protocol.
+func (f *Fabric) phase1(lo, hi, w int, st *noc.Stats) {
+	if !f.skip {
+		for node := lo; node < hi; node++ {
+			f.stepRouter(node, w, st)
 		}
-
-		// 2. Route computation for fronts that are heads and unrouted.
-		for i := range r.in {
-			vc := &r.in[i]
-			if vc.count > 0 && !vc.routed && vc.front().Index == 0 {
-				vc.route = f.top.XYRoute(node, int(vc.front().Dst))
-				vc.routed = true
-			}
-		}
-		nic := f.nics[node]
-		f.routeLocal(node, nic)
-
-		// 3. VC allocation: oldest-first over head flits needing an
-		// output VC. Local ejection (route == Local) needs no VC.
-		f.allocVCs(node, nic, st)
-
-		// 4. Switch allocation. Input-port stage: each of the 4+1 ports
-		// nominates its oldest ready VC; output-port stage: each output
-		// grants its oldest requester.
-		var granted [maxDirs + 1]inputRef // winner per output port; Local output at index maxDirs
-		for i := range granted {
-			granted[i] = inputRef{dir: -1}
-		}
-		var nominee [maxDirs + 1]inputRef
-		for i := range nominee {
-			nominee[i] = inputRef{dir: -1}
-		}
-		wanted, injected, throttled := false, false, false
-
-		// Nominate per input port.
-		for d := 0; d < maxDirs; d++ {
-			best := -1
-			for v := 0; v < f.vcs; v++ {
-				vc := &r.in[d*f.vcs+v]
-				if !f.vcReady(r, vc) {
-					continue
-				}
-				if best < 0 || noc.Older(vc.front(), r.in[d*f.vcs+best].front()) {
-					best = v
-				}
-			}
-			if best >= 0 {
-				nominee[d] = inputRef{dir: d, vc: best}
-				st.Arbitrations++
-			}
-		}
-		// Local injection port nomination: replies first.
-		if nic.HasTraffic() {
-			wanted = true
-			lv, thr := f.localReady(node, r, nic)
-			throttled = thr
-			if lv >= 0 {
-				nominee[localDir] = inputRef{dir: localDir, vc: lv}
-				st.Arbitrations++
-			}
-		}
-
-		// Output-port grant: oldest requester wins each direction; the
-		// Local (ejection) port grants up to EjectWidth requesters,
-		// matching the bufferless fabric's NI datapath width.
-		var localReq [maxDirs + 1]inputRef
-		nLocal := 0
-		for _, nom := range nominee {
-			if nom.dir < 0 {
+		return
+	}
+	if !f.atomicAct {
+		// Sequential stepping: nothing can race the owner between its
+		// load and its store, so the state machine runs on plain
+		// accesses.
+		for node := lo; node < hi; node++ {
+			a := f.active[node]
+			if a == 0 {
 				continue
 			}
-			route, fl := f.candidate(node, r, nic, nom)
-			if route == topology.Local {
-				localReq[nLocal] = nom
+			alive := f.stepRouter(node, w, st)
+			if a == 2 {
+				f.active[node] = 1
+			} else if !alive {
+				f.active[node] = 0
+			}
+		}
+		return
+	}
+	for node := lo; node < hi; node++ {
+		a := atomic.LoadUint32(&f.active[node])
+		if a == 0 {
+			continue
+		}
+		alive := f.stepRouter(node, w, st)
+		if a == 2 {
+			// Freshly woken: demote to plain-active rather than ever
+			// deactivating, so a flit or credit committed toward this
+			// node during the cycle that woke it survives to next
+			// cycle's pipeline scan. A failed CAS means another
+			// activation landed — the node simply stays at 2.
+			atomic.CompareAndSwapUint32(&f.active[node], 2, 1)
+		} else if !alive {
+			// The CAS fails — leaving the node awake — whenever an
+			// activation raced in after this cycle's load.
+			atomic.CompareAndSwapUint32(&f.active[node], 1, 0)
+		}
+	}
+}
+
+// stepRouter runs one router's pipeline cycle. It reports whether the
+// node still has any work — buffered flits, NIC traffic, or anything
+// in its incoming flit/credit pipelines; allocator state held across
+// an idle stretch (routed heads, busy output VCs mid-packet) is only
+// ever advanced by one of those inputs, so skipping a !alive node is
+// exact.
+func (f *Fabric) stepRouter(node, w int, st *noc.Stats) (alive bool) {
+	if f.skip && f.idle != nil {
+		// Replay the skipped stretch into the policy; SyncPolicy and
+		// this replay are lastTick's only readers, so non-IdleTicker
+		// policies skip the bookkeeping entirely.
+		if gap := f.cycle - f.lastTick[node]; gap > 0 {
+			f.idle.TickIdle(node, gap)
+		}
+		f.lastTick[node] = f.cycle + 1
+	}
+
+	stage := f.stage
+	r := &f.routers[node]
+	base := node * maxDirs
+
+	// 1. Receive arriving flits into input buffers; consume credits.
+	// The flit stays pooled: only its handle enters the VC ring. The
+	// node's four inbound slots are contiguous in the read plane, so
+	// one subslice drops the per-direction offset arithmetic, and each
+	// slot is one packed word carrying the link's flit and credit.
+	ibase := stage*f.planeSz + base
+	lin := f.lin[ibase : ibase+maxDirs : ibase+maxDirs]
+	for d := 0; d < maxDirs; d++ {
+		wd := lin[d]
+		if wd == 0 {
+			continue
+		}
+		lin[d] = 0
+		if h := noc.Handle(wd); h != 0 {
+			if f.inCount != nil {
+				f.inCount[node]--
+			}
+			vi := d*f.vcs + int(f.hotp[h].VC)
+			vc := &r.in[vi]
+			if int(vc.count) >= len(vc.buf) {
+				panic(fmt.Sprintf("buffered: input buffer overflow at node %d dir %d vc %d", node, d, f.hotp[h].VC))
+			}
+			p := int(vc.head) + int(vc.count)
+			if p >= len(vc.buf) {
+				p -= len(vc.buf)
+			}
+			vc.buf[p] = h
+			vc.count++
+			r.nonEmpty |= 1 << uint(vi)
+			st.BufferWrites++
+			if f.tr != nil {
+				var fl noc.Flit
+				f.fpool.Get(h, &fl)
+				f.tr.Buffer(f.cycle, node, &fl)
+			}
+		}
+		if cb := wd >> 32; cb != 0 {
+			if f.inCount != nil {
+				f.inCount[node]--
+			}
+			r.out[d*f.vcs+int(cb-1)]++
+		}
+	}
+
+	// 2. One scan over the occupied input VCs does route computation
+	// for unrouted head fronts, collects the VC-allocation requests
+	// (fronts still lacking an output VC), and nominates each input
+	// port's oldest ready VC for switch allocation. A front awaiting a
+	// VC is not nominated here; if allocVCs grants it one this cycle
+	// it joins the nomination then (see the grant loop), which is
+	// exactly the set the separate route → allocate → nominate scans
+	// produced — eligibility is oldest-wins and order-independent.
+	sc := &f.scr[w]
+	reqs := &sc.reqs
+	noms := &sc.noms
+	noms[0].dir, noms[1].dir, noms[2].dir, noms[3].dir = -1, -1, -1, -1
+	nreq := 0
+	for m := r.nonEmpty; m != 0; m &= m - 1 {
+		vi := bits.TrailingZeros32(m)
+		vc := &r.in[vi]
+		fh := &f.hotp[vc.buf[vc.head]]
+		if !vc.routed {
+			if fh.Index != 0 {
+				continue
+			}
+			vc.route = f.top.XYRoute(node, int(fh.Dst))
+			vc.routed = true
+		}
+		if vc.route != topology.Local {
+			if vc.outVC < 0 {
+				if fh.Index == 0 {
+					reqs[nreq] = vcReq{
+						dir: int8(vi / f.vcs), vc: int8(vi % f.vcs),
+						age: ageKey{fh.Inject, fh.Seq, fh.Index},
+					}
+					nreq++
+				}
+				continue
+			}
+			if r.out[int(vc.route)*f.vcs+int(vc.outVC)] <= 0 {
+				continue
+			}
+		}
+		age := ageKey{fh.Inject, fh.Seq, fh.Index}
+		d := vi / f.vcs
+		if noms[d].dir < 0 || age.older(noms[d].age) {
+			noms[d] = nominee{dir: int8(d), vc: int8(vi % f.vcs), route: vc.route, age: age}
+		}
+	}
+	nic := f.nics[node]
+	hasLocal := nic.HasTraffic()
+	if hasLocal {
+		f.routeLocal(node, nic)
+	}
+
+	// 3. VC allocation: oldest-first over head flits needing an
+	// output VC. Local ejection (route == Local) needs no VC. A
+	// granted front becomes switch-eligible immediately and enters the
+	// nomination. An empty NIC cannot hold a routed front, so with no
+	// direction requests either there is nothing to allocate.
+	if nreq > 0 || hasLocal {
+		f.allocVCs(node, nic, sc, nreq, st)
+	}
+
+	// 4. Switch allocation, output-port stage (the input-port
+	// nomination happened in the scans above).
+	wanted, injected, throttled := false, false, false
+	for d := 0; d < maxDirs; d++ {
+		if noms[d].dir >= 0 {
+			st.Arbitrations++
+		}
+	}
+	// Local injection port nomination: replies first.
+	noms[localDir].dir = -1
+	if hasLocal {
+		wanted = true
+		lv, thr := f.localReady(node, r, nic)
+		throttled = thr
+		if lv >= 0 {
+			fl := f.localFront(nic, lv)
+			noms[localDir] = nominee{
+				dir: localDir, vc: int8(lv), route: r.local[lv].route,
+				age: ageKey{fl.Inject, fl.Seq, fl.Index},
+			}
+			st.Arbitrations++
+		}
+	}
+
+	// Output-port grant: oldest requester wins each direction; the
+	// Local (ejection) port grants up to EjectWidth requesters,
+	// matching the bufferless fabric's NI datapath width. With no
+	// nominee on any port (the sign bit survives the AND only if every
+	// dir is -1) there is nothing to grant, traverse, or commit.
+	var outH [maxDirs]noc.Handle
+	outC := [maxDirs]int8{-1, -1, -1, -1}
+	if noms[0].dir&noms[1].dir&noms[2].dir&noms[3].dir&noms[4].dir >= 0 {
+		granted := &sc.granted
+		for i := range granted {
+			granted[i].dir = -1
+		}
+		localReq := &sc.localReq
+		nLocal := 0
+		for i := range noms {
+			nm := noms[i]
+			if nm.dir < 0 {
+				continue
+			}
+			if nm.route == topology.Local {
+				localReq[nLocal] = nm
 				nLocal++
 				continue
 			}
-			out := int(route)
-			cur := granted[out]
-			if cur.dir < 0 {
-				granted[out] = nom
-				continue
-			}
-			_, curFl := f.candidate(node, r, nic, cur)
-			if noc.Older(fl, curFl) {
-				granted[out] = nom
+			out := int(nm.route)
+			if granted[out].dir < 0 || nm.age.older(granted[out].age) {
+				granted[out] = nm
 			}
 		}
 		// Oldest-first among ejection requesters, up to EjectWidth.
 		for i := 1; i < nLocal; i++ {
-			j := i
-			for j > 0 {
-				_, a := f.candidate(node, r, nic, localReq[j])
-				_, b := f.candidate(node, r, nic, localReq[j-1])
-				if !noc.Older(a, b) {
-					break
-				}
+			for j := i; j > 0 && localReq[j].age.older(localReq[j-1].age); j-- {
 				localReq[j], localReq[j-1] = localReq[j-1], localReq[j]
-				j--
 			}
 		}
-		if nLocal > f.cfg.EjectWidth {
-			nLocal = f.cfg.EjectWidth
+		if nLocal > f.ejectW {
+			nLocal = f.ejectW
 		}
-		localGrant := localReq[:nLocal]
 
-		// Traverse: pop winners, emit flits/credits, update VC state.
-		for out, g := range granted[:maxDirs] {
+		// Traverse: pop winners, collect outgoing flits/credits, update
+		// VC state.
+		for out := 0; out < maxDirs; out++ {
+			g := granted[out]
 			if g.dir < 0 {
 				continue
 			}
 			if g.dir == localDir {
-				injected = f.traverseLocal(node, r, nic, g.vc, topology.Port(out), st) || injected
+				injected = f.traverseLocal(node, w, r, nic, int(g.vc), topology.Port(out), &outH, st) || injected
 			} else {
-				f.traverseDir(node, r, nic, g, topology.Port(out), st)
+				f.traverseDir(node, w, r, nic, int(g.dir), int(g.vc), topology.Port(out), &outH, &outC, st)
 			}
 		}
-		for _, g := range localGrant {
+		for _, g := range localReq[:nLocal] {
 			if g.dir == localDir {
-				injected = f.traverseLocal(node, r, nic, g.vc, topology.Local, st) || injected
+				injected = f.traverseLocal(node, w, r, nic, int(g.vc), topology.Local, &outH, st) || injected
 			} else {
-				f.traverseDir(node, r, nic, g, topology.Local, st)
+				f.traverseDir(node, w, r, nic, int(g.dir), int(g.vc), topology.Local, &outH, &outC, st)
 			}
 		}
+	}
 
-		if wanted {
-			st.WantedCycles++
-			if !injected {
-				if throttled {
-					st.ThrottledCycles++
-					if f.sp != nil {
-						f.sp.AddThrottle(node)
-					}
-				} else {
-					st.StarvedCycles++
-					if f.sp != nil {
-						f.sp.AddStarve(node)
-					}
+	if wanted {
+		st.WantedCycles++
+		if !injected {
+			if throttled {
+				st.ThrottledCycles++
+				if f.sp != nil {
+					f.sp.AddThrottle(node)
+				}
+			} else {
+				st.StarvedCycles++
+				if f.sp != nil {
+					f.sp.AddStarve(node)
 				}
 			}
 		}
+	}
+	if !f.openPol {
 		f.policy.Tick(node, wanted, injected, throttled)
+	}
 
-		// Distributed congestion marking on departures.
-		if f.policy.MarkCongested(node) {
-			for d := 0; d < maxDirs; d++ {
-				if f.outFlit[base+d].ok {
-					f.outFlit[base+d].f.CongBit = true
+	// Commit departing flits and credits straight onto the downstream
+	// rings; distributed congestion marking and neighbour activation
+	// piggyback on the same walk.
+	wbase := f.wstage * f.planeSz
+	cong := !f.openPol && (outH[0]|outH[1]|outH[2]|outH[3]) != 0 &&
+		f.policy.MarkCongested(node)
+	lks := f.links[base : base+maxDirs : base+maxDirs]
+	for d := 0; d < maxDirs; d++ {
+		h, cv := outH[d], outC[d]
+		if h == 0 && cv < 0 {
+			continue
+		}
+		lk := lks[d]
+		wd := uint64(h)
+		if h != 0 {
+			if cong {
+				f.hotp[h].CongBit = true
+			}
+			st.LinkTraversals++
+			if f.sp != nil {
+				f.sp.AddLink(node, d)
+			}
+		}
+		if cv >= 0 {
+			wd |= uint64(cv+1) << 32
+		}
+		f.lin[wbase+int(lk.idx)] = wd
+		if f.skip {
+			if !f.atomicAct {
+				// Single goroutine: a plain load-checked store suffices
+				// (the receiver may already have stepped and
+				// deactivated this cycle).
+				if h != 0 {
+					f.inCount[lk.nb]++
+				}
+				if cv >= 0 {
+					f.inCount[lk.nb]++
+				}
+				if f.active[lk.nb] == 0 {
+					f.active[lk.nb] = 1
+				}
+			} else if atomic.LoadUint32(&f.active[lk.nb]) != 2 {
+				// Anything not already freshly woken must be re-stamped
+				// 2 so a racing deactivation CAS fails.
+				atomic.StoreUint32(&f.active[lk.nb], 2)
+			}
+		}
+	}
+
+	alive = r.nonEmpty != 0 || nic.HasTraffic()
+	if f.skip && !alive {
+		if !f.atomicAct {
+			// Sequential stepping: the flit+credit occupancy counter is
+			// exact (maintained by the same goroutine), so "anything
+			// queued toward this node" is one load. An earlier node may
+			// have committed toward this one without re-flagging it;
+			// the counter is what keeps it awake.
+			alive = f.inCount[node] != 0
+		} else {
+			// Scan the incoming pipelines for queued flits or credits.
+			// The write stage is excluded: it was empty at the cycle's
+			// start, and only a concurrent neighbour commit can fill it
+			// — a commit whose Store(2) re-activates this node by
+			// itself.
+			for s := 0; s < f.ringLen && !alive; s++ {
+				if s == f.wstage {
+					continue
+				}
+				q := s*f.planeSz + base
+				for i := q; i < q+maxDirs; i++ {
+					if f.lin[i] != 0 {
+						alive = true
+						break
+					}
 				}
 			}
 		}
 	}
-}
-
-// outPort maps a granted-slot index back to a port number (maxDirs means
-// the Local ejection port).
-func outPort(i int) topology.Port {
-	if i == maxDirs {
-		return topology.Local
-	}
-	return topology.Port(i)
+	return alive
 }
 
 // routeLocal computes routes for the packets at the front of the NIC
@@ -545,79 +904,57 @@ func (f *Fabric) localPop(nic *noc.NIC, v int) noc.Flit {
 
 // allocVCs performs output-VC allocation, oldest-first across all head
 // flits (direction VCs and the local port) that need one.
-func (f *Fabric) allocVCs(node int, nic *noc.NIC, st *noc.Stats) {
+func (f *Fabric) allocVCs(node int, nic *noc.NIC, sc *scratch, n int, st *noc.Stats) {
 	r := &f.routers[node]
-	type req struct {
-		ref inputRef
-		fl  *noc.Flit
-	}
-	var reqs [maxDirs*8 + numLocalVC]req
-	n := 0
-	for d := 0; d < maxDirs; d++ {
-		for v := 0; v < f.vcs; v++ {
-			vc := &r.in[d*f.vcs+v]
-			if vc.count > 0 && vc.routed && vc.outVC < 0 &&
-				vc.route != topology.Local && vc.front().Index == 0 {
-				reqs[n] = req{ref: inputRef{dir: d, vc: v}, fl: vc.front()}
-				n++
-			}
-		}
-	}
+	reqs := &sc.reqs
 	for v := 0; v < numLocalVC; v++ {
+		lv := &r.local[v]
+		if !lv.routed || lv.outVC >= 0 || lv.route == topology.Local {
+			continue // cheap state checks before peeking the NIC queue
+		}
 		fl := f.localFront(nic, v)
-		if fl != nil && r.local[v].routed && r.local[v].outVC < 0 &&
-			r.local[v].route != topology.Local && fl.Index == 0 {
-			reqs[n] = req{ref: inputRef{dir: localDir, vc: v}, fl: fl}
+		if fl != nil && fl.Index == 0 {
+			reqs[n] = vcReq{dir: localDir, vc: int8(v), age: ageKey{fl.Inject, fl.Seq, fl.Index}}
 			n++
 		}
 	}
 	// Oldest-first insertion sort (n is small).
 	for i := 1; i < n; i++ {
-		j := i
-		for j > 0 && noc.Older(reqs[j].fl, reqs[j-1].fl) {
+		for j := i; j > 0 && reqs[j].age.older(reqs[j-1].age); j-- {
 			reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
-			j--
 		}
 	}
 	for i := 0; i < n; i++ {
-		ref := reqs[i].ref
 		var route topology.Port
-		if ref.dir == localDir {
-			route = r.local[ref.vc].route
+		if reqs[i].dir == localDir {
+			route = r.local[reqs[i].vc].route
 		} else {
-			route = r.in[ref.dir*f.vcs+ref.vc].route
+			route = r.in[int(reqs[i].dir)*f.vcs+int(reqs[i].vc)].route
 		}
-		// Find a free output VC on the routed port.
-		for ov := 0; ov < f.vcs; ov++ {
-			o := &r.out[int(route)*f.vcs+ov]
-			if !o.busy {
-				o.busy = true
-				if ref.dir == localDir {
-					r.local[ref.vc].outVC = int8(ov)
-				} else {
-					r.in[ref.dir*f.vcs+ref.vc].outVC = int8(ov)
+		// Grant the lowest free output VC on the routed port, if any.
+		avail := ^(r.busy >> uint(int(route)*f.vcs)) & (1<<uint(f.vcs) - 1)
+		if avail == 0 {
+			continue
+		}
+		ov := bits.TrailingZeros32(avail)
+		r.busy |= 1 << uint(int(route)*f.vcs+ov)
+		if reqs[i].dir == localDir {
+			r.local[reqs[i].vc].outVC = int8(ov)
+		} else {
+			r.in[int(reqs[i].dir)*f.vcs+int(reqs[i].vc)].outVC = int8(ov)
+			// Freshly granted and credited fronts join this cycle's
+			// switch nomination, as they did when nomination was a
+			// separate post-allocation scan.
+			if r.out[int(route)*f.vcs+ov] > 0 {
+				d := int(reqs[i].dir)
+				nm := &sc.noms[d]
+				if nm.dir < 0 || reqs[i].age.older(nm.age) {
+					*nm = nominee{dir: reqs[i].dir, vc: reqs[i].vc, route: route, age: reqs[i].age}
 				}
-				st.Arbitrations++
-				break
 			}
 		}
+		st.Arbitrations++
 	}
-}
-
-// vcReady reports whether a direction input VC can traverse the switch
-// this cycle: non-empty, routed, and either ejecting locally or holding
-// an output VC with a credit.
-func (f *Fabric) vcReady(r *router, vc *inVC) bool {
-	if vc.count == 0 || !vc.routed {
-		return false
-	}
-	if vc.route == topology.Local {
-		return true
-	}
-	if vc.outVC < 0 {
-		return false
-	}
-	return r.out[int(vc.route)*f.vcs+int(vc.outVC)].credits > 0
 }
 
 // localReady returns the local pseudo-VC able to inject this cycle,
@@ -635,11 +972,11 @@ func (f *Fabric) localReady(node int, r *router, nic *noc.NIC) (v int, throttled
 			if r.local[v].outVC < 0 {
 				continue
 			}
-			if r.out[int(r.local[v].route)*f.vcs+int(r.local[v].outVC)].credits <= 0 {
+			if r.out[int(r.local[v].route)*f.vcs+int(r.local[v].outVC)] <= 0 {
 				continue
 			}
 		}
-		if noc.ThrottledKind(fl.Kind) && fl.Index == 0 && !f.policy.Allow(node) {
+		if noc.ThrottledKind(fl.Kind) && fl.Index == 0 && !f.openPol && !f.policy.Allow(node) {
 			throttled = true
 			continue
 		}
@@ -648,28 +985,35 @@ func (f *Fabric) localReady(node int, r *router, nic *noc.NIC) (v int, throttled
 	return -1, throttled
 }
 
-// candidate returns the route and front flit for a nominated input.
-func (f *Fabric) candidate(node int, r *router, nic *noc.NIC, ref inputRef) (topology.Port, *noc.Flit) {
-	if ref.dir == localDir {
-		return r.local[ref.vc].route, f.localFront(nic, ref.vc)
-	}
-	vc := &r.in[ref.dir*f.vcs+ref.vc]
-	return vc.route, vc.front()
-}
-
 // traverseDir moves the winning flit of a direction input VC through the
-// switch: eject locally or forward downstream, returning a credit
-// upstream and releasing per-packet state on the tail flit.
-func (f *Fabric) traverseDir(node int, r *router, nic *noc.NIC, g inputRef, out topology.Port, st *noc.Stats) {
-	vc := &r.in[g.dir*f.vcs+g.vc]
-	fl := vc.pop()
+// switch: eject locally (freeing its pool slot) or forward downstream
+// (the handle moves straight from the VC ring to the link ring),
+// returning a credit upstream and releasing per-packet state on the
+// tail flit.
+func (f *Fabric) traverseDir(node, w int, r *router, nic *noc.NIC, dir, v int, out topology.Port, outH *[maxDirs]noc.Handle, outC *[maxDirs]int8, st *noc.Stats) {
+	vi := dir*f.vcs + v
+	vc := &r.in[vi]
+	h := vc.buf[vc.head]
+	vc.head++
+	if int(vc.head) >= len(vc.buf) {
+		vc.head = 0
+	}
+	vc.count--
+	if vc.count == 0 {
+		r.nonEmpty &^= 1 << uint(vi)
+	}
 	st.BufferReads++
 	st.CrossbarTraversals++
 	// Return a credit to the upstream router for the freed slot.
-	f.outCredit[node*maxDirs+g.dir] = creditSlot{vc: int8(g.vc)}
+	outC[dir] = int8(v)
+	fh := &f.hotp[h]
+	tail := fh.Index == fh.Len-1
 	if out == topology.Local {
 		st.FlitsEjected++
-		st.NetFlitLatencySum += f.cycle - fl.Inject
+		st.NetFlitLatencySum += f.cycle - fh.Inject
+		var fl noc.Flit
+		f.fpool.Get(h, &fl)
+		f.fpool.Free(w, h)
 		if f.sp != nil {
 			f.sp.AddEject(node)
 		}
@@ -682,22 +1026,22 @@ func (f *Fabric) traverseDir(node int, r *router, nic *noc.NIC, g inputRef, out 
 		}
 	} else {
 		ovc := vc.outVC
-		r.out[int(out)*f.vcs+int(ovc)].credits--
-		fl.VC = ovc
-		f.outFlit[node*maxDirs+int(out)] = flitSlot{f: fl, ok: true}
+		r.out[int(out)*f.vcs+int(ovc)]--
+		fh.VC = ovc
+		outH[out] = h
 	}
-	if fl.Index == fl.Len-1 { // tail: release the packet's allocations
+	if tail { // tail: release the packet's allocations
 		if out != topology.Local {
-			r.out[int(out)*f.vcs+int(vc.outVC)].busy = false
+			r.busy &^= 1 << uint(int(out)*f.vcs+int(vc.outVC))
 		}
 		vc.outVC = -1
 		vc.routed = false
 	}
 }
 
-// traverseLocal injects the front flit of a NIC queue. Returns true when
-// a flit entered the network.
-func (f *Fabric) traverseLocal(node int, r *router, nic *noc.NIC, v int, out topology.Port, st *noc.Stats) bool {
+// traverseLocal injects the front flit of a NIC queue, allocating its
+// pool slot. Returns true when a flit entered the network.
+func (f *Fabric) traverseLocal(node, w int, r *router, nic *noc.NIC, v int, out topology.Port, outH *[maxDirs]noc.Handle, st *noc.Stats) bool {
 	fl := f.localPop(nic, v)
 	fl.Inject = f.cycle
 	st.FlitsInjected++
@@ -710,7 +1054,7 @@ func (f *Fabric) traverseLocal(node int, r *router, nic *noc.NIC, v int, out top
 		f.tr.Inject(f.cycle, node, &fl)
 	}
 	if out == topology.Local {
-		// Self-addressed packet: immediately delivered.
+		// Self-addressed packet: immediately delivered, never pooled.
 		st.FlitsEjected++
 		if f.sp != nil {
 			f.sp.AddEject(node)
@@ -724,46 +1068,16 @@ func (f *Fabric) traverseLocal(node int, r *router, nic *noc.NIC, v int, out top
 		}
 	} else {
 		ovc := r.local[v].outVC
-		r.out[int(out)*f.vcs+int(ovc)].credits--
+		r.out[int(out)*f.vcs+int(ovc)]--
 		fl.VC = ovc
-		f.outFlit[node*maxDirs+int(out)] = flitSlot{f: fl, ok: true}
+		outH[out] = f.fpool.Alloc(w, &fl)
 	}
 	if fl.Index == fl.Len-1 {
 		if out != topology.Local {
-			r.out[int(out)*f.vcs+int(r.local[v].outVC)].busy = false
+			r.busy &^= 1 << uint(int(out)*f.vcs+int(r.local[v].outVC))
 		}
 		r.local[v].outVC = -1
 		r.local[v].routed = false
 	}
 	return true
-}
-
-// phase2 commits outgoing flits and credits onto the link pipelines.
-func (f *Fabric) phase2(lo, hi int, st *noc.Stats) {
-	stage := int(f.cycle % int64(f.depth))
-	for node := lo; node < hi; node++ {
-		base := node * maxDirs
-		for d := 0; d < maxDirs; d++ {
-			o := &f.outFlit[base+d]
-			if o.ok {
-				o.ok = false
-				nb := f.top.Neighbor(node, topology.Port(d))
-				ad := topology.Opposite(topology.Port(d))
-				f.flitIn[(nb*maxDirs+int(ad))*f.depth+stage] = flitSlot{f: o.f, ok: true}
-				st.LinkTraversals++
-				if f.sp != nil {
-					f.sp.AddLink(node, d)
-				}
-			}
-			c := &f.outCredit[base+d]
-			if c.vc >= 0 {
-				// Credit for a flit received on arrival dir d goes back
-				// to Neighbor(node,d)'s output port Opposite(d).
-				nb := f.top.Neighbor(node, topology.Port(d))
-				od := topology.Opposite(topology.Port(d))
-				f.creditIn[(nb*maxDirs+int(od))*f.depth+stage] = creditSlot{vc: c.vc}
-				c.vc = -1
-			}
-		}
-	}
 }

@@ -1,0 +1,241 @@
+package noc
+
+// Pooled flit storage for the fabric hot paths.
+//
+// The fabrics used to carry full 56-byte Flit values through their link
+// pipelines and phase-1/phase-2 hand-off buffers, so stepping a large
+// idle-ish mesh meant sweeping hundreds of kilobytes of mostly-empty
+// slots every cycle. A FlitPool stores each in-network flit once, in a
+// structure-of-arrays layout, and the pipelines carry 4-byte Handles
+// instead: a node's twelve pipeline slots shrink from 768 bytes to 48
+// — one cache line — and an empty slot is a single zero word.
+//
+// The layout is two planes rather than one array of structs:
+//
+//   - FlitHot holds the fields arbitration and routing touch every hop
+//     (age order, destination, per-hop VC/congestion state).
+//   - FlitCold holds the fields read only at injection and ejection
+//     (source, queue-entry time, correlation token).
+//
+// so the per-hop working set of a flit is one 32-byte hot entry, not
+// the whole flit. TestFlitPoolCoversFlit pins, by reflection, that the
+// two planes partition Flit exactly: a field added to Flit without a
+// pool home fails the build's tests rather than silently leaking state
+// between recycled slots.
+//
+// Concurrency contract: the pool is shared by all worker shards of one
+// fabric. Alloc and Free are per-shard (each shard owns a free list)
+// and never grow any slice, so phases may call them concurrently for
+// distinct shards. All growth happens in Reserve, which the fabric
+// calls only at the sequential point of Step, before the phases run;
+// Reserve also keeps every shard's free-list capacity at the pool
+// capacity so an in-phase Free can never reallocate.
+
+// Handle names one pooled flit; the zero Handle means "no flit", so an
+// empty pipeline slot is a zero word and slot 0 of the pool is never
+// handed out.
+type Handle uint32
+
+// FlitHot is the per-hop plane of a pooled flit: every field the
+// arbitration/routing inner loops read. Field names match noc.Flit.
+type FlitHot struct {
+	Inject  int64
+	Seq     uint64
+	Dst     int32
+	Index   uint8
+	Len     uint8
+	Kind    Kind
+	VC      int8
+	CongBit bool
+}
+
+// FlitCold is the end-point plane of a pooled flit: fields read only
+// at injection and ejection. Field names match noc.Flit.
+type FlitCold struct {
+	Enq   int64
+	Token uint64
+	Src   int32
+}
+
+// OlderHot is Older on the hot plane: the same Oldest-First total
+// order (injection cycle, then packet sequence, then flit index)
+// without assembling a full Flit.
+func OlderHot(a, b *FlitHot) bool {
+	if a.Inject != b.Inject {
+		return a.Inject < b.Inject
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	return a.Index < b.Index
+}
+
+// freeList is one shard's stack of recycled handles, padded so two
+// shards' list headers never share a cache line.
+type freeList struct {
+	list []Handle
+	_    [40]byte
+}
+
+// FlitPool is a shared structure-of-arrays flit store with per-shard
+// free lists. See the file comment for the concurrency contract.
+type FlitPool struct {
+	hot  []FlitHot
+	cold []FlitCold
+	free []freeList
+}
+
+// NewFlitPool creates an empty pool with the given number of shards
+// (one per fabric worker; at least 1). Slot 0 is reserved as the nil
+// Handle.
+func NewFlitPool(shards int) *FlitPool {
+	if shards < 1 {
+		panic("noc: flit pool needs at least one shard")
+	}
+	return &FlitPool{
+		hot:  make([]FlitHot, 1),
+		cold: make([]FlitCold, 1),
+		free: make([]freeList, shards),
+	}
+}
+
+// Reserve guarantees shard s can Alloc need[s] handles before the next
+// Reserve. It must be called from the sequential region of Step only.
+// Handles migrate between shards as flits travel (allocated where
+// injected, freed where ejected), so Reserve first rebalances the free
+// lists — otherwise a steady flow from one shard to another would
+// drain the source's list every cycle and grow the pool without bound
+// while the sink's list hoarded every slot. Only when the pool as a
+// whole is short does it grow, and then by at least a doubling, so a
+// fabric at steady state stops growing — and therefore stops
+// allocating — after warm-up.
+func (p *FlitPool) Reserve(need []int) {
+	total, free := 0, 0
+	for s := range p.free {
+		total += need[s]
+		free += len(p.free[s].list)
+	}
+	if free < total {
+		grow := total - free
+		if g := len(p.hot); g > grow {
+			grow = g
+		}
+		if grow < 64 {
+			grow = 64
+		}
+		base := len(p.hot)
+		p.hot = append(p.hot, make([]FlitHot, grow)...)
+		p.cold = append(p.cold, make([]FlitCold, grow)...)
+		fl := &p.free[0].list
+		for i := 0; i < grow; i++ {
+			*fl = append(*fl, Handle(base+i))
+		}
+		// Every shard's free list must be able to hold every slot in
+		// the pool, so an in-phase Free never reallocates.
+		limit := len(p.hot)
+		for s := range p.free {
+			l := &p.free[s].list
+			if cap(*l) < limit {
+				nl := make([]Handle, len(*l), limit)
+				copy(nl, *l)
+				*l = nl
+			}
+		}
+	}
+	// Rebalance: top deficit shards up from surplus shards. Total free
+	// now covers total need, so the donor scan cannot run out.
+	d := 0
+	for s := range p.free {
+		fl := &p.free[s].list
+		for len(*fl) < need[s] {
+			for len(p.free[d].list) <= need[d] {
+				d++
+			}
+			dl := &p.free[d].list
+			k := len(*dl) - need[d]
+			if m := need[s] - len(*fl); m < k {
+				k = m
+			}
+			*fl = append(*fl, (*dl)[len(*dl)-k:]...)
+			*dl = (*dl)[:len(*dl)-k]
+		}
+	}
+}
+
+// Alloc takes a handle from shard's free list and fills both planes
+// from f. It panics if the shard's Reserve budget is exhausted.
+func (p *FlitPool) Alloc(shard int, f *Flit) Handle {
+	fl := &p.free[shard].list
+	n := len(*fl)
+	if n == 0 {
+		panic("noc: flit pool exhausted; fabric did not Reserve enough")
+	}
+	h := (*fl)[n-1]
+	*fl = (*fl)[:n-1]
+	p.hot[h] = FlitHot{
+		Inject:  f.Inject,
+		Seq:     f.Seq,
+		Dst:     f.Dst,
+		Index:   f.Index,
+		Len:     f.Len,
+		Kind:    f.Kind,
+		VC:      f.VC,
+		CongBit: f.CongBit,
+	}
+	p.cold[h] = FlitCold{Enq: f.Enq, Token: f.Token, Src: f.Src}
+	return h
+}
+
+// Free zeroes both planes of h and returns it to shard's free list, so
+// a recycled slot can never leak a previous packet's state.
+func (p *FlitPool) Free(shard int, h Handle) {
+	p.hot[h] = FlitHot{}
+	p.cold[h] = FlitCold{}
+	fl := &p.free[shard].list
+	*fl = append(*fl, h)
+}
+
+// Get assembles the full Flit for h into f.
+func (p *FlitPool) Get(h Handle, f *Flit) {
+	hot := &p.hot[h]
+	cold := &p.cold[h]
+	*f = Flit{
+		Enq:     cold.Enq,
+		Inject:  hot.Inject,
+		Seq:     hot.Seq,
+		Token:   cold.Token,
+		Src:     cold.Src,
+		Dst:     hot.Dst,
+		Index:   hot.Index,
+		Len:     hot.Len,
+		Kind:    hot.Kind,
+		VC:      hot.VC,
+		CongBit: hot.CongBit,
+	}
+}
+
+// Hot returns the hot plane of h. The pointer is valid until the next
+// Reserve.
+func (p *FlitPool) Hot(h Handle) *FlitHot { return &p.hot[h] }
+
+// HotPlane returns the whole hot-plane slice, valid until the next
+// Reserve. Fabrics cache it across one step so per-flit accesses are a
+// single indexed load instead of two pointer chases through the pool.
+func (p *FlitPool) HotPlane() []FlitHot { return p.hot }
+
+// Cold returns the cold plane of h. The pointer is valid until the
+// next Reserve.
+func (p *FlitPool) Cold(h Handle) *FlitCold { return &p.cold[h] }
+
+// Cap returns the number of allocatable slots in the pool.
+func (p *FlitPool) Cap() int { return len(p.hot) - 1 }
+
+// FreeSlots returns the total number of free handles across shards.
+// Sequential regions only.
+func (p *FlitPool) FreeSlots() int {
+	n := 0
+	for s := range p.free {
+		n += len(p.free[s].list)
+	}
+	return n
+}

@@ -12,6 +12,15 @@
 // and tries again next lap, which preserves losslessness without
 // blocking the ring.
 //
+// Stepping skips idle structure at ring granularity: a local ring whose
+// slots, g2l FIFO and member NICs are all empty is not rotated (a flit
+// can only re-enter it through a bridge g2l push or a NIC enqueue, both
+// of which re-activate it), and the global ring is skipped while it is
+// empty and every l2g FIFO is empty. Skipping is exact — rotating an
+// empty ring is a no-op for every counter — and engages under the same
+// policy conditions as the mesh fabrics (noc.Open or noc.IdleTicker),
+// with skipped stretches replayed into the policy in bulk.
+//
 // The fabric implements noc.Network so the open-loop traffic harness
 // drives it directly. Rings have no 2D geometry: Topology() exposes the
 // node-ID space as a 1xN line for harness compatibility — use
@@ -21,6 +30,7 @@ package hierring
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nocsim/internal/noc"
 	"nocsim/internal/obs"
@@ -39,6 +49,10 @@ type Config struct {
 	BridgeFIFO int
 	// Policy gates and observes injection; nil means noc.Open{}.
 	Policy noc.InjectionPolicy
+	// NoActiveSet forces every ring to be rotated every cycle even when
+	// the active-set conditions hold; see the mesh fabrics' field of
+	// the same name.
+	NoActiveSet bool
 	// Workers shards the local-ring loop over ring groups; 0 means 1
 	// (sequential). Each local ring touches only its own slots, FIFOs and
 	// NICs, so groups parallelise cleanly; the global ring stays on the
@@ -102,6 +116,21 @@ type Fabric struct {
 	// scratch rings for the per-cycle rotation.
 	scratchL [][]slot
 	scratchG []slot
+
+	// Active-set state (unused when skip is false). activeG[g] is
+	// cleared plainly by the owner of ring g in the local phase and set
+	// atomically by the global phase's g2l pushes and by NIC
+	// notifications (two nodes of one ring may enqueue from different
+	// harness shards). lastTick is per node; globalOcc counts occupied
+	// global-ring slots (sequential phase only) and l2gLive counts
+	// flits across all l2g FIFOs (pushed from the parallel local
+	// phase, popped sequentially, hence atomic).
+	skip      bool
+	activeG   []uint32
+	idle      noc.IdleTicker
+	lastTick  []int64
+	globalOcc int
+	l2gLive   atomic.Int64
 
 	// shards[w] are worker w's counters, cache-line padded so the
 	// parallel local-ring phase never false-shares; Stats() merges them.
@@ -169,8 +198,18 @@ func New(cfg Config) *Fabric {
 		}
 		f.pl = func(lo, hi, w int) { f.localPhase(lo, hi, &f.shards[w].Stats) }
 	}
+	f.idle, _ = cfg.Policy.(noc.IdleTicker)
+	_, open := cfg.Policy.(noc.Open)
+	f.skip = !cfg.NoActiveSet && (open || f.idle != nil)
+	if f.skip {
+		f.activeG = make([]uint32, groups)
+		f.lastTick = make([]int64, cfg.Nodes)
+	}
 	for i := range f.nics {
 		f.nics[i] = noc.NewNIC(i)
+		if f.skip {
+			f.nics[i].SetNotify(f.notifyNIC)
+		}
 	}
 	stops := cfg.GroupSize + 1 // node stops + bridge stop
 	f.scratchL = make([][]slot, groups)
@@ -191,6 +230,44 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// notifyNIC re-activates a node's ring when its NIC goes non-empty.
+func (f *Fabric) notifyNIC(node int) { f.activateG(f.ring(node)) }
+
+// activateG flags ring g for rotation. Atomic because notifications may
+// come from any harness shard.
+func (f *Fabric) activateG(g int) {
+	atomic.StoreUint32(&f.activeG[g], 1)
+}
+
+// ActiveSet reports whether active-set skipping is engaged and, if so,
+// how many local rings are currently flagged active. Sequential regions
+// only.
+func (f *Fabric) ActiveSet() (active int, enabled bool) {
+	if !f.skip {
+		return 0, false
+	}
+	for _, a := range f.activeG {
+		if a != 0 {
+			active++
+		}
+	}
+	return active, true
+}
+
+// SyncPolicy replays every pending idle stretch into the policy; it
+// implements noc.PolicySyncer. See the bufferless fabric.
+func (f *Fabric) SyncPolicy() {
+	if !f.skip || f.idle == nil {
+		return
+	}
+	for node := range f.lastTick {
+		if gap := f.cycle - f.lastTick[node]; gap > 0 {
+			f.idle.TickIdle(node, gap)
+			f.lastTick[node] = f.cycle
+		}
+	}
 }
 
 // ring returns the local ring index of a node.
@@ -250,21 +327,29 @@ func (f *Fabric) Step() {
 		f.pool.Run(groups, f.pl)
 	}
 
-	// Global ring.
-	st := &f.shards[0].Stats
-	gstops := len(f.global)
-	for s := 0; s < gstops; s++ {
-		in := f.global[(s-1+gstops)%gstops]
-		if in.ok {
-			st.LinkTraversals++
+	// Global ring. Skipped while it is empty and no l2g FIFO holds a
+	// departure for it to pick up — rotating it then is a no-op.
+	if !f.skip || f.globalOcc > 0 || f.l2gLive.Load() > 0 {
+		st := &f.shards[0].Stats
+		gstops := len(f.global)
+		occ := 0
+		for s := 0; s < gstops; s++ {
+			in := f.global[(s-1+gstops)%gstops]
+			if in.ok {
+				st.LinkTraversals++
+			}
+			if s < groups {
+				f.scratchG[s] = f.bridgeGlobal(s, in, st)
+			} else {
+				f.scratchG[s] = in // filler stop on tiny configurations
+			}
+			if f.scratchG[s].ok {
+				occ++
+			}
 		}
-		if s < groups {
-			f.scratchG[s] = f.bridgeGlobal(s, in, st)
-		} else {
-			f.scratchG[s] = in // filler stop on tiny configurations
-		}
+		f.global, f.scratchG = f.scratchG, f.global
+		f.globalOcc = occ
 	}
-	f.global, f.scratchG = f.scratchG, f.global
 
 	f.updateInflight()
 	f.cycle++
@@ -276,7 +361,11 @@ func (f *Fabric) localPhase(lo, hi int, st *noc.Stats) {
 	stops := f.cfg.GroupSize + 1
 	bridgeStop := f.cfg.GroupSize
 	for g := lo; g < hi; g++ {
+		if f.skip && f.activeG[g] == 0 {
+			continue
+		}
 		cur, next := f.local[g], f.scratchL[g]
+		occ := 0
 		for s := 0; s < stops; s++ {
 			in := cur[(s-1+stops)%stops]
 			if in.ok {
@@ -287,9 +376,27 @@ func (f *Fabric) localPhase(lo, hi int, st *noc.Stats) {
 			} else {
 				next[s] = f.nodeStop(f.nodeAt(g, s), in, st)
 			}
+			if next[s].ok {
+				occ++
+			}
 		}
 		f.local[g], f.scratchL[g] = next, cur
+		if f.skip && occ == 0 && f.g2l[g].empty() && !f.groupWants(g) {
+			f.activeG[g] = 0
+		}
 	}
+}
+
+// groupWants reports whether any member NIC of ring g has traffic.
+// Flits parked in the l2g FIFO do not keep the ring active: they drain
+// through the global ring, which stays awake on l2gLive.
+func (f *Fabric) groupWants(g int) bool {
+	for s := 0; s < f.cfg.GroupSize; s++ {
+		if f.nics[f.nodeAt(g, s)].HasTraffic() {
+			return true
+		}
+	}
+	return false
 }
 
 // Close releases the fabric's own worker pool. Shared pools (Config.
@@ -316,6 +423,16 @@ func (f *Fabric) updateInflight() {
 // nodeStop processes a local ring stop: eject a flit addressed here,
 // then inject into an empty slot.
 func (f *Fabric) nodeStop(node int, in slot, st *noc.Stats) slot {
+	if f.skip {
+		if f.idle != nil {
+			// Replay the ring's skipped stretch into the policy's
+			// starvation window; Tick below then covers this cycle.
+			if gap := f.cycle - f.lastTick[node]; gap > 0 {
+				f.idle.TickIdle(node, gap)
+			}
+		}
+		f.lastTick[node] = f.cycle + 1
+	}
 	nic := f.nics[node]
 	if in.ok && int(in.f.Dst) == node {
 		st.FlitsEjected++
@@ -392,6 +509,9 @@ func (f *Fabric) bridgeLocal(g int, in slot, st *noc.Stats) slot {
 			}
 			f.l2g[g].push(in.f)
 			st.BufferWrites++
+			if f.skip {
+				f.l2gLive.Add(1)
+			}
 			in = slot{}
 		}
 		// else: circulate another lap.
@@ -415,12 +535,18 @@ func (f *Fabric) bridgeGlobal(g int, in slot, st *noc.Stats) slot {
 			}
 			f.g2l[g].push(in.f)
 			st.BufferWrites++
+			if f.skip {
+				f.activateG(g)
+			}
 			in = slot{}
 		}
 	}
 	if !in.ok && !f.l2g[g].empty() {
 		fl := f.l2g[g].pop()
 		st.BufferReads++
+		if f.skip {
+			f.l2gLive.Add(-1)
+		}
 		in = slot{f: fl, ok: true}
 	}
 	return in

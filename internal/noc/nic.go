@@ -15,11 +15,19 @@ type NIC struct {
 	reqQ flitQueue
 	repQ flitQueue
 
-	pending   map[uint64]*pendingPacket
+	pending   pendTable
 	delivered []Packet
+
+	// notify, when set, fires whenever Send turns an empty NIC
+	// non-empty; the active-set fabrics use it to wake the node.
+	notify func(node int)
 }
 
+// pendingPacket is one partially reassembled packet. seq doubles as
+// the hash key and the empty-slot marker: real sequence numbers are
+// never zero (Send pre-increments the per-node counter).
 type pendingPacket struct {
+	seq     uint64
 	got     uint8
 	len     uint8
 	kind    Kind
@@ -30,34 +38,163 @@ type pendingPacket struct {
 	congBit bool
 }
 
-// flitQueue is a FIFO of flits with amortised O(1) pop.
-type flitQueue struct {
-	buf  []Flit
-	head int
+// pendTable is an open-addressed, linear-probe hash of in-progress
+// reassemblies, stored inline. It replaces a map[uint64]*pendingPacket
+// whose per-packet heap allocation was the last steady-state allocator
+// on the ejection path; the table allocates only when it doubles, so
+// it goes quiet once sized to the peak concurrent-reassembly count.
+type pendTable struct {
+	slots []pendingPacket
+	count int
 }
 
-func (q *flitQueue) push(f Flit) { q.buf = append(q.buf, f) }
-func (q *flitQueue) len() int    { return len(q.buf) - q.head }
-func (q *flitQueue) empty() bool { return q.head >= len(q.buf) }
+// hashSeq is SplitMix64's finisher: packet sequence numbers are highly
+// structured (node ID in the high bits, a counter below), so they need
+// a full-avalanche mix before masking.
+func hashSeq(seq uint64) uint64 {
+	seq = (seq ^ (seq >> 30)) * 0xbf58476d1ce4e5b9
+	seq = (seq ^ (seq >> 27)) * 0x94d049bb133111eb
+	return seq ^ (seq >> 31)
+}
+
+// lookup returns the slot holding seq, or nil. The pointer is valid
+// only until the next insert or remove.
+func (t *pendTable) lookup(seq uint64) *pendingPacket {
+	mask := uint64(len(t.slots) - 1)
+	for i := hashSeq(seq) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.seq == seq {
+			return s
+		}
+		if s.seq == 0 {
+			return nil
+		}
+	}
+}
+
+// insert adds pp (whose seq must not be present) and returns its slot.
+// The pointer is valid only until the next insert or remove.
+func (t *pendTable) insert(pp pendingPacket) *pendingPacket {
+	if (t.count+1)*4 >= len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashSeq(pp.seq) & mask; ; i = (i + 1) & mask {
+		if t.slots[i].seq == 0 {
+			t.slots[i] = pp
+			t.count++
+			return &t.slots[i]
+		}
+	}
+}
+
+func (t *pendTable) grow() {
+	old := t.slots
+	t.slots = make([]pendingPacket, len(old)*2)
+	t.count = 0
+	for i := range old {
+		if old[i].seq != 0 {
+			t.insert(old[i])
+		}
+	}
+}
+
+// remove deletes seq, which must be present, using backward-shift
+// deletion so probe chains stay intact without tombstones.
+func (t *pendTable) remove(seq uint64) {
+	mask := uint64(len(t.slots) - 1)
+	i := hashSeq(seq) & mask
+	for t.slots[i].seq != seq {
+		i = (i + 1) & mask
+	}
+	for {
+		t.slots[i] = pendingPacket{}
+		j := i
+		for {
+			j = (j + 1) & mask
+			if t.slots[j].seq == 0 {
+				t.count--
+				return
+			}
+			// Slot j can fill the hole at i only if its home position
+			// is cyclically at-or-before i (otherwise moving it would
+			// break its own probe chain).
+			home := hashSeq(t.slots[j].seq) & mask
+			if (j-home)&mask >= (j-i)&mask {
+				break
+			}
+		}
+		t.slots[i] = t.slots[j]
+		i = j
+	}
+}
+
+// flitQueue is a circular FIFO of flits. The ring's capacity tracks
+// the queue's actual peak depth (a handful of flits at sub-saturation
+// rates), not its cumulative throughput, so every queue reaches its
+// terminal capacity on the first push and steady-state stepping never
+// reallocates. The previous append-and-compact design kept a buffer
+// proportional to its compaction threshold and reached it only after
+// ~64 pops per queue — on a 4096-node mesh that trickle of late
+// growths kept the hot path allocating for hundreds of thousands of
+// cycles. Capacity is kept a power of two so indexing is a mask.
+type flitQueue struct {
+	buf   []Flit
+	head  int
+	count int
+}
+
+func (q *flitQueue) push(f Flit) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)&(len(q.buf)-1)] = f
+	q.count++
+}
+
+func (q *flitQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 16
+	}
+	nb := make([]Flit, n)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+func (q *flitQueue) len() int    { return q.count }
+func (q *flitQueue) empty() bool { return q.count == 0 }
 func (q *flitQueue) peek() *Flit { return &q.buf[q.head] }
 func (q *flitQueue) pop() Flit {
 	f := q.buf[q.head]
-	q.head++
-	if q.head > 64 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.count--
 	return f
 }
 
-// NewNIC returns a NIC for the given node ID.
+// NewNIC returns a NIC for the given node ID. The delivered list gets
+// capacity for one cycle's worth of completions up front (EjectWidth
+// bounds it) so the first busy cycle does not allocate mid-run.
 func NewNIC(node int) *NIC {
-	return &NIC{node: int32(node), pending: make(map[uint64]*pendingPacket)}
+	return &NIC{
+		node:      int32(node),
+		pending:   pendTable{slots: make([]pendingPacket, 16)},
+		delivered: make([]Packet, 0, 4),
+	}
 }
 
 // Node returns the node this NIC belongs to.
 func (n *NIC) Node() int { return int(n.node) }
+
+// SetNotify registers fn, called with the node ID whenever Send turns
+// an empty NIC non-empty. Active-set fabrics hook this to re-flag the
+// node for processing; fn must therefore be safe to call from whatever
+// context drives Send (the fabrics' contract is that Sends happen only
+// between fabric phases, or from the sender node's own shard).
+func (n *NIC) SetNotify(fn func(node int)) { n.notify = fn }
 
 // Send enqueues a packet of nflits flits of the given kind toward dst.
 // cycle timestamps queue entry. It returns the packet's sequence number.
@@ -65,6 +202,7 @@ func (n *NIC) Send(dst int, kind Kind, token uint64, nflits int, cycle int64) ui
 	if nflits < 1 || nflits > 255 {
 		panic("noc: packet length out of range")
 	}
+	wasEmpty := n.reqQ.empty() && n.repQ.empty()
 	n.seq++
 	seq := uint64(n.node)<<40 | n.seq
 	f := Flit{
@@ -83,6 +221,9 @@ func (n *NIC) Send(dst int, kind Kind, token uint64, nflits int, cycle int64) ui
 	for i := 0; i < nflits; i++ {
 		f.Index = uint8(i)
 		q.push(f)
+	}
+	if wasEmpty && n.notify != nil {
+		n.notify(int(n.node))
 	}
 	return seq
 }
@@ -142,17 +283,17 @@ func (n *NIC) PopReply() Flit { return n.repQ.pop() }
 // the final flit arrives the completed packet is queued for Delivered and
 // returned with done=true.
 func (n *NIC) Receive(f *Flit, cycle int64) (pkt Packet, done bool) {
-	p := n.pending[f.Seq]
+	p := n.pending.lookup(f.Seq)
 	if p == nil {
-		p = &pendingPacket{
+		p = n.pending.insert(pendingPacket{
+			seq:    f.Seq,
 			len:    f.Len,
 			kind:   f.Kind,
 			src:    f.Src,
 			token:  f.Token,
 			enq:    f.Enq,
 			inject: f.Inject,
-		}
-		n.pending[f.Seq] = p
+		})
 	}
 	p.got++
 	if f.Inject < p.inject {
@@ -162,7 +303,6 @@ func (n *NIC) Receive(f *Flit, cycle int64) (pkt Packet, done bool) {
 		p.congBit = true
 	}
 	if p.got == p.len {
-		delete(n.pending, f.Seq)
 		pkt = Packet{
 			Seq:     f.Seq,
 			Token:   p.token,
@@ -175,6 +315,7 @@ func (n *NIC) Receive(f *Flit, cycle int64) (pkt Packet, done bool) {
 			Eject:   cycle,
 			CongBit: p.congBit,
 		}
+		n.pending.remove(f.Seq)
 		n.delivered = append(n.delivered, pkt)
 		return pkt, true
 	}
@@ -190,4 +331,4 @@ func (n *NIC) Delivered() []Packet {
 }
 
 // PendingPackets returns the number of partially reassembled packets.
-func (n *NIC) PendingPackets() int { return len(n.pending) }
+func (n *NIC) PendingPackets() int { return n.pending.count }

@@ -149,7 +149,7 @@ func TestNICCongBitAggregation(t *testing.T) {
 }
 
 // Property: the flit queue preserves FIFO order through interleaved
-// pushes and pops, including across compaction.
+// pushes and pops, including across ring growth and wrap-around.
 func TestFlitQueueFIFO(t *testing.T) {
 	f := func(ops []bool) bool {
 		var q flitQueue
@@ -179,21 +179,52 @@ func TestFlitQueueFIFO(t *testing.T) {
 	}
 }
 
-func TestFlitQueueCompaction(t *testing.T) {
+// TestFlitQueueCapacity pins the ring's memory contract: capacity
+// tracks peak depth, not cumulative throughput, so a long-lived
+// shallow queue stops allocating after its first push.
+func TestFlitQueueCapacity(t *testing.T) {
 	var q flitQueue
-	for i := 0; i < 1000; i++ {
-		q.push(Flit{Seq: uint64(i)})
+	next, expect := uint64(0), uint64(0)
+	for i := 0; i < 100_000; i++ {
+		q.push(Flit{Seq: next})
+		next++
+		if i%3 == 0 { // depth grows slowly, drains below
+			continue
+		}
+		if q.pop().Seq != expect {
+			t.Fatal("FIFO violated")
+		}
+		expect++
 	}
-	for i := 0; i < 900; i++ {
-		if q.pop().Seq != uint64(i) {
+	for !q.empty() {
+		if q.pop().Seq != expect {
+			t.Fatal("FIFO violated during drain")
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d flits, pushed %d", expect, next)
+	}
+	// Peak depth was ~33334; capacity must be the next power of two,
+	// not proportional to the 100k flits that passed through.
+	if len(q.buf) != 65536 {
+		t.Errorf("capacity = %d, want 65536 (next power of two above peak depth)", len(q.buf))
+	}
+}
+
+// TestFlitQueueShallowStaysSmall: a queue that never exceeds depth 2
+// keeps its initial 16-slot ring no matter how many flits pass.
+func TestFlitQueueShallowStaysSmall(t *testing.T) {
+	var q flitQueue
+	for i := 0; i < 10_000; i++ {
+		q.push(Flit{Seq: uint64(2 * i)})
+		q.push(Flit{Seq: uint64(2*i + 1)})
+		if q.pop().Seq != uint64(2*i) || q.pop().Seq != uint64(2*i+1) {
 			t.Fatal("FIFO violated")
 		}
 	}
-	if q.len() != 100 {
-		t.Fatalf("len = %d, want 100", q.len())
-	}
-	if q.head >= 500 {
-		t.Error("queue never compacted")
+	if len(q.buf) != 16 {
+		t.Errorf("capacity = %d, want the initial 16", len(q.buf))
 	}
 }
 

@@ -1,0 +1,59 @@
+package noc
+
+import (
+	"testing"
+
+	"nocsim/internal/rng"
+)
+
+// TestPendTableChurn drives the NIC reassembly table through a long
+// interleaved insert/lookup/remove sequence and checks it against a
+// plain map. Backward-shift deletion is the delicate part: a wrong
+// shift condition silently corrupts probe chains, which would surface
+// as lost or duplicated packets much later.
+func TestPendTableChurn(t *testing.T) {
+	var tab pendTable
+	tab.slots = make([]pendingPacket, 16)
+	ref := map[uint64]uint8{}
+	live := []uint64{}
+	src := rng.New(99)
+	nextSeq := uint64(0)
+	for step := 0; step < 20_000; step++ {
+		switch {
+		case len(live) == 0 || src.Bool(0.55):
+			nextSeq++
+			// Structured like real sequence numbers: node ID high bits.
+			seq := uint64(src.Intn(64))<<40 | nextSeq
+			got := uint8(src.Intn(250) + 1)
+			tab.insert(pendingPacket{seq: seq, got: got})
+			ref[seq] = got
+			live = append(live, seq)
+		default:
+			i := src.Intn(len(live))
+			seq := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			p := tab.lookup(seq)
+			if p == nil {
+				t.Fatalf("step %d: seq %#x missing before remove", step, seq)
+			}
+			if p.got != ref[seq] {
+				t.Fatalf("step %d: seq %#x got %d, want %d", step, seq, p.got, ref[seq])
+			}
+			tab.remove(seq)
+			delete(ref, seq)
+			if tab.lookup(seq) != nil {
+				t.Fatalf("step %d: seq %#x still present after remove", step, seq)
+			}
+		}
+		if tab.count != len(ref) {
+			t.Fatalf("step %d: count %d, want %d", step, tab.count, len(ref))
+		}
+	}
+	for _, seq := range live {
+		p := tab.lookup(seq)
+		if p == nil || p.got != ref[seq] {
+			t.Fatalf("final: seq %#x lost or corrupted", seq)
+		}
+	}
+}

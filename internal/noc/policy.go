@@ -26,6 +26,28 @@ type InjectionPolicy interface {
 	MarkCongested(node int) bool
 }
 
+// IdleTicker is an optional InjectionPolicy extension that lets a
+// fabric skip idle nodes without desynchronising the policy's
+// per-cycle state. A node the fabric skips would have received
+// Tick(node, false, false, false) on every skipped cycle; TickIdle
+// applies exactly that effect for `cycles` consecutive cycles in one
+// call (e.g. core.Monitor fast-forwards its starvation shift window).
+// Fabrics only enable idle-node skipping for policies that implement
+// IdleTicker (or for the stateless Open policy).
+type IdleTicker interface {
+	TickIdle(node int, cycles int64)
+}
+
+// PolicySyncer is implemented by fabrics that defer idle-node policy
+// ticks (active-set stepping). SyncPolicy flushes every deferred
+// TickIdle so the policy's observable state matches a fabric that
+// ticked all nodes every cycle. Anything reading policy state from
+// outside the fabric — e.g. a controller epoch collecting starvation
+// rates — must call it first.
+type PolicySyncer interface {
+	SyncPolicy()
+}
+
 // Open is an InjectionPolicy that never throttles and observes nothing.
 // It is the baseline (unthrottled BLESS / buffered) configuration.
 type Open struct{}

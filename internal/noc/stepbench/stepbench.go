@@ -19,11 +19,14 @@ import (
 )
 
 const (
-	// rate is the per-node flit injection probability per cycle: busy
-	// enough that arbitration contends, below every fabric's saturation.
-	rate = 0.08
-	// warmup cycles fill the pipelines before timing starts.
-	warmup = 500
+	// defaultRate is the per-node flit injection probability per cycle:
+	// busy enough that arbitration contends, below every fabric's
+	// saturation at the standard sizes.
+	defaultRate = 0.08
+	// warmup cycles fill the pipelines — and grow the flit pools and
+	// queue rings to their steady-state high-water marks — before
+	// timing starts.
+	warmup = 1000
 	// seed fixes the injector stream so runs are comparable.
 	seed = 42
 )
@@ -32,8 +35,18 @@ const (
 type Case struct {
 	// Name is "family/size", e.g. "bless/32x32".
 	Name string
+	// Rate overrides the per-node injection rate; 0 means defaultRate.
+	Rate float64
 	// New builds the fabric with the given intra-fabric worker count.
 	New func(workers int) noc.Network
+}
+
+// rate returns the case's effective injection rate.
+func (c Case) rate() float64 {
+	if c.Rate > 0 {
+		return c.Rate
+	}
+	return defaultRate
 }
 
 // Cases returns the benchmark matrix: each fabric family at a small
@@ -47,6 +60,13 @@ func Cases() []Case {
 		}},
 		{Name: "bless/32x32", New: func(w int) noc.Network {
 			return bless.New(bless.Config{Topology: mesh(32), Workers: w})
+		}},
+		// 64x64 runs at a reduced rate: a 64x64 mesh has a 128-link
+		// bisection, so the default 0.08 (≈328 injected flits/cycle)
+		// is far past saturation and would measure a pathological
+		// regime; 0.02 keeps the network busy but stable.
+		{Name: "bless/64x64", Rate: 0.02, New: func(w int) noc.Network {
+			return bless.New(bless.Config{Topology: mesh(64), Workers: w})
 		}},
 		{Name: "buffered/8x8", New: func(w int) noc.Network {
 			return buffered.New(buffered.Config{Topology: mesh(8), Workers: w})
@@ -64,22 +84,24 @@ func Cases() []Case {
 }
 
 // Bench runs one case at one worker count: warm the fabric, then time
-// b.N injector+step cycles. It reports cycles/s (stepping throughput)
-// and flithops/s (link traversals retired per second, which normalises
-// throughput by how much traffic the fabric actually moved).
+// b.N injector+step cycles. It reports cycles/s (stepping throughput),
+// flithops/s (link traversals retired per second, which normalises
+// throughput by how much traffic the fabric actually moved), and —
+// via ReportAllocs — allocs/op, which must be zero at steady state
+// (the warmup grows the flit pools and queue rings to their high-water
+// marks; ResetTimer excludes it from the counters).
 func Bench(b *testing.B, c Case, workers int) {
 	net := c.New(workers)
 	defer closeNet(net)
-	inj := newInjector(net.Topology().Nodes())
+	inj := newInjector(net.Topology().Nodes(), c.rate())
 	for i := 0; i < warmup; i++ {
-		inj.Step(net)
-		net.Step()
+		StepOnce(net, inj)
 	}
 	start := net.Stats().LinkTraversals
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		inj.Step(net)
-		net.Step()
+		StepOnce(net, inj)
 	}
 	elapsed := b.Elapsed().Seconds()
 	if elapsed > 0 {
@@ -89,8 +111,21 @@ func Bench(b *testing.B, c Case, workers int) {
 	}
 }
 
+// StepOnce advances the open-loop workload one cycle: inject, step,
+// and drain every NIC's delivered-packet list, as a closed-loop
+// consumer would. Without the drain the lists grow for the whole run
+// and their reallocations would show up as steady-state allocations
+// that are the harness's fault, not the fabric's.
+func StepOnce(net noc.Network, inj *traffic.Injector) {
+	inj.Step(net)
+	net.Step()
+	for i := net.Topology().Nodes() - 1; i >= 0; i-- {
+		net.NIC(i).Delivered()
+	}
+}
+
 // newInjector builds the standard open-loop workload for n nodes.
-func newInjector(n int) *traffic.Injector {
+func newInjector(n int, rate float64) *traffic.Injector {
 	return traffic.NewInjector(n, rate, traffic.Uniform{Nodes: n}, seed)
 }
 

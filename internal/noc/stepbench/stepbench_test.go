@@ -52,7 +52,7 @@ func TestStepWorkersInvariance(t *testing.T) {
 		net := c.New(workers)
 		defer closeNet(net)
 		n := net.Topology().Nodes()
-		inj := newInjector(n)
+		inj := newInjector(n, c.rate())
 		for i := 0; i < cycles; i++ {
 			inj.Step(net)
 			net.Step()
@@ -60,9 +60,37 @@ func TestStepWorkersInvariance(t *testing.T) {
 		return net.Stats()
 	}
 	for _, c := range Cases() {
+		if testing.Short() && strings.Contains(c.Name, "64x64") {
+			continue // 4096 nodes x 2k cycles x 4 runs is too slow for -short
+		}
 		if run(c, 1) != run(c, 4) {
 			t.Errorf("%s: stats differ between Workers=1 and Workers=4\n w1: %+v\n w4: %+v",
 				c.Name, run(c, 1), run(c, 4))
 		}
+	}
+}
+
+// TestZeroSteadyStateAllocs pins the flit-pool contract: once the pool
+// and every queue ring have grown to their high-water marks, stepping
+// allocates nothing. The workload is fully deterministic (seeded
+// injector), so a failure here is a real hot-path allocation, not a
+// flake.
+func TestZeroSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warmup is too slow for -short")
+	}
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			net := c.New(1)
+			defer closeNet(net)
+			inj := newInjector(net.Topology().Nodes(), c.rate())
+			for i := 0; i < 3*warmup; i++ {
+				StepOnce(net, inj)
+			}
+			if avg := testing.AllocsPerRun(100, func() { StepOnce(net, inj) }); avg != 0 {
+				t.Errorf("%s: %.2f allocs per steady-state cycle, want 0", c.Name, avg)
+			}
+		})
 	}
 }

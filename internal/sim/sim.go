@@ -576,8 +576,13 @@ func (s *Sim) Step() {
 
 	s.cycle++
 
-	// 5. Controller epoch.
+	// 5. Controller epoch. An active-set fabric defers per-cycle policy
+	// observation for idle nodes; flush that debt so the epoch reads
+	// starvation windows as if no node had been skipped.
 	if s.cycle%s.cfg.Params.Epoch == 0 {
+		if ps, ok := s.net.(noc.PolicySyncer); ok {
+			ps.SyncPolicy()
+		}
 		s.runEpoch()
 	}
 

@@ -9,18 +9,25 @@
 // Port Local is the network-interface port used for injection/ejection.
 //
 // Routing queries sit on the fabrics' per-flit hot path, so New
-// precomputes a flat per-(node, dst) table — the XY output port, the
-// hop distance, and the productive-direction bitmask packed into one
-// 4-byte entry — and XYRoute, Distance, ProductiveDirs and
-// ProductiveMask become single array loads. The table costs O(N²)
-// bytes and is built only for true 2-D grids whose table fits the
-// cache budget (see tableWorthwhile); degenerate 1-D lines (the
-// hierarchical ring harness placeholder) and larger topologies fall
-// back to the closed-form computation, which stays the source of
-// truth: the table is filled from it, so both paths are identical by
-// construction. The closed-form path itself reads per-node coordinate
-// caches (O(N) memory), so even table-less topologies answer queries
-// without division.
+// precomputes a route table — the XY output port and the
+// productive-direction bitmask packed into one byte — and XYRoute,
+// ProductiveDirs and ProductiveMask become array loads. Both route
+// properties are translation-invariant: on a mesh they depend only on
+// the signs of the coordinate displacement from at to dst, on a torus
+// only on the displacement modulo each dimension. The table is
+// therefore indexed by displacement, costing (2W-1)(2H-1) bytes rather
+// than N² — 4 KiB for a 32x32 mesh instead of the 1 MiB a per-pair
+// table needs — so queries stay in the first cache levels even on
+// grids where a per-pair table would thrash. It is built only for true
+// 2-D grids within the byte budget (see tableWorthwhile); degenerate
+// 1-D lines (the hierarchical ring harness placeholder) and gigantic
+// grids fall back to the closed-form computation, which stays the
+// source of truth: the table is filled from it, so both paths are
+// identical by construction. Distance is always closed-form — the
+// coordinate arithmetic is a handful of subtractions off the O(N)
+// per-node coordinate caches, too cheap to spend table bytes on (and a
+// hop count does not fit the one-byte entry). RouteTableInUse reports
+// which path a topology ended up on.
 package topology
 
 import (
@@ -98,19 +105,16 @@ func (k Kind) String() string {
 	return "mesh"
 }
 
-// MaxTableNodes is the hard cap on the precomputed route table: beyond
-// 4096 nodes (the paper's largest configuration) the O(N²) array would
-// cost gigabytes. Below the cap a second, tighter gate applies — see
-// tableBudgetBytes.
-const MaxTableNodes = 4096
-
 // tableBudgetBytes gates table building by measured benefit, not just
-// memory safety: a route-table query is a random access into an N²×4 B
-// array, so once the table outgrows the low cache levels it evicts the
-// fabric's own working set and loses to the closed-form computation
-// (measured ~0.75x at 32x32, vs ~1.7x *speedup* at 16x16 where the
-// 256 KiB table stays resident). 1 MiB keeps every winning
-// configuration and excludes every losing one on the cores we measured.
+// memory safety: a route-table query is a random access, so once the
+// table outgrows the low cache levels it evicts the fabric's own
+// working set and loses to the closed-form computation. The original
+// per-(node, dst) layout with 4-byte entries priced even a 32x32 mesh
+// out at 4 MiB; packing the entry into one byte brought that to
+// exactly the budget, and the displacement indexing collapses it to
+// (2W-1)(2H-1) bytes — 4 KiB — so every grid up to 512x512 now takes
+// the table path and the budget only excludes sizes far beyond the
+// paper's configurations.
 const tableBudgetBytes = 1 << 20
 
 // Topology is a W×H grid of nodes, mesh or torus.
@@ -121,28 +125,45 @@ type Topology struct {
 	nodes  int
 	// neighbors[node*NumDirs+dir] caches neighbour node IDs, -1 if none.
 	neighbors []int32
+	// pm[node] is the node's valid-port bitmask (bit d set iff the link
+	// in direction d exists), so fabrics can track free output ports as
+	// single-register bit operations instead of [NumDirs]bool scans.
+	pm []uint8
 	// cx/cy cache each node's coordinates. Coord sits under every
 	// closed-form routing query, and the div/mod pair it replaces is the
 	// single hottest arithmetic in the fallback path; the arrays are
 	// O(N), so every size gets them.
 	cx, cy []int16
-	// rt is the flat per-(node, dst) route table, indexed at*nodes+dst;
-	// nil when the topology is a 1-D line or exceeds MaxTableNodes (see
-	// the package comment). The three route properties are packed into
-	// one 4-byte entry so that a hot-path query for a pair — which
+	// rt is the displacement-indexed route table: the entry for a query
+	// (at, dst) lives at rtIndex(at, dst), which keys on the coordinate
+	// displacement (x(dst)-x(at), y(dst)-y(at)) — both route properties
+	// are translation-invariant (see the package comment), so one entry
+	// serves every pair with the same displacement. Nil when the
+	// topology is a 1-D line or exceeds the table budget. Both
+	// properties are packed into one byte so a hot-path query — which
 	// typically needs the XY port and the productive mask together —
-	// touches a single cache line instead of three arrays.
+	// touches a single byte of a table small enough to live in L1.
 	rt []routeEntry
+	// rtStride is the rt row length, 2*height-1.
+	rtStride int
+	// rtDot[n] is cx[n]*rtStride + cy[n], and rtBase the constant
+	// (width-1)*rtStride + (height-1), so rtIndex collapses to one
+	// subtraction of two table loads: the displacement key
+	// (dx+w-1)*stride + (dy+h-1) equals rtDot[dst]-rtDot[at]+rtBase.
+	rtDot  []int32
+	rtBase int32
 }
 
-// routeEntry packs every precomputed route property of one (at, dst)
-// pair. dist is uint16: the longest minimal path on a <=4096-node grid
-// is well under 65536 hops.
-type routeEntry struct {
-	xy   Port
-	prod uint8
-	dist uint16
-}
+// routeEntry packs the precomputed route properties of one (at, dst)
+// pair into a single byte: the productive-direction mask in the low
+// four bits and the XY output port (0..4; Local when at == dst) in the
+// next three.
+type routeEntry uint8
+
+const (
+	rtProdMask  = 0x0f
+	rtPortShift = 4
+)
 
 // New constructs a width×height topology of the given kind. Width and
 // height must be positive.
@@ -161,10 +182,15 @@ func New(kind Kind, width, height int) *Topology {
 		t.cy[n] = int16(n / width)
 	}
 	t.neighbors = make([]int32, t.nodes*NumDirs)
+	t.pm = make([]uint8, t.nodes)
 	for n := 0; n < t.nodes; n++ {
 		x, y := t.Coord(n)
 		for d := Port(0); d < NumDirs; d++ {
-			t.neighbors[n*NumDirs+int(d)] = int32(t.computeNeighbor(x, y, d))
+			nb := t.computeNeighbor(x, y, d)
+			t.neighbors[n*NumDirs+int(d)] = int32(nb)
+			if nb >= 0 {
+				t.pm[n] |= 1 << uint(d)
+			}
 		}
 	}
 	// 1-D lines only exist as the hierarchical ring harness placeholder,
@@ -175,37 +201,56 @@ func New(kind Kind, width, height int) *Topology {
 	return t
 }
 
-// tableWorthwhile reports whether New should spend O(N²) memory on the
-// route table: true 2-D grids whose table fits both the hard cap and
-// the cache budget.
+// tableWorthwhile reports whether New should build the
+// displacement-indexed route table: true 2-D grids within the byte
+// budget.
 func (t *Topology) tableWorthwhile() bool {
-	if t.width <= 1 || t.height <= 1 || t.nodes > MaxTableNodes {
+	if t.width <= 1 || t.height <= 1 {
 		return false
 	}
 	var e routeEntry
-	return uintptr(t.nodes)*uintptr(t.nodes)*unsafe.Sizeof(e) <= tableBudgetBytes
+	return uintptr(2*t.width-1)*uintptr(2*t.height-1)*unsafe.Sizeof(e) <= tableBudgetBytes
 }
 
-// buildTables fills the flat route tables from the closed-form
-// routines, making the table path identical to the computed path by
-// construction.
+// rtIndex maps a (at, dst) query to its displacement-table entry.
+func (t *Topology) rtIndex(at, dst int) int {
+	return int(t.rtDot[dst] - t.rtDot[at] + t.rtBase)
+}
+
+// buildTables fills the displacement-indexed route table from the
+// closed-form routines, making the table path identical to the
+// computed path by construction. Each displacement is computed on a
+// representative pair whose source sits in the corner farthest along
+// the displacement, so both endpoints are always in range; on a mesh
+// every direction productive for the displacement exists at that
+// representative (a productive direction always points inward), and on
+// a torus every node has all four links, so the representative's
+// answer is the answer for every pair with the displacement.
 func (t *Topology) buildTables() {
-	n := t.nodes
-	t.rt = make([]routeEntry, n*n)
-	for at := 0; at < n; at++ {
-		row := at * n
-		for dst := 0; dst < n; dst++ {
-			d := t.computeDistance(at, dst)
-			e := routeEntry{xy: t.computeXYRoute(at, dst), dist: uint16(d)}
+	w, h := t.width, t.height
+	t.rtStride = 2*h - 1
+	t.rt = make([]routeEntry, (2*w-1)*t.rtStride)
+	t.rtDot = make([]int32, t.nodes)
+	for n := 0; n < t.nodes; n++ {
+		t.rtDot[n] = int32(int(t.cx[n])*t.rtStride + int(t.cy[n]))
+	}
+	t.rtBase = int32((w-1)*t.rtStride + h - 1)
+	for ddx := -(w - 1); ddx <= w-1; ddx++ {
+		for ddy := -(h - 1); ddy <= h-1; ddy++ {
+			ax, ay := max(0, -ddx), max(0, -ddy)
+			at := t.Node(ax, ay)
+			dst := t.Node(ax+ddx, ay+ddy)
+			var prod uint8
 			if at != dst {
+				d := t.computeDistance(at, dst)
 				for dir := Port(0); dir < NumDirs; dir++ {
 					nb := t.Neighbor(at, dir)
 					if nb >= 0 && t.computeDistance(nb, dst) < d {
-						e.prod |= 1 << uint(dir)
+						prod |= 1 << uint(dir)
 					}
 				}
 			}
-			t.rt[row+dst] = e
+			t.rt[t.rtIndex(at, dst)] = routeEntry(uint8(t.computeXYRoute(at, dst))<<rtPortShift | prod)
 		}
 	}
 }
@@ -283,11 +328,51 @@ func (t *Topology) Neighbor(n int, d Port) int {
 // HasPort reports whether node n has a link in direction d.
 func (t *Topology) HasPort(n int, d Port) bool { return t.Neighbor(n, d) >= 0 }
 
-// Distance returns the minimal hop count between nodes a and b.
-func (t *Topology) Distance(a, b int) int {
+// PortMask returns node n's valid inter-router ports as a bitmask (bit
+// d set iff HasPort(n, Port(d))).
+func (t *Topology) PortMask(n int) uint8 { return t.pm[n] }
+
+// RouteEntry answers the two per-flit routing queries together: the XY
+// output port and the productive-direction mask from at toward dst. On
+// the table path this is one byte load off the L1-resident
+// displacement table — the fabrics' arbitration needs both properties
+// for every flit every cycle, so fusing the queries halves the
+// hot-path lookup traffic.
+func (t *Topology) RouteEntry(at, dst int) (xy Port, productive uint8) {
 	if t.rt != nil {
-		return int(t.rt[a*t.nodes+b].dist)
+		e := t.rt[t.rtIndex(at, dst)]
+		return Port(e >> rtPortShift), uint8(e) & rtProdMask
 	}
+	return t.computeXYRoute(at, dst), t.ProductiveMask(at, dst)
+}
+
+// RouteEntryFast is RouteEntry without the closed-form fallback: one
+// packed-table load, small enough to inline into fabric arbitration
+// loops. Callers must have checked RouteTableInUse once up front.
+func (t *Topology) RouteEntryFast(at, dst int) (xy Port, productive uint8) {
+	e := t.rt[int(t.rtDot[dst]-t.rtDot[at]+t.rtBase)]
+	return Port(e >> rtPortShift), uint8(e) & rtProdMask
+}
+
+// RouteTableInUse reports whether routing queries are served by the
+// precomputed packed table (true) or by the closed-form fallback
+// (false): 1-D lines and topologies whose table would exceed the
+// budget gates. Both paths answer identically by construction; the
+// accessor exists so tests and capacity planning can see which side of
+// the budget a configuration landed on.
+func (t *Topology) RouteTableInUse() bool { return t.rt != nil }
+
+// RouteTableBytes returns the memory the packed route table occupies,
+// or 0 when the closed-form fallback is in use.
+func (t *Topology) RouteTableBytes() int {
+	return len(t.rt) * int(unsafe.Sizeof(routeEntry(0)))
+}
+
+// Distance returns the minimal hop count between nodes a and b. It is
+// always computed from the coordinate caches: a hop count does not fit
+// the packed one-byte table entry, and the arithmetic is cheap enough
+// that the table never beat it.
+func (t *Topology) Distance(a, b int) int {
 	return t.computeDistance(a, b)
 }
 
@@ -313,7 +398,7 @@ func (t *Topology) computeDistance(a, b int) int {
 // taken.
 func (t *Topology) XYRoute(at, dst int) Port {
 	if t.rt != nil {
-		return t.rt[at*t.nodes+dst].xy
+		return Port(t.rt[t.rtIndex(at, dst)] >> rtPortShift)
 	}
 	return t.computeXYRoute(at, dst)
 }
@@ -374,7 +459,7 @@ func (t *Topology) ProductiveDirs(buf []Port, at, dst int) []Port {
 // this mask instead of materialising a slice.
 func (t *Topology) ProductiveMask(at, dst int) uint8 {
 	if t.rt != nil {
-		return t.rt[at*t.nodes+dst].prod
+		return uint8(t.rt[t.rtIndex(at, dst)]) & rtProdMask
 	}
 	if at == dst {
 		return 0

@@ -278,18 +278,29 @@ func TestRouteTablesMatchComputation(t *testing.T) {
 }
 
 // TestTableGating pins the table-building policy: true 2-D grids whose
-// table fits the cache budget get tables; 1-D lines and larger grids
-// do not — and the fallback still answers queries.
+// displacement table fits the byte budget get tables; 1-D lines and
+// grids beyond the budget do not — and the fallback still answers
+// queries.
 func TestTableGating(t *testing.T) {
-	if top := New(Mesh, 16, 16); top.rt == nil {
-		t.Error("16x16 (256 KiB table) should have tables")
+	// The paper's headline configurations are all comfortably inside
+	// the budget under displacement indexing: 32x32 costs 63·63 bytes
+	// (a per-pair table needed 1 MiB), 64x64 costs 127·127.
+	top32 := New(Mesh, 32, 32)
+	if !top32.RouteTableInUse() {
+		t.Error("32x32 should have tables")
 	}
-	if top := New(Mesh, 32, 32); top.rt != nil {
-		t.Error("32x32 (4 MiB table) should not build tables: over the cache budget")
+	if got := top32.RouteTableBytes(); got != 63*63 {
+		t.Errorf("32x32 RouteTableBytes = %d, want %d", got, 63*63)
+	}
+	if top := New(Mesh, 64, 64); !top.RouteTableInUse() {
+		t.Error("64x64 (16 KiB displacement table) should have tables")
 	}
 	line := New(Mesh, 256, 1)
-	if line.rt != nil {
+	if line.RouteTableInUse() {
 		t.Error("1-D line should not build tables")
+	}
+	if got := line.RouteTableBytes(); got != 0 {
+		t.Errorf("fallback RouteTableBytes = %d, want 0", got)
 	}
 	if d := line.Distance(0, 255); d != 255 {
 		t.Errorf("line fallback Distance = %d, want 255", d)
@@ -300,19 +311,17 @@ func TestTableGating(t *testing.T) {
 	if m := line.ProductiveMask(3, 9); m != 1<<uint(East) {
 		t.Errorf("line fallback ProductiveMask = %b, want East only", m)
 	}
-	big := New(Mesh, 65, 64) // 4160 nodes > MaxTableNodes
-	if big.rt != nil {
-		t.Error("4160-node mesh should not build tables")
+	// The budget boundary: (2·512-1)² = 1,046,529 B fits the 1 MiB
+	// budget, (2·513-1)² does not.
+	if top := New(Mesh, 512, 512); !top.RouteTableInUse() {
+		t.Error("512x512 (just under the budget) should have tables")
 	}
-	if d := big.Distance(0, big.Nodes()-1); d != 64+63 {
-		t.Errorf("big fallback Distance = %d, want %d", d, 64+63)
+	big := New(Mesh, 513, 513)
+	if big.RouteTableInUse() {
+		t.Error("513x513 (over the budget) should not build tables")
 	}
-	// The budget boundary itself: 512 nodes is exactly 1 MiB.
-	if top := New(Mesh, 32, 16); top.rt == nil {
-		t.Error("512-node mesh (exactly the budget) should have tables")
-	}
-	if top := New(Mesh, 33, 16); top.rt != nil {
-		t.Error("528-node mesh (over the budget) should not have tables")
+	if d := big.Distance(0, big.Nodes()-1); d != 512+512 {
+		t.Errorf("big fallback Distance = %d, want %d", d, 512+512)
 	}
 }
 

@@ -165,6 +165,7 @@ func (inj *Injector) Step(net noc.Network) {
 		pkLen = 1
 	}
 	perPacket := inj.Rate / float64(pkLen)
+	cycle := net.Cycle()
 	for node := 0; node < n; node++ {
 		r := inj.srcs[node]
 		if !r.Bool(perPacket) {
@@ -175,7 +176,7 @@ func (inj *Injector) Step(net noc.Network) {
 			continue // saturated: drop at the source, like an open-loop sim
 		}
 		dst := inj.Pattern.Dst(node, r)
-		nic.Send(dst, noc.Request, 0, pkLen, net.Cycle())
+		nic.Send(dst, noc.Request, 0, pkLen, cycle)
 	}
 }
 
