@@ -1,0 +1,97 @@
+// Command escapecheck is the compiler-backed escape gate: it rebuilds
+// the hot-path packages with -gcflags=-m, parses the escape-analysis
+// diagnostics, and fails when a heap escape appears inside a watched
+// hot function that the baseline does not sanction. It complements
+// cmd/nocvet's hotalloc rule (AST-level) and the runtime
+// allocs-per-cycle regression test: the compiler sees escapes the AST
+// cannot prove, and reports them with the exact line at build time.
+//
+// Usage:
+//
+//	go run ./cmd/escapecheck        # gate the default watch list
+//	go run ./cmd/escapecheck -v     # also print the diagnostic counts
+//
+// Exit status: 0 clean, 1 new escapes, 2 tool error.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"nocsim/internal/escape"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("escapecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "print diagnostic counts even when clean")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "escapecheck:", err)
+		return 2
+	}
+	out, err := buildDiagnostics(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "escapecheck:", err)
+		fmt.Fprintln(stderr, out)
+		return 2
+	}
+	diags := escape.ParseDiagnostics(bytes.NewReader(out))
+	findings := escape.Check(root, diags, escape.DefaultWatches(), escape.DefaultAllow())
+	if *verbose {
+		fmt.Fprintf(stdout, "escapecheck: %d escape diagnostics, %d in watched hot functions beyond baseline\n",
+			len(diags), len(findings))
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		fmt.Fprintf(stderr, "escapecheck: %d new heap escape(s) on the hot path\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// buildDiagnostics recompiles the noc packages with escape-analysis
+// reporting and returns the combined compiler output. The -gcflags
+// pattern pins -m to module packages so dependency rebuilds stay
+// silent.
+func buildDiagnostics(root string) ([]byte, error) {
+	cmd := exec.Command("go", "build", "-gcflags=nocsim/internal/noc/...=-m", "./internal/noc/...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return out, fmt.Errorf("go build -gcflags=-m failed: %w", err)
+	}
+	return out, nil
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod at or above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTreeIsClean is the gate run against the real tree: every escape
+// diagnostic inside a watched hot function must be in the baseline.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles internal/noc with -gcflags=-m")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-v"}, &out, &errb); code != 0 {
+		t.Fatalf("escapecheck exit = %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, out.String(), errb.String())
+	}
+}

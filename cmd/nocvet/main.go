@@ -7,90 +7,121 @@
 //
 // Usage:
 //
-//	go run ./cmd/nocvet ./...          # whole module, human-readable
-//	go run ./cmd/nocvet -json ./...    # machine-readable findings
-//	go run ./cmd/nocvet -rules         # list the rule set
+//	go run ./cmd/nocvet ./...                    # whole module, human-readable
+//	go run ./cmd/nocvet -json ./...              # machine-readable findings
+//	go run ./cmd/nocvet -list                    # list the rule set
+//	go run ./cmd/nocvet -rules hotalloc ./...    # run a rule subset
+//	go run ./cmd/nocvet -explain handleleak      # long-form rule documentation
 //
-// Exit status: 0 clean, 1 findings, 2 tool error (bad pattern,
-// unparseable or untypeable source).
+// Exit status: 0 clean, 1 findings, 2 tool error (bad pattern, unknown
+// rule, unparseable or untypeable source).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nocsim/internal/analysis"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nocvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array")
-		listRules = flag.Bool("rules", false, "list rules and exit")
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		listRules = fs.Bool("list", false, "list rules and exit")
+		rulesCSV  = fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+		explain   = fs.String("explain", "", "print a rule's long-form documentation and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *listRules {
 		for _, a := range analysis.Rules() {
-			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *explain != "" {
+		a := analysis.ByName(*explain)
+		if a == nil {
+			fmt.Fprintf(stderr, "nocvet: unknown rule %q; run -list for the rule set\n", *explain)
+			return 2
+		}
+		fmt.Fprintf(stdout, "%s — %s\n", a.Name, a.Doc)
+		if a.Explain != "" {
+			fmt.Fprintf(stdout, "\n%s\n", a.Explain)
+		}
+		return 0
 	}
 
-	patterns := flag.Args()
+	rules, err := analysis.Select(*rulesCSV)
+	if err != nil {
+		fmt.Fprintln(stderr, "nocvet:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nocvet:", err)
+		return 2
 	}
 	dirs, err := loader.Expand(patterns)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nocvet:", err)
+		return 2
 	}
 
 	var diags []analysis.Diagnostic
 	for _, dir := range dirs {
 		pass, typeErrs, err := loader.LoadDir(dir, loader.ImportPath(dir), true)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nocvet:", err)
+			return 2
 		}
 		if len(typeErrs) > 0 {
-			fmt.Fprintf(os.Stderr, "nocvet: type-checking %s failed:\n", loader.ImportPath(dir))
+			fmt.Fprintf(stderr, "nocvet: type-checking %s failed:\n", loader.ImportPath(dir))
 			for _, e := range typeErrs {
-				fmt.Fprintf(os.Stderr, "\t%v\n", e)
+				fmt.Fprintf(stderr, "\t%v\n", e)
 			}
-			os.Exit(2)
+			return 2
 		}
-		diags = append(diags, analysis.Run(pass, analysis.Rules())...)
+		diags = append(diags, analysis.Run(pass, rules)...)
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "nocvet:", err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "nocvet: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "nocvet: %d finding(s)\n", len(diags))
 		}
-		os.Exit(1)
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nocvet:", err)
-	os.Exit(2)
+	return 0
 }

@@ -34,8 +34,20 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the invariant.
 	Doc string
+	// Explain is the long-form documentation printed by
+	// `nocvet -explain <rule>`: what the invariant protects, how the
+	// rule decides, and when a waiver is legitimate.
+	Explain string
 	// Run executes the check over one package unit.
 	Run func(pass *Pass)
+}
+
+// An allowEntry is one rule named by one //nocvet:allow directive,
+// tracked so staleallow can flag directives that suppress nothing.
+type allowEntry struct {
+	rule string
+	pos  token.Pos
+	used bool
 }
 
 // A File is one parsed source file plus the metadata rules scope on.
@@ -48,7 +60,7 @@ type File struct {
 	Test bool
 
 	// allows maps line number -> rules waived on that line.
-	allows map[int][]string
+	allows map[int][]*allowEntry
 }
 
 // A Pass carries one package unit through every analyzer.
@@ -70,7 +82,8 @@ type Pass struct {
 	Info *types.Info
 
 	diags *[]Diagnostic
-	rule  string // set by the driver while an analyzer runs
+	rule  string          // set by the driver while an analyzer runs
+	ran   map[string]bool // names of every analyzer in this invocation
 }
 
 // A Diagnostic is one finding at a position.
@@ -105,13 +118,15 @@ func (p *Pass) Reportf(f *File, pos token.Pos, format string, args ...any) {
 }
 
 func (f *File) allowed(rule string, line int) bool {
-	for _, r := range f.allows[line] {
-		if r == rule {
+	for _, e := range f.allows[line] {
+		if e.rule == rule {
+			e.used = true
 			return true
 		}
 	}
-	for _, r := range f.allows[line-1] {
-		if r == rule {
+	for _, e := range f.allows[line-1] {
+		if e.rule == rule {
+			e.used = true
 			return true
 		}
 	}
@@ -125,7 +140,7 @@ const allowDirective = "nocvet:allow"
 // directives that carry no justification text as findings of the
 // pseudo-rule "directive".
 func scanDirectives(fset *token.FileSet, f *File, diags *[]Diagnostic) {
-	f.allows = make(map[int][]string)
+	f.allows = make(map[int][]*allowEntry)
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -151,7 +166,7 @@ func scanDirectives(fset *token.FileSet, f *File, diags *[]Diagnostic) {
 				})
 			}
 			for _, rule := range strings.Split(fields[0], ",") {
-				f.allows[pos.Line] = append(f.allows[pos.Line], rule)
+				f.allows[pos.Line] = append(f.allows[pos.Line], &allowEntry{rule: rule, pos: c.Pos()})
 			}
 		}
 	}
@@ -163,6 +178,10 @@ func scanDirectives(fset *token.FileSet, f *File, diags *[]Diagnostic) {
 func Run(pass *Pass, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	pass.diags = &diags
+	pass.ran = make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		pass.ran[a.Name] = true
+	}
 	for _, f := range pass.Files {
 		scanDirectives(pass.Fset, f, &diags)
 	}
@@ -186,7 +205,18 @@ func Run(pass *Pass, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// Rules returns the full rule set in a stable order.
+// knownRules names every rule in the set; staleallow consults it to
+// flag directives naming rules that cannot exist.
+var knownRules = map[string]bool{}
+
+func init() {
+	for _, a := range Rules() {
+		knownRules[a.Name] = true
+	}
+}
+
+// Rules returns the full rule set in a stable order. StaleAllow must
+// stay last: it inspects which waivers the preceding analyzers used.
 func Rules() []*Analyzer {
 	return []*Analyzer{
 		Wallclock,
@@ -195,6 +225,11 @@ func Rules() []*Analyzer {
 		RawConfig,
 		Goroutine,
 		PanicMsg,
+		HotAlloc,
+		AtomicMix,
+		HandleLeak,
+		ShardWrite,
+		StaleAllow,
 	}
 }
 

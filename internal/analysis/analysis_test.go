@@ -35,6 +35,14 @@ var fixtureCases = []struct {
 	{"goroutine_exempt_serve", "nocsim/internal/serve"},
 	{"panicmsg", "nocsim/internal/cache"},
 	{"panicmsg_main", "nocsim/cmd/probe"},
+	{"hotalloc", "nocsim/internal/noc/fixt"},
+	{"hotalloc_clean", "nocsim/internal/noc/fixt"},
+	{"atomicmix", "nocsim/internal/fab"},
+	{"atomicmix_clean", "nocsim/internal/fab"},
+	{"handleleak", "nocsim/internal/noc/leakfix"},
+	{"handleleak_clean", "nocsim/internal/noc/leakfix"},
+	{"shardwrite", "nocsim/internal/fab"},
+	{"shardwrite_clean", "nocsim/internal/fab"},
 }
 
 func TestFixtures(t *testing.T) {
@@ -166,6 +174,11 @@ func TestRepoClean(t *testing.T) {
 
 func loadSnippet(t *testing.T, src, path string) []Diagnostic {
 	t.Helper()
+	return loadSnippetWith(t, src, path, Rules())
+}
+
+func loadSnippetWith(t *testing.T, src, path string, rules []*Analyzer) []Diagnostic {
+	t.Helper()
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
@@ -178,7 +191,7 @@ func loadSnippet(t *testing.T, src, path string) []Diagnostic {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Run(pass, Rules())
+	return Run(pass, rules)
 }
 
 func TestDirectiveWithoutJustification(t *testing.T) {
@@ -213,16 +226,58 @@ func f() {}
 func TestDirectiveMultiRule(t *testing.T) {
 	diags := loadSnippet(t, `package tmp
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
-func f() {
+func f() time.Time {
 	//nocvet:allow goroutine,wallclock snippet: both rules waived at once
-	var wg sync.WaitGroup
+	var wg, t = sync.WaitGroup{}, time.Now()
 	wg.Wait()
+	return t
 }
 `, "nocsim/internal/exp")
 	if len(diags) != 0 {
 		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}
+
+func TestStaleAllowFlagsUnusedWaiver(t *testing.T) {
+	diags := loadSnippet(t, `package tmp
+
+//nocvet:allow wallclock stale: nothing below reads the clock
+func f() int { return 1 }
+`, "nocsim/internal/exp")
+	if len(diags) != 1 || diags[0].Rule != "staleallow" ||
+		!strings.Contains(diags[0].Message, "suppresses no finding") {
+		t.Fatalf("diagnostics = %v, want exactly one stale-waiver finding", diags)
+	}
+}
+
+func TestStaleAllowFlagsUnknownRule(t *testing.T) {
+	diags := loadSnippet(t, `package tmp
+
+//nocvet:allow wallcock mistyped rule name
+func f() int { return 1 }
+`, "nocsim/internal/exp")
+	if len(diags) != 1 || diags[0].Rule != "staleallow" ||
+		!strings.Contains(diags[0].Message, `unknown rule "wallcock"`) {
+		t.Fatalf("diagnostics = %v, want exactly one unknown-rule finding", diags)
+	}
+}
+
+func TestStaleAllowSkipsUnselectedRules(t *testing.T) {
+	// A subset run cannot judge waivers of rules that did not run: the
+	// wallclock waiver below would be stale under the full set, but a
+	// maprange-only selection must stay silent about it.
+	diags := loadSnippetWith(t, `package tmp
+
+//nocvet:allow wallclock judged only when wallclock itself runs
+func f() int { return 1 }
+`, "nocsim/internal/exp", []*Analyzer{MapRange, StaleAllow})
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none from a subset run", diags)
 	}
 }
 

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix pins the active-set bifurcation: once any site accesses a
+// struct field through sync/atomic, every other access to that field in
+// the package must either be atomic itself, sit under a mode gate (an
+// if whose condition reads a bool field, the `if !f.atomicAct` arm), or
+// be construction code. A plain load or store anywhere else is exactly
+// the lost-wakeup/torn-read race the 3-state protocol closed.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically at every non-construction site",
+	Explain: `The active-set protocol is atomic in parallel mode and plain-store in
+sequential mode, decided once at construction. That bifurcation is safe
+only while the two arms stay disjoint: a plain access on a path that
+can run concurrently with the atomic arm is a data race the race
+detector only catches when traffic happens to exercise it.
+
+The rule runs in two passes over each package's non-test files. Pass 1
+collects every struct field whose address (directly or through an
+element, &f.active[i]) is the first argument of a sync/atomic call.
+Pass 2 flags every other plain read or write of those fields.
+
+Not flagged: accesses inside the atomic calls themselves; functions
+whose name starts with New (construction precedes sharing); len/cap of
+the field (slice-header reads); and accesses inside an if whose
+condition reads a bool-typed struct field — the sanctioned sequential
+arm of the construction-time mode split.
+
+Waive with //nocvet:allow atomicmix only where phase discipline makes
+the plain access safe (e.g. ActiveSet() is documented sequential-only,
+called between Steps when no worker phase is running).`,
+	Run: func(pass *Pass) {
+		if pass.Info == nil {
+			return
+		}
+		// Pass 1: fields whose address feeds sync/atomic.
+		atomicFields := map[*types.Var]bool{}
+		inAtomicArg := map[*ast.SelectorExpr]bool{}
+		for _, f := range pass.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					return true
+				}
+				target := ast.Unparen(ue.X)
+				if ix, ok := target.(*ast.IndexExpr); ok {
+					target = ast.Unparen(ix.X)
+				}
+				fsel, ok := target.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, ok := pass.Info.Uses[fsel.Sel].(*types.Var)
+				if !ok || !v.IsField() {
+					return true
+				}
+				atomicFields[v] = true
+				inAtomicArg[fsel] = true
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return
+		}
+		// Pass 2: every other access must be gated or constructive.
+		for _, f := range pass.Files {
+			if f.Test {
+				continue
+			}
+			inspectStack(f.AST, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+				if !ok || !atomicFields[v] || inAtomicArg[sel] {
+					return true
+				}
+				if hasPrefixAny(enclosingFuncName(stack), "New") {
+					return true // construction precedes sharing
+				}
+				if isLenCapArg(pass.Info, sel, stack) {
+					return true // slice-header read, not an element access
+				}
+				if modeGated(pass.Info, stack) {
+					return true // sanctioned sequential arm
+				}
+				pass.Reportf(f, sel.Pos(),
+					"field %s is accessed via sync/atomic elsewhere; this plain access races in parallel mode (use the atomic form or gate on the mode flag)", v.Name())
+				return true
+			})
+		}
+	},
+}
+
+// isLenCapArg reports whether sel is directly the argument of a len or
+// cap call.
+func isLenCapArg(info *types.Info, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || ast.Unparen(call.Args[0]) != ast.Expr(sel) {
+		return false
+	}
+	return isBuiltin(info, call, "len") || isBuiltin(info, call, "cap")
+}

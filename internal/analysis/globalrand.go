@@ -9,6 +9,16 @@ import "strings"
 var GlobalRand = &Analyzer{
 	Name: "globalrand",
 	Doc:  "no math/rand import anywhere; use internal/rng",
+	Explain: `math/rand's global source is seeded per process and shared across
+goroutines, so any use breaks run-to-run and parallelism invariance —
+the property every figure in the paper depends on. internal/rng
+provides seeded, per-component streams (one per traffic generator, one
+per fabric) that make every draw a pure function of (seed, component,
+draw index). The rule flags the import itself, in every file including
+tests, because even a "harmless" shuffle in a test fixture hides
+ordering bugs.
+
+There is no sanctioned use; waivers should not appear for this rule.`,
 	Run: func(pass *Pass) {
 		for _, f := range pass.Files {
 			for _, imp := range f.AST.Imports {

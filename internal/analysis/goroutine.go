@@ -16,6 +16,19 @@ import "go/ast"
 var Goroutine = &Analyzer{
 	Name: "goroutine",
 	Doc:  "no go statements or sync.WaitGroup outside internal/runner, internal/par and internal/serve",
+	Explain: `All concurrency flows through three audited layers: internal/runner
+(cross-simulation: a bounded pool that keeps results in declaration
+order at any -parallel level), internal/par (intra-simulation: the
+persistent shard pool whose barrier-joined workers cover disjoint
+index ranges), and internal/serve (the daemon's listener and job
+queue, strictly above the runner). An ad-hoc go statement or WaitGroup
+anywhere else creates an interleaving the determinism argument does
+not cover. The rule flags go statements and any mention of
+sync.WaitGroup outside those packages.
+
+Waive with //nocvet:allow goroutine only for concurrency that cannot
+touch simulator state, with the isolation argument in the
+justification.`,
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
 		if rel == "internal/runner" || rel == "internal/par" || rel == "internal/serve" {

@@ -1,0 +1,430 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolAccessors are FlitPool methods that borrow a handle to read its
+// planes without taking ownership; passing a handle to them does not
+// count as consumption.
+var poolAccessors = map[string]bool{"Get": true, "Hot": true, "Cold": true, "HotPlane": true}
+
+// HandleLeak tracks FlitPool handles from where they are produced — an
+// Alloc call or a dequeue read out of a []Handle plane — to where
+// ownership moves on: a Free, a store into a link plane or other
+// memory, a transfer into a call, or a return. A path through the
+// function on which a live handle reaches the exit unconsumed is a
+// leaked pool slot: the free list never gets it back and the pool
+// drains until Alloc panics.
+var HandleLeak = &Analyzer{
+	Name: "handleleak",
+	Doc:  "every FlitPool handle from Alloc/dequeue must reach Free, a link-plane commit, or a transfer on all paths",
+	Explain: `FlitPool slots are manually managed: a Handle produced by Alloc or
+dequeued from a handle plane must be freed, committed into a link
+plane, or handed to another owner on every path through the function.
+A dropped handle is a leaked slot — the pool drains until Alloc panics
+mid-run, typically long after the leaking branch executed.
+
+The rule is branch-sensitive and intraprocedural. Sources: the result
+of (*FlitPool).Alloc (a discarded result is reported immediately),
+reads of a Handle out of a slice or array element and conversions to
+Handle bound to a variable. (Range values over handle planes are not
+sources: ranging is how liveness scans observe the planes without
+taking ownership.)
+Consumption: passing the handle to any call except the pool's
+read-only accessors (Get/Hot/Cold/HotPlane), storing it (or a value
+derived from it, e.g. a packed link word) into memory, returning it,
+capture by a closure, or a send. Guards of the form h != 0 / h == 0
+refine the walk: the zero handle is "no flit" and carries no
+obligation. Paths that end in panic are exempt.
+
+Waive with //nocvet:allow handleleak only at true ownership
+boundaries, e.g. a peek that intentionally leaves the handle owned by
+the buffer it was read from.`,
+	Run: func(pass *Pass) {
+		if pass.Info == nil || !underSeg(pass.Rel(), "internal/noc") {
+			return
+		}
+		for _, f := range pass.Files {
+			if f.Test {
+				continue
+			}
+			for _, d := range f.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if ok && fd.Body != nil {
+					checkHandleFlow(pass, f, fd.Body)
+				}
+			}
+		}
+	},
+}
+
+func isHandleType(t types.Type) bool { return isNamed(t, nocPkgPath, "Handle") }
+
+// isPoolCall reports whether call invokes the named method on
+// noc.FlitPool.
+func isPoolCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && isNamed(recv.Type(), nocPkgPath, "FlitPool")
+}
+
+// checkHandleFlow finds every handle source in body and verifies each
+// one is consumed on all paths through its statement scope.
+func checkHandleFlow(pass *Pass, file *File, body *ast.BlockStmt) {
+	w := &leakWalk{info: pass.Info}
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isPoolCall(pass.Info, n, "Alloc") {
+				return true
+			}
+			parent := parentNode(stack)
+			switch p := parent.(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(file, n.Pos(), "result of Alloc is discarded; the pool handle leaks")
+			case *ast.AssignStmt:
+				for i, rhs := range p.Rhs {
+					if ast.Unparen(rhs) != ast.Expr(n) || i >= len(p.Lhs) {
+						continue
+					}
+					if id, ok := ast.Unparen(p.Lhs[i]).(*ast.Ident); ok {
+						if id.Name == "_" {
+							pass.Reportf(file, n.Pos(), "result of Alloc is discarded; the pool handle leaks")
+						} else {
+							checkTracked(pass, file, w, id, p, stack)
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if !isDequeueRead(pass.Info, rhs) {
+					continue
+				}
+				checkTracked(pass, file, w, id, n, stack)
+			}
+		}
+		return true
+	})
+}
+
+// isDequeueRead reports whether rhs produces a Handle by reading it out
+// of memory or unpacking it (a conversion) — the dequeue-shaped sources.
+func isDequeueRead(info *types.Info, rhs ast.Expr) bool {
+	if !isHandleType(info.TypeOf(rhs)) {
+		return false
+	}
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.IndexExpr:
+		return true
+	case *ast.CallExpr:
+		tv, ok := info.Types[r.Fun]
+		return ok && tv.IsType() // conversion like noc.Handle(word)
+	}
+	return false
+}
+
+// checkTracked runs the consumption walk for a handle bound to ident id
+// by statement def, whose ancestors are stack.
+func checkTracked(pass *Pass, file *File, w *leakWalk, id *ast.Ident, def *ast.AssignStmt, stack []ast.Node) {
+	obj := objOf(pass.Info, id)
+	if obj == nil {
+		return
+	}
+	w.obj = obj
+	var ifInit *ast.IfStmt
+	for _, n := range stack {
+		if ifs, ok := n.(*ast.IfStmt); ok && ifs.Init == ast.Stmt(def) {
+			ifInit = ifs
+			break
+		}
+	}
+	var ft, bad bool
+	if ifInit != nil {
+		// if h := ...; h != 0 { ... } — the handle scopes to the if.
+		ft, bad = w.seq([]ast.Stmt{ifInit})
+	} else {
+		rest := stmtsAfter(stack, def)
+		if rest == nil {
+			return // defined outside a tracked statement list
+		}
+		ft, bad = w.seq(rest)
+	}
+	if ft || bad {
+		pass.Reportf(file, id.Pos(),
+			"pool handle %s may leak: a path reaches function exit without Free, link-plane commit, or transfer", id.Name)
+	}
+}
+
+// parentNode returns the immediate ancestor on stack, or nil.
+func parentNode(stack []ast.Node) ast.Node {
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// stmtsAfter locates def inside the innermost statement list on stack
+// and returns the statements that follow it.
+func stmtsAfter(stack []ast.Node, def ast.Stmt) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			continue
+		}
+		for j, s := range list {
+			if s == def {
+				return list[j+1:]
+			}
+		}
+	}
+	return nil
+}
+
+// leakWalk is the branch-sensitive consumption analysis for one handle
+// variable. seq computes, for execution entering a statement list, two
+// may-facts: ft — some path falls off the end of the list with the
+// handle still live; bad — some path terminates (return, break,
+// fallthrough) with the handle still live. Paths that consume the
+// handle, carry a zero handle, or panic are discharged.
+type leakWalk struct {
+	info *types.Info
+	obj  types.Object
+}
+
+func (w *leakWalk) seq(stmts []ast.Stmt) (ft, bad bool) {
+	if len(stmts) == 0 {
+		return true, false
+	}
+	sft, sbad := w.stmt(stmts[0])
+	if !sft {
+		return false, sbad
+	}
+	rft, rbad := w.seq(stmts[1:])
+	return rft, sbad || rbad
+}
+
+func (w *leakWalk) stmt(s ast.Stmt) (ft, bad bool) {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if w.consumes(s) {
+			return false, false
+		}
+		return false, true
+	case *ast.BranchStmt:
+		// break/continue/goto/fallthrough leave this sequence without
+		// consuming; conservatively a leaking path.
+		return false, true
+	case *ast.ExprStmt:
+		if isPanicCall(w.info, s.X) {
+			return false, false // fatal path: the leak is moot
+		}
+		if w.consumes(s) {
+			return false, false
+		}
+		return true, false
+	case *ast.DeferStmt, *ast.GoStmt, *ast.SendStmt:
+		if w.consumes(s) {
+			return false, false
+		}
+		return true, false
+	case *ast.IfStmt:
+		if (s.Init != nil && w.consumes(s.Init)) || w.consumes(s.Cond) {
+			return false, false
+		}
+		thenZero, elseZero := w.zeroTest(s.Cond)
+		tft, tbad := w.seq(s.Body.List)
+		eft, ebad := true, false
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			eft, ebad = w.seq(e.List)
+		case *ast.IfStmt:
+			eft, ebad = w.stmt(e)
+		}
+		if elseZero {
+			eft, ebad = false, false // else-arm: the handle is zero, no obligation
+		}
+		if thenZero {
+			tft, tbad = false, false // then-arm: the handle is zero, no obligation
+		}
+		return tft || eft, tbad || ebad
+	case *ast.BlockStmt:
+		return w.seq(s.List)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	case *ast.ForStmt, *ast.RangeStmt:
+		// The body may run zero times, so consumption inside cannot be
+		// credited; a terminating leak inside still counts.
+		var body *ast.BlockStmt
+		if f, ok := s.(*ast.ForStmt); ok {
+			body = f.Body
+		} else {
+			body = s.(*ast.RangeStmt).Body
+		}
+		_, bbad := w.seq(body.List)
+		return true, bbad
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		case *ast.SelectStmt:
+			clauses = sw.Body.List
+		}
+		ft, bad = false, false
+		for _, c := range clauses {
+			var list []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				list = cc.Body
+				if cc.List == nil {
+					hasDefault = true
+				}
+			case *ast.CommClause:
+				list = cc.Body
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			cft, cbad := w.seq(list)
+			ft = ft || cft
+			bad = bad || cbad
+		}
+		if !hasDefault {
+			ft = true // the no-case path falls through unconsumed
+		}
+		return ft, bad
+	}
+	// Plain statements: assignments, declarations, inc/dec.
+	if w.consumes(s) {
+		return false, false
+	}
+	return true, false
+}
+
+// zeroTest reports whether branching on cond implies the tracked handle
+// is zero in the then-arm (thenZero) or the else-arm (elseZero). h == 0
+// refines the then-arm, h != 0 the else-arm; && / || / ! propagate
+// soundly: a conjunct refines only the arm whose truth it implies, so
+// `if h == 0 && cv < 0 { continue }` still discharges the then-arm.
+func (w *leakWalk) zeroTest(cond ast.Expr) (thenZero, elseZero bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			tz, ez := w.zeroTest(e.X)
+			return ez, tz
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			xt, xe := w.zeroTest(e.X)
+			yt, ye := w.zeroTest(e.Y)
+			return xt || yt, xe && ye
+		case token.LOR:
+			xt, xe := w.zeroTest(e.X)
+			yt, ye := w.zeroTest(e.Y)
+			return xt && yt, xe || ye
+		case token.EQL, token.NEQ:
+			isObj := func(x ast.Expr) bool {
+				id, ok := ast.Unparen(x).(*ast.Ident)
+				return ok && objOf(w.info, id) == w.obj
+			}
+			isZero := func(x ast.Expr) bool {
+				bl, ok := ast.Unparen(x).(*ast.BasicLit)
+				return ok && bl.Value == "0"
+			}
+			if (isObj(e.X) && isZero(e.Y)) || (isObj(e.Y) && isZero(e.X)) {
+				return e.Op == token.EQL, e.Op == token.NEQ
+			}
+		}
+	}
+	return false, false
+}
+
+// consumes reports whether node contains a consuming use of the tracked
+// handle: a call argument (except pool accessors), the right-hand side
+// of an assignment, a return value, a closure capture, or a send.
+func (w *leakWalk) consumes(node ast.Node) bool {
+	found := false
+	inspectStack(node, func(n ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || objOf(w.info, id) != w.obj {
+			return true
+		}
+		if w.usedConsuming(stack, id) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// usedConsuming classifies one use of the handle by walking its
+// ancestors outward to the first decisive context.
+func (w *leakWalk) usedConsuming(stack []ast.Node, id *ast.Ident) bool {
+	var prev ast.Node = id
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return true // captured: ownership moves with the closure
+		case *ast.IndexExpr:
+			if n.Index == prev {
+				return false // used as an index: a read, not a transfer
+			}
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if a == prev {
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok && poolAccessors[sel.Sel.Name] {
+						return false // borrowed by a read-only accessor
+					}
+					return true
+				}
+			}
+		case *ast.ReturnStmt, *ast.SendStmt:
+			return true
+		case *ast.CompositeLit:
+			return true // escapes into an aggregate
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if r == prev {
+					return true // stored or folded into a stored value
+				}
+			}
+			return false // part of an Lhs expression: a write target, not a transfer
+		case ast.Stmt:
+			return false // any other statement context: not a transfer
+		}
+		prev = stack[i]
+	}
+	return false
+}

@@ -24,6 +24,15 @@ var mapRangePkgs = []string{
 var MapRange = &Analyzer{
 	Name: "maprange",
 	Doc:  "no range over a map in non-test files of sim/exp/stats/plot/noc/obs",
+	Explain: `Go randomizes map iteration order on purpose. In the packages that
+feed rendered output — sim, exp, stats, plot, noc, obs — a map range
+puts that randomness on the output path: a table row order, a JSON
+field order, an accumulation with floating-point rounding. Sort the
+keys into a slice and range over that instead.
+
+Waive with //nocvet:allow maprange when order provably cannot reach
+any output: pure commutative accumulation over ints, rebuilding a set,
+deleting every element.`,
 	Run: func(pass *Pass) {
 		if pass.Info == nil {
 			return

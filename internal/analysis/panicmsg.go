@@ -15,6 +15,15 @@ import (
 var PanicMsg = &Analyzer{
 	Name: "panicmsg",
 	Doc:  "every panic string must carry its pkg: prefix",
+	Explain: `A panic that crosses the runner's pool or a figure driver surfaces
+far from its origin; the "pkg: " prefix names the faulting package
+without a stack walk. The rule resolves the leading string literal of
+every statically-visible panic argument — through concatenation and
+through fmt.Sprintf / fmt.Errorf / errors.New wrappers — and requires
+it to start with the package name and a colon. Panics of plain error
+values are not statically checkable and are skipped.
+
+Waivers are almost never right: prefix the message instead.`,
 	Run: func(pass *Pass) {
 		want := pass.pkgPrefix() + ":"
 		for _, f := range pass.Files {

@@ -13,6 +13,15 @@ const simPkgPath = modulePath + "/internal/sim"
 var RawConfig = &Analyzer{
 	Name: "rawconfig",
 	Doc:  "no sim.Config composite literals outside the internal/runner presets",
+	Explain: `Table 2 defaults, seeding conventions and scale parameters live in
+exactly one place: the runner.Baseline / runner.Controlled preset
+builders and their With* options. A raw sim.Config literal anywhere
+else forks the defaults — the next time a preset changes, that driver
+silently keeps the old physics. The rule flags sim.Config composite
+literals outside internal/runner and internal/sim itself.
+
+Waive with //nocvet:allow rawconfig only in code that deliberately
+constructs an invalid or minimal config to exercise validation.`,
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
 		if rel == "internal/runner" || rel == "internal/sim" {

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ByName returns the analyzer with the given rule name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Rules() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Select resolves a comma-separated rule selection against the full
+// rule set, preserving the canonical order. An empty selection means
+// every rule. An unknown name is an error naming the bad rule, so a
+// typo is distinguishable from an empty selection. When staleallow is
+// selected it keeps its run-last position relative to the other
+// selected rules.
+func Select(csv string) ([]*Analyzer, error) {
+	all := Rules()
+	if strings.TrimSpace(csv) == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if ByName(name) == nil {
+			return nil, fmt.Errorf("unknown rule %q; run -list for the rule set", name)
+		}
+		want[name] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardWrite checks the barrier-phase worker functions registered with
+// (*par.Pool).Run: inside them, every write into captured shared state
+// must go through an index derived from the worker's [lo, hi) span (or
+// through per-worker scratch). A write whose index comes from loaded
+// data — a neighbor id out of a link table, a handle — lands in another
+// shard's range and races with that shard's owner.
+var ShardWrite = &Analyzer{
+	Name: "shardwrite",
+	Doc:  "worker-phase writes to shared state must index through the shard-owned range or per-worker scratch",
+	Explain: `par.Pool workers own a contiguous [lo, hi) slice of the node range;
+the parallelism-invariance guarantee holds because no worker writes
+state another worker may touch in the same phase. The rule finds the
+worker functions — function literals handed to (*par.Pool).Run directly
+or via a field registered at construction — plus everything they
+statically call, and checks every assignment and ++/-- in them.
+
+A write target is peeled to its root. Writes are clean when the root is
+shard-owned: a parameter (lo/hi/worker and per-shard pointers like
+*noc.Stats), a local value, an alias carved out of shared state through
+a tainted index (sc := &f.scr[w], plane := f.in[base:...]), a fresh
+composite, or a method receiver that every call site in the worker set
+reaches through shard-owned memory (f.l2g[g].push(...)). Writes through
+a captured or shared-receiver root are clean only when some index on
+the path is tainted — derived from parameters or loop variables by
+arithmetic. Taint deliberately does not flow through
+memory loads: a neighbor id read from a link table is data, not a
+shard-derived index, and writing through it is exactly the cross-shard
+escape this rule exists to flag. Mode-gated branches (if over a bool
+field, the sequential arm) are skipped.
+
+Waive with //nocvet:allow shardwrite only at true transfer points
+whose safety argument is structural, e.g. the stage-major link-plane
+commit (the write plane is disjoint from every read plane this cycle)
+or a flit's pool slot (owned by the unique traversing worker).`,
+	Run: func(pass *Pass) {
+		if pass.Info == nil {
+			return
+		}
+		lits, seeds := workerFuncs(pass)
+		if len(lits) == 0 {
+			return
+		}
+		decls := collectFuncs(pass)
+		reach := reachableFrom(pass.Info, decls, seeds, nil)
+		r := &shardRun{pass: pass, decls: decls, recvShared: map[*types.Func]bool{}}
+		var units []shardUnit
+		for _, wl := range lits {
+			units = append(units, shardUnit{file: wl.file, ftype: wl.lit.Type, body: wl.lit.Body})
+		}
+		for _, d := range sortedDecls(decls) {
+			if reach[d.fn] {
+				units = append(units, shardUnit{
+					fn: d.fn, file: d.file, ftype: d.decl.Type,
+					recv: d.decl.Recv, body: d.decl.Body,
+				})
+			}
+		}
+		// Fixpoint on receiver ownership: a method's receiver is shared
+		// when any call site in the worker set passes a non-owned value
+		// (the worker literal calling f.phase(...) on the captured
+		// fabric seeds this); it stays shard-owned when every call site
+		// reaches it through a tainted index (f.l2g[g].push(...)). The
+		// set only grows, so the loop terminates.
+		for changed := true; changed; {
+			changed = false
+			for _, u := range units {
+				if r.analyze(u, false) {
+					changed = true
+				}
+			}
+		}
+		for _, u := range units {
+			r.analyze(u, true)
+		}
+	},
+}
+
+// shardRun carries the cross-function state of one ShardWrite run.
+type shardRun struct {
+	pass       *Pass
+	decls      map[*types.Func]*declOf
+	recvShared map[*types.Func]bool
+}
+
+// shardUnit is one function body to analyze: a worker literal (fn nil)
+// or a reachable declared function.
+type shardUnit struct {
+	fn    *types.Func
+	file  *File
+	ftype *ast.FuncType
+	recv  *ast.FieldList
+	body  *ast.BlockStmt
+}
+
+// shardCtx tracks, per worker function, which locals alias shard-owned
+// memory and which ints are derived from the shard range.
+type shardCtx struct {
+	pass   *Pass
+	file   *File
+	report bool
+	owned  map[types.Object]bool
+	taint  map[types.Object]bool
+}
+
+// analyze walks one unit. Ordinary parameters are shard-owned and
+// tainted by the pool's contract; the receiver is owned only when no
+// call site in the worker set passes it a shared value. With report
+// set it emits diagnostics; it always returns whether the walk grew
+// the recvShared set.
+func (r *shardRun) analyze(u shardUnit, report bool) bool {
+	c := &shardCtx{
+		pass:   r.pass,
+		file:   u.file,
+		report: report,
+		owned:  map[types.Object]bool{},
+		taint:  map[types.Object]bool{},
+	}
+	for _, fld := range u.ftype.Params.List {
+		for _, name := range fld.Names {
+			if o := r.pass.Info.Defs[name]; o != nil {
+				c.owned[o] = true
+				c.taint[o] = true
+			}
+		}
+	}
+	if u.recv != nil && len(u.recv.List) > 0 && !r.recvShared[u.fn] {
+		for _, name := range u.recv.List[0].Names {
+			if o := r.pass.Info.Defs[name]; o != nil {
+				c.owned[o] = true
+			}
+		}
+	}
+	changed := false
+	inspectStack(u.body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested closures are not the worker's phase body
+		case *ast.CallExpr:
+			// Propagate receiver ownership into method callees.
+			if fn := calleeOf(r.pass.Info, n); fn != nil {
+				if d := r.decls[fn]; d != nil && d.decl.Recv != nil {
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if !c.refOwned(sel.X) && !r.recvShared[fn] {
+							r.recvShared[fn] = true
+							changed = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			c.assign(n, stack)
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X, stack)
+		case *ast.RangeStmt:
+			c.rangeVars(n)
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						o := r.pass.Info.Defs[name]
+						if o == nil {
+							continue
+						}
+						c.owned[o] = true // var declarations bind fresh locals
+						if i < len(vs.Values) {
+							c.taint[o] = c.exprTainted(vs.Values[i])
+							if isRefType(o.Type()) {
+								c.owned[o] = c.refOwned(vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// assign records definitions/updates of locals and checks non-ident
+// write targets.
+func (c *shardCtx) assign(as *ast.AssignStmt, stack []ast.Node) {
+	matched := len(as.Lhs) == len(as.Rhs)
+	for i, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			o := objOf(c.pass.Info, id)
+			if o == nil {
+				continue
+			}
+			if matched {
+				rhs := as.Rhs[i]
+				c.taint[o] = c.exprTainted(rhs)
+				if isRefType(o.Type()) {
+					c.owned[o] = c.refOwned(rhs)
+				} else {
+					c.owned[o] = true // value copy: writes stay local
+				}
+			} else {
+				// Multi-value call: results are data, locals are fresh.
+				c.taint[o] = false
+				c.owned[o] = !isRefType(o.Type())
+			}
+			continue
+		}
+		c.checkWrite(lhs, stack)
+	}
+}
+
+// rangeVars classifies a range statement's key and value bindings.
+func (c *shardCtx) rangeVars(rs *ast.RangeStmt) {
+	bind := func(e ast.Expr, isKey bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		o := objOf(c.pass.Info, id)
+		if o == nil {
+			return
+		}
+		// Range keys are positions within the ranged container, not
+		// shard-derived offsets; values are element copies unless the
+		// element itself is a reference into shared state.
+		c.taint[o] = false
+		if isKey || !isRefType(o.Type()) {
+			c.owned[o] = true
+		} else {
+			c.owned[o] = c.refOwned(rs.X)
+		}
+	}
+	if rs.Key != nil {
+		bind(rs.Key, true)
+	}
+	if rs.Value != nil {
+		bind(rs.Value, false)
+	}
+}
+
+// checkWrite flags a write whose target peels to a shared root with no
+// tainted index on the path.
+func (c *shardCtx) checkWrite(lhs ast.Expr, stack []ast.Node) {
+	if !c.report || c.refOwned(lhs) {
+		return
+	}
+	if modeGated(c.pass.Info, stack) {
+		return // sequential arm of a construction-time mode split
+	}
+	c.pass.Reportf(c.file, lhs.Pos(),
+		"write to shared %s bypasses the shard-owned range: no index on the path is derived from the worker's [lo,hi) span (route through per-worker scratch or waive at a true transfer point)",
+		writeTargetString(lhs))
+}
+
+// refOwned reports whether e references shard-owned memory: it peels
+// index/selector/star/slice layers and succeeds when the root is an
+// owned local or when some index along the path is shard-derived.
+func (c *shardCtx) refOwned(e ast.Expr) bool {
+	taintedIdx := false
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if t.Op != token.AND {
+				return false
+			}
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			if c.exprTainted(t.Index) {
+				taintedIdx = true
+			}
+			e = t.X
+		case *ast.SliceExpr:
+			if t.Low != nil && c.exprTainted(t.Low) {
+				taintedIdx = true
+			}
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.CompositeLit:
+			return true // fresh memory
+		case *ast.Ident:
+			o := objOf(c.pass.Info, t)
+			if o == nil {
+				return false
+			}
+			if _, isPkg := o.(*types.PkgName); isPkg {
+				return taintedIdx // package-level state is shared
+			}
+			return c.owned[o] || taintedIdx
+		default:
+			return false
+		}
+	}
+}
+
+// exprTainted reports whether e is derived from the shard range:
+// parameters and their arithmetic. Taint flows through operators,
+// conversions, and calls (a helper mapping shard positions to node
+// ids keeps the derivation), but not through memory loads — a value
+// read out of a slice or field is data, not a shard-derived index.
+func (c *shardCtx) exprTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		o := objOf(c.pass.Info, e)
+		return o != nil && c.taint[o]
+	case *ast.BinaryExpr:
+		return c.exprTainted(e.X) || c.exprTainted(e.Y)
+	case *ast.UnaryExpr:
+		return c.exprTainted(e.X)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if c.exprTainted(a) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isRefType reports whether writes through a value of type t reach
+// memory beyond the local copy.
+func isRefType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// writeTargetString renders a compact description of a write target
+// for diagnostics: the root selector path without indices.
+func writeTargetString(e ast.Expr) string {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.UnaryExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(t.X).(*ast.Ident); ok {
+				return id.Name + "." + t.Sel.Name
+			}
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return "state"
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+// StaleAllow keeps the waiver inventory honest: a //nocvet:allow
+// directive that suppressed zero findings in this run is itself a
+// finding. Without it, waivers rot — the code they excused gets
+// refactored away and the directive silently blesses whatever lands on
+// that line next.
+var StaleAllow = &Analyzer{
+	Name: "staleallow",
+	Doc:  "a //nocvet:allow directive that suppresses zero findings is itself a finding",
+	Explain: `Every //nocvet:allow directive names one or more rules it waives on
+its own line and the line below. This rule runs last and re-examines
+the ledger: a named rule that ran in this invocation but suppressed
+nothing means the waiver is stale — the offending code moved or was
+fixed — and the directive must be removed before it masks a future
+regression on that line. A directive naming a rule that does not exist
+at all is reported as well (usually a typo, which would otherwise
+silently waive nothing forever).
+
+Rules that were not part of this invocation's selection are not
+judged, so a -rules subset run never fabricates staleness.
+
+There is no waiver for staleallow: remove the stale directive (or the
+stale rule name from its list) instead.`,
+	// Run uses knownRules (filled by init in analysis.go) rather than
+	// calling Rules() here, which would be an initialization cycle.
+	Run: func(pass *Pass) {
+		known := knownRules
+		for _, f := range pass.Files {
+			for _, entries := range f.allows {
+				for _, e := range entries {
+					if e.used || e.rule == "staleallow" {
+						continue
+					}
+					if !known[e.rule] {
+						pass.Reportf(f, e.pos,
+							"nocvet:allow names unknown rule %q; no finding can ever match it", e.rule)
+						continue
+					}
+					if !pass.ran[e.rule] {
+						continue // rule not in this invocation: cannot judge
+					}
+					pass.Reportf(f, e.pos,
+						"nocvet:allow %s suppresses no finding; remove the stale waiver", e.rule)
+				}
+			}
+		}
+	},
+}

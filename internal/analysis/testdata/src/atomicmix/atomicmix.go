@@ -1,0 +1,33 @@
+// Package fab is the failing atomicmix fixture: fields published via
+// sync/atomic in one place and touched plainly, ungated, in another —
+// including PR 6's pre-fix pattern, a plain store to an active-set slot.
+package fab
+
+import "sync/atomic"
+
+type Fabric struct {
+	atomicAct bool
+	active    []int32
+	inCount   []int32
+}
+
+// NewFabric may touch the fields plainly: construction precedes workers.
+func NewFabric(n int) *Fabric {
+	f := &Fabric{active: make([]int32, n), inCount: make([]int32, n)}
+	f.active[0] = 1
+	return f
+}
+
+func (f *Fabric) publish(i int) {
+	atomic.AddInt32(&f.inCount[i], 1)
+	atomic.StoreInt32(&f.active[i], 1)
+}
+
+func (f *Fabric) deactivate(i int) {
+	f.active[i] = 0 // want "field active is accessed via sync/atomic elsewhere"
+}
+
+func (f *Fabric) drain(i int) int32 {
+	n := f.inCount[i] // want "field inCount is accessed via sync/atomic elsewhere"
+	return n
+}

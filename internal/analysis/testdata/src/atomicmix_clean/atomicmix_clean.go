@@ -1,0 +1,29 @@
+// Package fab is the passing atomicmix fixture: every touch of the
+// atomically-published fields is atomic, mode-gated on the bool flag,
+// a len/cap query, or inside a constructor.
+package fab
+
+import "sync/atomic"
+
+type Fabric struct {
+	atomicAct bool
+	active    []int32
+}
+
+func NewFabric(n int) *Fabric {
+	f := &Fabric{active: make([]int32, n)}
+	f.active[0] = 1
+	return f
+}
+
+func (f *Fabric) activate(i int) {
+	if f.atomicAct {
+		atomic.StoreInt32(&f.active[i], 1)
+	} else {
+		f.active[i] = 1 // sequential arm of the mode split
+	}
+}
+
+func (f *Fabric) size() int {
+	return len(f.active)
+}

@@ -1,0 +1,55 @@
+// Package fixt is the failing hotalloc fixture: a fabric whose Step
+// reaches every allocating construct the rule knows about.
+package fixt
+
+import "nocsim/internal/noc"
+
+type Fabric struct {
+	pool *noc.FlitPool
+	in   []noc.Handle
+	seen []uint64
+	load []int
+}
+
+// NewFabric is construction time: allocation is fine here.
+func NewFabric(n int) *Fabric {
+	return &Fabric{in: make([]noc.Handle, n), seen: make([]uint64, 0, n), load: make([]int, n)}
+}
+
+// Reserve is the sanctioned growth point; the reachability walk stops
+// at it, so its make is not a finding even though Step calls it.
+func (f *Fabric) Reserve(n int) {
+	f.in = make([]noc.Handle, n)
+}
+
+// Step is a hot root: everything it reaches must stay allocation-free.
+func (f *Fabric) Step() {
+	f.Reserve(8)
+	f.route(3)
+	f.audit()
+}
+
+func (f *Fabric) route(node int) {
+	scratch := make([]int, 8) // want "make allocates in hot function route"
+	_ = scratch
+	f.seen = append(f.seen, uint64(node)) // want "append in hot function route"
+	p := new(noc.Flit)                    // want "new allocates in hot function route"
+	_ = p
+	cb := func() int { return node } // want "closure literal in hot function route"
+	_ = cb
+}
+
+func (f *Fabric) audit() {
+	ids := []int{1, 2, 3} // want `composite \[\]int literal allocates in hot function audit`
+	_ = ids
+	fl := &noc.Flit{} // want "&composite literal escapes to the heap in hot function audit"
+	_ = fl
+	sink(42)    // want "argument boxes into an interface parameter in hot function audit"
+	b := any(7) // want "conversion to interface any boxes its operand in hot function audit"
+	_ = b
+	if len(f.load) == 0 {
+		panic("fixt: empty load table " + string(rune('!'))) // formatting on the fatal path is exempt
+	}
+}
+
+func sink(v any) { _ = v }

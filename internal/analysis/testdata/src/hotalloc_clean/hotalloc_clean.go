@@ -1,0 +1,34 @@
+// Package fixt is the passing hotalloc fixture: the hot path does pure
+// index arithmetic over pre-reserved planes; every allocation lives in
+// construction or the sanctioned Reserve point.
+package fixt
+
+import "nocsim/internal/noc"
+
+type Fabric struct {
+	in   []noc.Handle
+	load []int
+}
+
+func NewFabric(n int) *Fabric {
+	return &Fabric{in: make([]noc.Handle, n), load: make([]int, n)}
+}
+
+func (f *Fabric) Reserve(n int) {
+	if n > len(f.in) {
+		f.in = append(f.in, make([]noc.Handle, n-len(f.in))...)
+		f.load = append(f.load, make([]int, n-len(f.load))...)
+	}
+}
+
+func (f *Fabric) Step() {
+	f.Reserve(len(f.in))
+	for i := range f.in {
+		if f.in[i] != 0 {
+			f.load[i]++
+		}
+		if f.load[i] < 0 {
+			panic("fixt: load counter overflow")
+		}
+	}
+}

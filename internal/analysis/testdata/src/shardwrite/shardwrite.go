@@ -1,0 +1,33 @@
+// Package fab is the failing shardwrite fixture: a barrier-phase
+// worker writes through an index loaded from a link table — a value
+// that can land in another shard's range.
+package fab
+
+import "nocsim/internal/par"
+
+type pad struct {
+	v int
+	_ [56]byte
+}
+
+type Fabric struct {
+	pool  *par.Pool
+	links []int
+	load  []int
+	scr   []pad
+}
+
+func (f *Fabric) Step(n int) {
+	f.pool.Run(n, func(lo, hi, w int) {
+		f.phase(lo, hi, w)
+	})
+}
+
+func (f *Fabric) phase(lo, hi, w int) {
+	for i := lo; i < hi; i++ {
+		f.load[i]++ // clean: i is derived from the shard span
+		nb := f.links[i]
+		f.load[nb]++ // want "write to shared f.load bypasses the shard-owned range"
+		f.scr[w].v += nb
+	}
+}

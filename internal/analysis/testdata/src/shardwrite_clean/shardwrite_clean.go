@@ -1,0 +1,37 @@
+// Package fab is the passing shardwrite fixture: every worker write
+// goes through the shard span, per-worker padded scratch, or a method
+// receiver that is shard-owned at every call site.
+package fab
+
+import "nocsim/internal/par"
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+type pad struct {
+	v int
+	_ [56]byte
+}
+
+type Grid struct {
+	pool *par.Pool
+	load []int
+	cnt  []counter
+	scr  []pad
+}
+
+func (g *Grid) Step(n int) {
+	g.pool.Run(n, func(lo, hi, w int) {
+		g.phase(lo, hi, w)
+	})
+}
+
+func (g *Grid) phase(lo, hi, w int) {
+	sc := &g.scr[w]
+	for i := lo; i < hi; i++ {
+		g.load[i] += i
+		g.cnt[i].bump() // the receiver is shard-owned at every call site
+		sc.v++
+	}
+}

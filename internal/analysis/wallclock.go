@@ -23,6 +23,17 @@ var wallclockFuncs = []string{"Now", "Since", "Until"}
 var Wallclock = &Analyzer{
 	Name: "wallclock",
 	Doc:  "no time.Now/time.Since/time.Until outside cmd/, internal/runner and internal/serve (run timing, request metrics and job deadlines are the sanctioned uses)",
+	Explain: `Simulated time is the cycle counter; the host clock makes output
+depend on machine speed. Only cmd/ entry points, internal/runner (run
+timing, the elapsed_ms manifest field) and internal/serve (request
+metrics, job deadlines) may read it — all diagnostics that never feed
+back into a simulation. internal/obs is deliberately NOT exempt: every
+collector is indexed by simulated cycle, which is what keeps exports
+reproducible. The rule flags time.Now/Since/Until selector calls on the
+time import in any other package.
+
+Waive with //nocvet:allow wallclock only where the timestamp provably
+cannot reach simulator state or rendered output.`,
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
 		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" || rel == "internal/serve" {

@@ -436,6 +436,7 @@ func (f *Fabric) ActiveSet() (active int, enabled bool) {
 	if !f.skip {
 		return 0, false
 	}
+	//nocvet:allow atomicmix sequential region between Step calls; the worker pool is parked, so plain loads cannot race
 	for _, a := range f.active {
 		if a != 0 {
 			active++
@@ -741,12 +742,14 @@ func (f *Fabric) stepRouter(node, w int, st *noc.Stats) (alive bool) {
 			d := bits.TrailingZeros8(m)
 			h := out[d]
 			if cong {
+				//nocvet:allow shardwrite the hot-plane slot of h is owned by this worker: exactly one router holds a flit's handle per cycle
 				f.hotp[h].CongBit = true
 			}
 			if f.load != nil {
 				f.load[base+d]++
 			}
 			lk := f.links[base+d]
+			//nocvet:allow shardwrite stage-major link-plane commit: the write stage is disjoint from every plane read this cycle, and each link slot has one writer
 			f.in[wbase+int(lk.idx)] = h
 			if f.sp != nil {
 				f.sp.AddLink(node, d)
@@ -879,6 +882,7 @@ func (f *Fabric) reinjectSide(node int, free *uint8, out []noc.Handle, st *noc.S
 		return
 	}
 	d := f.cfg.SideBuffer
+	//nocvet:allow handleleak peek: the handle stays owned by the side ring until the reinjection below succeeds and advances sideHead
 	h := f.side[node*d+int(f.sideHead[node])]
 	dir := f.freePortToward(node, int(f.fpool.Hot(h).Dst), *free)
 	if dir == topology.Invalid {

@@ -411,6 +411,7 @@ func (f *Fabric) ActiveSet() (active int, enabled bool) {
 	if !f.skip {
 		return 0, false
 	}
+	//nocvet:allow atomicmix sequential region between Step calls; the worker pool is parked, so plain loads cannot race
 	for _, a := range f.active {
 		if a != 0 {
 			active++
@@ -804,6 +805,7 @@ func (f *Fabric) stepRouter(node, w int, st *noc.Stats) (alive bool) {
 		wd := uint64(h)
 		if h != 0 {
 			if cong {
+				//nocvet:allow shardwrite the hot-plane slot of h is owned by this worker: exactly one router holds a flit's handle per cycle
 				f.hotp[h].CongBit = true
 			}
 			st.LinkTraversals++
@@ -814,6 +816,7 @@ func (f *Fabric) stepRouter(node, w int, st *noc.Stats) (alive bool) {
 		if cv >= 0 {
 			wd |= uint64(cv+1) << 32
 		}
+		//nocvet:allow shardwrite stage-major link-plane commit: the write stage is disjoint from every plane read this cycle, and each link slot has one writer
 		f.lin[wbase+int(lk.idx)] = wd
 		if f.skip {
 			if !f.atomicAct {
@@ -1027,6 +1030,7 @@ func (f *Fabric) traverseDir(node, w int, r *router, nic *noc.NIC, dir, v int, o
 	} else {
 		ovc := vc.outVC
 		r.out[int(out)*f.vcs+int(ovc)]--
+		//nocvet:allow shardwrite the hot-plane slot of h is owned by this worker: exactly one router holds a flit's handle per cycle
 		fh.VC = ovc
 		outH[out] = h
 	}

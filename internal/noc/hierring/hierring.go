@@ -248,6 +248,7 @@ func (f *Fabric) ActiveSet() (active int, enabled bool) {
 	if !f.skip {
 		return 0, false
 	}
+	//nocvet:allow atomicmix sequential region between Step calls; the worker pool is parked, so plain loads cannot race
 	for _, a := range f.activeG {
 		if a != 0 {
 			active++

@@ -7,6 +7,7 @@ import (
 	"nocsim/internal/noc"
 	"nocsim/internal/noc/bless"
 	"nocsim/internal/noc/buffered"
+	"nocsim/internal/noc/hierring"
 	"nocsim/internal/obs"
 	"nocsim/internal/topology"
 )
@@ -132,6 +133,87 @@ func TestActiveSetExact(t *testing.T) {
 						t.Logf("on:\n%s\noff:\n%s", clip(d.on), clip(d.off))
 					}
 				}
+			}
+		})
+	}
+}
+
+// hierringActiveRun drives one packet end-to-end across an otherwise
+// idle ring hierarchy and returns the final counters. The route crosses
+// all three active-set states of the protocol: the source local ring
+// wakes on injection, the global ring wakes when the bridge accepts the
+// flit, and the destination ring wakes on global delivery — then each
+// drains back to idle.
+func hierringActiveRun(t *testing.T, nodes, workers int, noActive bool) noc.Stats {
+	t.Helper()
+	net := hierring.New(hierring.Config{
+		Nodes:       nodes,
+		GroupSize:   8,
+		Workers:     workers,
+		NoActiveSet: noActive,
+	})
+	defer closeNet(net)
+	wantSkip := !noActive
+	if _, enabled := net.ActiveSet(); enabled != wantSkip {
+		t.Fatalf("ActiveSet enabled = %v, want %v", enabled, wantSkip)
+	}
+	const (
+		idle   = 10
+		flight = 600 // two local rings plus the global ring, with FIFO stalls
+	)
+	for i := 0; i < idle; i++ {
+		net.Step()
+	}
+	if wantSkip {
+		if active, _ := net.ActiveSet(); active != 0 {
+			t.Errorf("idle hierarchy has %d active rings, want 0", active)
+		}
+	}
+	net.NIC(0).Send(nodes-1, noc.Request, 7, 4, idle)
+	groups := nodes / 8
+	var delivered int
+	for i := 0; i < flight; i++ {
+		net.Step()
+		if wantSkip && i == 5 {
+			// Mid-flight only the rings the packet touches are awake.
+			if active, _ := net.ActiveSet(); active == 0 || active >= groups {
+				t.Errorf("mid-flight active rings = %d, want in [1, %d)", active, groups)
+			}
+		}
+		delivered += len(net.NIC(nodes - 1).Delivered())
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d packets, want 1", delivered)
+	}
+	if wantSkip {
+		if active, _ := net.ActiveSet(); active != 0 {
+			t.Errorf("drained hierarchy has %d active rings, want 0", active)
+		}
+	}
+	return net.Stats()
+}
+
+// TestHierringActiveSetExact pins the hierarchical fabric's three-state
+// active-set protocol: a single packet crossing source ring, global
+// ring, and destination ring must produce byte-identical counters with
+// ring skipping enabled and force-disabled, sequentially and with the
+// local phase sharded over 8 workers.
+func TestHierringActiveSetExact(t *testing.T) {
+	const nodes = 64
+	base := hierringActiveRun(t, nodes, 1, false)
+	for _, c := range []struct {
+		name     string
+		workers  int
+		noActive bool
+	}{
+		{"noskip_seq", 1, true},
+		{"skip_par8", 8, false},
+		{"noskip_par8", 8, true},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			got := hierringActiveRun(t, nodes, c.workers, c.noActive)
+			if got != base {
+				t.Errorf("counters diverge from skip_seq baseline:\n  base: %+v\n  got:  %+v", base, got)
 			}
 		})
 	}
