@@ -30,6 +30,10 @@ import (
 	"time"
 
 	"nocsim/internal/noc/stepbench"
+	"nocsim/internal/runner"
+	"nocsim/internal/sim"
+	"nocsim/internal/snap"
+	"nocsim/internal/workload"
 )
 
 // record is one benchmark cell in the output file.
@@ -41,6 +45,32 @@ type record struct {
 	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+}
+
+// snapRecord is one checkpoint-codec cell: the cost of encoding a full
+// simulator state, the cost of rebuilding one from the blob, and the
+// blob size the store pays per entry.
+type snapRecord struct {
+	Name       string  `json:"name"`
+	BlobBytes  float64 `json:"blob_bytes"`
+	SnapshotNs float64 `json:"snapshot_ns"`
+	RestoreNs  float64 `json:"restore_ns"`
+}
+
+// sweepRecord reports the warm-start sweep benchmark: the same
+// static-rate sweep executed cold (every point re-simulates its warmup
+// prefix) and warm (all points fork one shared checkpoint). The cycle
+// totals are the simulated work each mode pays; points_per_sec is the
+// wall-clock payoff.
+type sweepRecord struct {
+	Points             int     `json:"points"`
+	WarmupCycles       int64   `json:"warmup_cycles"`
+	MeasuredCycles     int64   `json:"measured_cycles_per_point"`
+	ColdTotalCycles    int64   `json:"cold_total_cycles"`
+	WarmTotalCycles    int64   `json:"warm_total_cycles"`
+	ColdOverWarmCycles float64 `json:"cold_over_warm_cycles"`
+	ColdPointsPerSec   float64 `json:"cold_points_per_sec"`
+	WarmPointsPerSec   float64 `json:"warm_points_per_sec"`
 }
 
 // environment identifies the machine and toolchain a benchmark file was
@@ -55,8 +85,10 @@ type environment struct {
 
 // run is one labeled sweep of the benchmark matrix.
 type run struct {
-	Label   string   `json:"label"`
-	Records []record `json:"records"`
+	Label     string       `json:"label"`
+	Records   []record     `json:"records"`
+	Snapshots []snapRecord `json:"snapshots,omitempty"`
+	Sweep     *sweepRecord `json:"sweep,omitempty"`
 }
 
 // benchFile is the output document: environment metadata plus the
@@ -153,6 +185,15 @@ func main() {
 		}
 	}
 
+	snaps := measureSnapshots()
+	sweep, err := measureSweep()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("sweep: %d points, cold %d cycles (%.2f points/s) vs warm %d cycles (%.2f points/s), %.1fx fewer cycles\n",
+		sweep.Points, sweep.ColdTotalCycles, sweep.ColdPointsPerSec,
+		sweep.WarmTotalCycles, sweep.WarmPointsPerSec, sweep.ColdOverWarmCycles)
+
 	doc.Env = environment{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -160,7 +201,7 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
-	doc.Runs = upsert(doc.Runs, run{Label: *label, Records: records})
+	doc.Runs = upsert(doc.Runs, run{Label: *label, Records: records, Snapshots: snaps, Sweep: sweep})
 	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
@@ -169,6 +210,116 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("wrote %s (%d runs, %d records in %q)\n", *out, len(doc.Runs), len(records), *label)
+}
+
+// measureSnapshots runs the checkpoint-codec matrix: per configuration,
+// the encode cost, the rebuild cost, and the blob size.
+func measureSnapshots() []snapRecord {
+	var out []snapRecord
+	for _, c := range stepbench.SnapCases() {
+		c := c
+		enc := testing.Benchmark(func(b *testing.B) { stepbench.BenchSnapshot(b, c) })
+		dec := testing.Benchmark(func(b *testing.B) { stepbench.BenchRestore(b, c) })
+		r := snapRecord{
+			Name:       c.Name,
+			BlobBytes:  enc.Extra["blob_bytes"],
+			SnapshotNs: float64(enc.T.Nanoseconds()) / float64(enc.N),
+			RestoreNs:  float64(dec.T.Nanoseconds()) / float64(dec.N),
+		}
+		out = append(out, r)
+		fmt.Printf("%-20s %12.0f ns/snapshot %12.0f ns/restore %10.0f blob bytes\n",
+			c.Name, r.SnapshotNs, r.RestoreNs, r.BlobBytes)
+	}
+	return out
+}
+
+// measureSweep times one static-rate sweep twice: cold, where every
+// point re-simulates the shared warmup prefix, and warm, where every
+// point forks the one checkpoint the first point files. The cycle
+// totals are exact by construction (the runner's warm tests pin the
+// behaviour); the store's write counter is checked so the record can
+// never claim sharing that did not happen.
+func measureSweep() (*sweepRecord, error) {
+	const (
+		points       = 8
+		cycles int64 = 2_000
+		warmup int64 = 20_000
+	)
+	sc := runner.DefaultScale()
+	sc.Cycles = cycles
+	sc.Epoch = 200
+	sc.Workers = 1
+	// Two-wide pool: real sweeps have far more points than cores, so the
+	// benchmark models the oversubscribed regime where saved cycles are
+	// saved wall clock, not a machine wide enough to hide every redundant
+	// warmup behind idle cores.
+	sc.Parallel = 2
+	sc.Warmup = warmup
+	cat, ok := workload.CategoryByName("HM")
+	if !ok {
+		return nil, fmt.Errorf("sweep benchmark: unknown workload category HM")
+	}
+	w := workload.Generate(cat, 16, sc.Seed+11)
+	cfgAt := func(i int) (string, sim.Config) {
+		rate := 0.1 + 0.8*float64(i)/float64(points-1)
+		return fmt.Sprintf("bench/static=%.2f", rate),
+			runner.Baseline(w, 4, 4, sc, runner.WithStaticUniform(rate))
+	}
+
+	// Cold: one single-run plan per point under the same two-wide pool,
+	// so nothing is shared — each point simulates its own warmup prefix,
+	// exactly what independent sweep invocations (or the pre-checkpoint
+	// harness) pay. A single plan would not do: the executor's in-memory
+	// single-flight shares the warm prefix across a plan's points even
+	// without a store.
+	solo := sc
+	solo.Parallel = 1
+	start := time.Now()
+	runner.Map(sc, points, func(i int) struct{} {
+		plan := runner.NewPlan(solo)
+		label, cfg := cfgAt(i)
+		plan.Add(label, cfg, solo.Cycles)
+		plan.Execute()
+		return struct{}{}
+	})
+	coldSec := time.Since(start).Seconds()
+
+	// Warm: all points in one plan over a store; the first files the
+	// shared prefix, the rest fork it.
+	dir, err := os.MkdirTemp("", "benchjson-snap-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := snap.NewStore(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	shared := sc
+	shared.Snapshots = st
+	plan := runner.NewPlan(shared)
+	for i := 0; i < points; i++ {
+		label, cfg := cfgAt(i)
+		plan.Add(label, cfg, shared.Cycles)
+	}
+	start = time.Now()
+	plan.Execute()
+	warmSec := time.Since(start).Seconds()
+	if stats := st.Stats(); stats.Writes != 1 {
+		return nil, fmt.Errorf("warm sweep filed %d prefixes, want 1 shared", stats.Writes)
+	}
+	cold := int64(points) * (warmup + cycles)
+	warm := warmup + int64(points)*cycles
+	return &sweepRecord{
+		Points:             points,
+		WarmupCycles:       warmup,
+		MeasuredCycles:     cycles,
+		ColdTotalCycles:    cold,
+		WarmTotalCycles:    warm,
+		ColdOverWarmCycles: float64(cold) / float64(warm),
+		ColdPointsPerSec:   float64(points) / coldSec,
+		WarmPointsPerSec:   float64(points) / warmSec,
+	}, nil
 }
 
 func fail(err error) {

@@ -15,6 +15,7 @@ import (
 	"nocsim/internal/power"
 	"nocsim/internal/runner"
 	"nocsim/internal/sim"
+	"nocsim/internal/snap"
 	"nocsim/internal/workload"
 )
 
@@ -37,6 +38,9 @@ func main() {
 		cycles   = flag.Int64("cycles", 150_000, "cycles to simulate")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		parallel = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS)")
+		warmup   = flag.Int64("warmup", 0, "shared uncontrolled warm-start prefix in cycles (0 = cold runs)")
+		snapDir  = flag.String("snapdir", "", "checkpoint store directory for warm-start prefixes")
+		snapCap  = flag.Int64("snapcap", 0, "checkpoint store byte cap, oldest evicted first (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -53,6 +57,15 @@ func main() {
 	sc.Epoch = *cycles / 10
 	sc.Seed = *seed
 	sc.Parallel = *parallel
+	sc.Warmup = *warmup
+	if *snapDir != "" {
+		st, err := snap.NewStore(*snapDir, *snapCap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+			os.Exit(1)
+		}
+		sc.Snapshots = st
+	}
 
 	mapKind := sim.XORMap
 	switch *mapping {

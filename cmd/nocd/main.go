@@ -29,6 +29,8 @@ func main() {
 	jobs := flag.Int("jobs", 1, "concurrent jobs")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job simulation budget, 0 disables")
 	sampleInterval := flag.Int64("sample-interval", 1000, "interval-sampler period for streamed run events")
+	snapDir := flag.String("snapdir", "", "checkpoint store directory (enables warm starts and run extension)")
+	snapCap := flag.Int64("snapcap", 0, "checkpoint store byte cap, oldest evicted first (0 = unlimited)")
 	workers := flag.Int("workers", runtime.NumCPU(), "intra-sim worker shards per large fabric")
 	parallel := flag.Int("parallel", 0, "concurrent simulations per job (0 = GOMAXPROCS)")
 	flag.Parse()
@@ -44,6 +46,8 @@ func main() {
 		Jobs:           *jobs,
 		JobTimeout:     *jobTimeout,
 		SampleInterval: *sampleInterval,
+		SnapDir:        *snapDir,
+		SnapCap:        *snapCap,
 		Log:            os.Stderr,
 	})
 	if err != nil {

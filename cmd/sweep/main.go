@@ -15,6 +15,7 @@ import (
 	"runtime"
 
 	"nocsim/internal/exp"
+	"nocsim/internal/snap"
 )
 
 // guard runs fn, converting a harness panic (the runner panics on
@@ -38,6 +39,9 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		workers  = flag.Int("workers", runtime.NumCPU(), "intra-simulation worker shards")
 		parallel = flag.Int("parallel", 0, "simulations in flight at once (0 = GOMAXPROCS)")
+		warmup   = flag.Int64("warmup", 0, "shared uncontrolled warm-start prefix in cycles (0 = cold runs)")
+		snapDir  = flag.String("snapdir", "", "checkpoint store directory for warm-start prefixes")
+		snapCap  = flag.Int64("snapcap", 0, "checkpoint store byte cap, oldest evicted first (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -47,6 +51,15 @@ func main() {
 	sc.Seed = *seed
 	sc.Workers = *workers
 	sc.Parallel = *parallel
+	sc.Warmup = *warmup
+	if *snapDir != "" {
+		st, err := snap.NewStore(*snapDir, *snapCap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		sc.Snapshots = st
+	}
 
 	// Each sweep renders into a buffer and reaches stdout only once it
 	// has fully succeeded: a failed run exits non-zero with a message,

@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"nocsim/internal/rng"
+	"nocsim/internal/snap"
+)
+
+// Checkpoint codec for the L1 model and the stochastic address
+// mappers. L1 geometry (sets/ways/masks) is construction-derived; only
+// contents, LRU clocks and counters are encoded. The mappers' topology
+// and member tables are likewise construction-derived — their only
+// mutable state is the per-source random streams (and, for Locality,
+// a scratch buffer that every draw rewrites from scratch).
+
+func init() {
+	snap.Cover(L1{}, snap.Coverage{
+		Serialized: []string{
+			"tags", "valid", "dirty", "stamp", "clock",
+			"hits", "misses", "writebacks",
+		},
+		Waived: map[string]string{
+			"sets":      "construction: derived from L1Config",
+			"ways":      "construction: derived from L1Config",
+			"blockBits": "construction: derived from L1Config",
+			"setMask":   "construction: derived from L1Config",
+		},
+	})
+	snap.Cover(L1Config{}, snap.Coverage{
+		Waived: map[string]string{
+			"SizeBytes":  "config: derived from sim.Config",
+			"Ways":       "config: derived from sim.Config",
+			"BlockBytes": "config: derived from sim.Config",
+		},
+	})
+	snap.Cover(XORInterleave{}, snap.Coverage{
+		Waived: map[string]string{
+			"nodes":      "construction: stateless mapper",
+			"blockShift": "construction: stateless mapper",
+		},
+	})
+	snap.Cover(Fixed{}, snap.Coverage{
+		Waived: map[string]string{"Dst": "config: stateless mapper"},
+	})
+	snap.Cover(Locality{}, snap.Coverage{
+		Serialized: []string{"srcs"},
+		Waived: map[string]string{
+			"top":        "construction: topology is config-derived",
+			"kind":       "construction: derived from LocalityConfig",
+			"mean":       "construction: derived from LocalityConfig",
+			"alpha":      "construction: derived from LocalityConfig",
+			"blockShift": "construction: derived from LocalityConfig",
+			"scratch":    "scratch: truncated to zero length and rebuilt by every draw before any read",
+		},
+	})
+	snap.Cover(Grouped{}, snap.Coverage{
+		Serialized: []string{"srcs"},
+		Waived: map[string]string{
+			"group":   "construction: derived from the group assignment",
+			"members": "construction: derived from the group assignment",
+		},
+	})
+}
+
+const (
+	tagL1     = 0x12
+	tagMapper = 0x13
+)
+
+// Snapshot encodes the cache's contents and counters.
+func (c *L1) Snapshot(w *snap.Writer) {
+	w.Tag(tagL1)
+	w.U32(uint32(len(c.tags)))
+	for _, t := range c.tags {
+		w.U64(t)
+	}
+	for _, v := range c.valid {
+		w.Bool(v)
+	}
+	for _, d := range c.dirty {
+		w.Bool(d)
+	}
+	for _, s := range c.stamp {
+		w.U64(s)
+	}
+	w.U64(c.clock)
+	w.I64(c.hits)
+	w.I64(c.misses)
+	w.I64(c.writebacks)
+}
+
+// Restore overlays contents captured by Snapshot onto a cache
+// constructed with the same geometry.
+func (c *L1) Restore(r *snap.Reader) {
+	r.Expect(tagL1)
+	if n := int(r.U32()); n != len(c.tags) {
+		r.Failf("L1 lines %d, want %d", n, len(c.tags))
+		return
+	}
+	for i := range c.tags {
+		c.tags[i] = r.U64()
+	}
+	for i := range c.valid {
+		c.valid[i] = r.Bool()
+	}
+	for i := range c.dirty {
+		c.dirty[i] = r.Bool()
+	}
+	for i := range c.stamp {
+		c.stamp[i] = r.U64()
+	}
+	c.clock = r.U64()
+	c.hits = r.I64()
+	c.misses = r.I64()
+	c.writebacks = r.I64()
+}
+
+// SnapshotMapper encodes the mutable state of a mapper constructed by
+// the simulator. Stateless mappers (XORInterleave, Fixed) encode
+// nothing but the section tag, so the framing still checks out.
+func SnapshotMapper(w *snap.Writer, m Mapper) {
+	w.Tag(tagMapper)
+	switch v := m.(type) {
+	case *Locality:
+		w.U32(uint32(len(v.srcs)))
+		for _, s := range v.srcs {
+			s.Snapshot(w)
+		}
+	case *Grouped:
+		w.U32(uint32(len(v.srcs)))
+		for _, s := range v.srcs {
+			s.Snapshot(w)
+		}
+	default:
+		w.U32(0)
+	}
+}
+
+// RestoreMapper overlays stream state captured by SnapshotMapper onto
+// an identically constructed mapper.
+func RestoreMapper(r *snap.Reader, m Mapper) {
+	r.Expect(tagMapper)
+	n := int(r.U32())
+	var srcs []*rng.Source
+	switch v := m.(type) {
+	case *Locality:
+		srcs = v.srcs
+	case *Grouped:
+		srcs = v.srcs
+	}
+	if n != len(srcs) {
+		r.Failf("mapper streams %d, want %d", n, len(srcs))
+		return
+	}
+	for _, s := range srcs {
+		s.Restore(r)
+	}
+}

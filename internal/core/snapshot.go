@@ -1,0 +1,223 @@
+package core
+
+import "nocsim/internal/snap"
+
+// Checkpoint codec for the congestion-control mechanism. The hardware
+// instruments (Monitor windows, Throttler counters) and the distributed
+// controller's AIMD state are real dynamic state and are encoded; the
+// tuning constants are construction inputs and the central controller's
+// rates buffer is scratch that every Update fully rewrites before it
+// reads.
+
+func init() {
+	snap.Cover(Monitor{}, snap.Coverage{
+		Serialized: []string{"bits", "sums", "pos"},
+		Waived: map[string]string{
+			"window": "construction: W is config-derived",
+			"words":  "construction: derived from window",
+		},
+	})
+	snap.Cover(Throttler{}, snap.Coverage{
+		Serialized: []string{"count", "thresh"},
+	})
+	snap.Cover(Policy{}, snap.Coverage{
+		Serialized: []string{"M", "T"},
+	})
+	snap.Cover(Static{}, snap.Coverage{
+		Serialized: []string{"M", "T"},
+	})
+	snap.Cover(Distributed{}, snap.Coverage{
+		Serialized: []string{"M", "T", "rates", "signaled", "signals"},
+		Waived: map[string]string{
+			"SigmaThresh": "config: backoff constant set at construction",
+			"Increase":    "config: backoff constant set at construction",
+			"Step":        "config: backoff constant set at construction",
+			"Decay":       "config: backoff constant set at construction",
+			"MaxRate":     "config: backoff constant set at construction",
+		},
+	})
+	snap.Cover(Controller{}, snap.Coverage{
+		Serialized: []string{"epochs", "decisions"},
+		Waived: map[string]string{
+			"params": "config: Params is construction input",
+			"policy": "construction: wired to the restored Policy, which owns the state",
+			"rates":  "scratch: every Update overwrites all elements before any read",
+		},
+	})
+	snap.Cover(Unaware{}, snap.Coverage{
+		Waived: map[string]string{
+			"policy": "construction: wired to the restored Policy, which owns the state",
+			"params": "config: Params is construction input",
+			"Rate":   "config: homogeneous rate set at construction",
+		},
+	})
+	snap.Cover(LatencyTriggered{}, snap.Coverage{
+		Waived: map[string]string{
+			"policy":        "construction: wired to the restored Policy, which owns the state",
+			"params":        "config: Params is construction input",
+			"LatencyThresh": "config: threshold set at construction",
+			"rates":         "scratch: every Update overwrites all elements before any read",
+		},
+	})
+	snap.Cover(Params{}, snap.Coverage{
+		Waived: map[string]string{
+			"AlphaStarve": "config: tuning constant",
+			"BetaStarve":  "config: tuning constant",
+			"GammaStarve": "config: tuning constant",
+			"AlphaThrot":  "config: tuning constant",
+			"BetaThrot":   "config: tuning constant",
+			"GammaThrot":  "config: tuning constant",
+			"Epoch":       "config: tuning constant",
+			"IPFCap":      "config: tuning constant",
+			"MinSigma":    "config: tuning constant",
+		},
+	})
+	snap.Cover(Decision{}, snap.Coverage{
+		Serialized: []string{
+			"Congested", "MeanIPF", "Rates", "ThrottledNodes", "ControlPackets",
+		},
+	})
+}
+
+const (
+	tagMonitor     = 0x14
+	tagThrottler   = 0x15
+	tagDistributed = 0x16
+)
+
+// Snapshot encodes the starvation windows of every node.
+func (m *Monitor) Snapshot(w *snap.Writer) {
+	w.Tag(tagMonitor)
+	w.U32(uint32(len(m.sums)))
+	w.U32(uint32(m.words))
+	for _, b := range m.bits {
+		w.U64(b)
+	}
+	for _, s := range m.sums {
+		w.I32(s)
+	}
+	for _, p := range m.pos {
+		w.I32(p)
+	}
+}
+
+// Restore overlays windows captured by Snapshot onto a monitor with
+// the same node count and window size.
+func (m *Monitor) Restore(r *snap.Reader) {
+	r.Expect(tagMonitor)
+	n := int(r.U32())
+	words := int(r.U32())
+	if n != len(m.sums) || words != m.words {
+		r.Failf("monitor shape %d nodes x %d words, want %d x %d",
+			n, words, len(m.sums), m.words)
+		return
+	}
+	for i := range m.bits {
+		m.bits[i] = r.U64()
+	}
+	for i := range m.sums {
+		m.sums[i] = r.I32()
+	}
+	for i := range m.pos {
+		m.pos[i] = r.I32()
+	}
+}
+
+// Snapshot encodes the injection counters and programmed rates.
+func (t *Throttler) Snapshot(w *snap.Writer) {
+	w.Tag(tagThrottler)
+	w.U32(uint32(len(t.count)))
+	for _, c := range t.count {
+		w.I32(c)
+	}
+	for _, th := range t.thresh {
+		w.I32(th)
+	}
+}
+
+// Restore overlays counters captured by Snapshot onto a throttler with
+// the same node count.
+func (t *Throttler) Restore(r *snap.Reader) {
+	r.Expect(tagThrottler)
+	if n := int(r.U32()); n != len(t.count) {
+		r.Failf("throttler nodes %d, want %d", n, len(t.count))
+		return
+	}
+	for i := range t.count {
+		t.count[i] = r.I32()
+	}
+	for i := range t.thresh {
+		t.thresh[i] = r.I32()
+	}
+}
+
+// Snapshot encodes the policy's monitor and throttler.
+func (p *Policy) Snapshot(w *snap.Writer) {
+	p.M.Snapshot(w)
+	p.T.Snapshot(w)
+}
+
+// Restore overlays policy state captured by Snapshot.
+func (p *Policy) Restore(r *snap.Reader) {
+	p.M.Restore(r)
+	p.T.Restore(r)
+}
+
+// Snapshot encodes the static policy's monitor and throttler.
+func (s *Static) Snapshot(w *snap.Writer) {
+	s.M.Snapshot(w)
+	s.T.Snapshot(w)
+}
+
+// Restore overlays static-policy state captured by Snapshot.
+func (s *Static) Restore(r *snap.Reader) {
+	s.M.Restore(r)
+	s.T.Restore(r)
+}
+
+// Snapshot encodes the distributed controller's instruments and AIMD
+// state.
+func (d *Distributed) Snapshot(w *snap.Writer) {
+	d.M.Snapshot(w)
+	d.T.Snapshot(w)
+	w.Tag(tagDistributed)
+	w.U32(uint32(len(d.rates)))
+	for _, v := range d.rates {
+		w.F64(v)
+	}
+	for _, s := range d.signaled {
+		w.Bool(s)
+	}
+	w.I64(d.signals)
+}
+
+// Restore overlays distributed-controller state captured by Snapshot.
+func (d *Distributed) Restore(r *snap.Reader) {
+	d.M.Restore(r)
+	d.T.Restore(r)
+	r.Expect(tagDistributed)
+	if n := int(r.U32()); n != len(d.rates) {
+		r.Failf("distributed nodes %d, want %d", n, len(d.rates))
+		return
+	}
+	for i := range d.rates {
+		d.rates[i] = r.F64()
+	}
+	for i := range d.signaled {
+		d.signaled[i] = r.Bool()
+	}
+	d.signals = r.I64()
+}
+
+// SnapshotEpochs encodes the central controller's epoch counters (its
+// only dynamic state; the throttle rates live in the Policy).
+func (c *Controller) SnapshotEpochs(w *snap.Writer) {
+	w.I64(c.epochs)
+	w.I64(c.decisions)
+}
+
+// RestoreEpochs overlays epoch counters captured by SnapshotEpochs.
+func (c *Controller) RestoreEpochs(r *snap.Reader) {
+	c.epochs = r.I64()
+	c.decisions = r.I64()
+}

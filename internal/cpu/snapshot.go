@@ -1,0 +1,104 @@
+package cpu
+
+import (
+	"sort"
+
+	"nocsim/internal/snap"
+	"nocsim/internal/trace"
+)
+
+// Checkpoint codec for the core model. Snapshot runs only between
+// cycles (sequential regions), so it never touches Step's hot path.
+//
+// Restore overlays a freshly constructed Core: id, cfg, gen and
+// backend come from construction (the caller restores the generator's
+// own state separately); everything the core mutates while stepping is
+// encoded here.
+
+func init() {
+	snap.Cover(Core{}, snap.Coverage{
+		Serialized: []string{
+			"readyAt", "head", "count", "tokens",
+			"pending", "hasPending", "retired", "stalled",
+		},
+		Waived: map[string]string{
+			"id":      "construction: node id is part of the config",
+			"cfg":     "construction: defaulted Config is derived from sim.Config",
+			"gen":     "construction: the trace source restores its own state",
+			"backend": "construction: wired to the restored memory system",
+		},
+	})
+	snap.Cover(Config{}, snap.Coverage{
+		Waived: map[string]string{
+			"Window":      "config: derived from sim.Config",
+			"IssueWidth":  "config: derived from sim.Config",
+			"MemPerCycle": "config: derived from sim.Config",
+			"HitLatency":  "config: derived from sim.Config",
+		},
+	})
+}
+
+const tagCore = 0x10
+
+// Source returns the core's instruction source, so the system-level
+// codec can serialize a live generator alongside the core.
+func (c *Core) Source() trace.Source { return c.gen }
+
+// Snapshot encodes the core's mutable state.
+func (c *Core) Snapshot(w *snap.Writer) {
+	w.Tag(tagCore)
+	w.U32(uint32(len(c.readyAt)))
+	for _, v := range c.readyAt {
+		w.I64(v)
+	}
+	w.U32(uint32(c.head))
+	w.U32(uint32(c.count))
+	// Outstanding-miss tokens, in sorted key order so the encoding is
+	// independent of map iteration order.
+	keys := make([]uint64, 0, len(c.tokens))
+	for k := range c.tokens {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.U32(uint32(len(keys)))
+	for _, k := range keys {
+		w.U64(k)
+		w.U32(uint32(c.tokens[k]))
+	}
+	w.Bool(c.pending.IsMem)
+	w.Bool(c.pending.IsStore)
+	w.U64(c.pending.Addr)
+	w.Bool(c.hasPending)
+	w.I64(c.retired)
+	w.I64(c.stalled)
+}
+
+// Restore overlays state captured by Snapshot onto a core constructed
+// with the same Config.
+func (c *Core) Restore(r *snap.Reader) {
+	r.Expect(tagCore)
+	n := int(r.U32())
+	if n != len(c.readyAt) {
+		// Window size is config-derived; a mismatch means the blob does
+		// not belong to this config. Read nothing further.
+		r.Failf("core window %d, want %d", n, len(c.readyAt))
+		return
+	}
+	for i := range c.readyAt {
+		c.readyAt[i] = r.I64()
+	}
+	c.head = int(r.U32())
+	c.count = int(r.U32())
+	nt := int(r.U32())
+	c.tokens = make(map[uint64]int, nt)
+	for i := 0; i < nt; i++ {
+		k := r.U64()
+		c.tokens[k] = int(r.U32())
+	}
+	c.pending.IsMem = r.Bool()
+	c.pending.IsStore = r.Bool()
+	c.pending.Addr = r.U64()
+	c.hasPending = r.Bool()
+	c.retired = r.I64()
+	c.stalled = r.I64()
+}

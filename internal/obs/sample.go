@@ -97,8 +97,19 @@ func (s *Sampler) Record(cycle int64, net noc.Stats, retired, misses int64) {
 // synchronously on the recording goroutine (the simulator's step loop,
 // between cycles). Streaming consumers — the serve layer's live run
 // event streams — attach here; the sink observes the same deterministic
-// series the exports contain and cannot perturb it. A nil fn detaches.
-func (s *Sampler) SetSink(fn func(Sample)) { s.sink = fn }
+// series the exports contain and cannot perturb it. Samples recorded
+// before attachment (a checkpoint-restored prefix, say) are replayed to
+// fn immediately, so a consumer attaching to a warm-started run still
+// sees the full series. A nil fn detaches.
+func (s *Sampler) SetSink(fn func(Sample)) {
+	s.sink = fn
+	if fn == nil {
+		return
+	}
+	for _, sm := range s.samples {
+		fn(sm)
+	}
+}
 
 // Samples returns the recorded series (shared backing array; callers
 // must not mutate).

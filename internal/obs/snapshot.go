@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"nocsim/internal/noc"
+	"nocsim/internal/snap"
+)
+
+// Checkpoint codec for the observability collectors. Collector state is
+// part of the simulation contract — a run extended from a checkpoint
+// must export byte-identical time series, traces and heatmaps to a
+// straight run — so samples, tracer rings and spatial grids are encoded
+// in full. Sampling parameters (interval, trace modulus, ring capacity)
+// are construction inputs and come from the restored configuration.
+//
+// The delta-baseline Stats blocks (Sample.Net, Sampler.prevNet) carry
+// their Links field explicitly: unlike the fabric's own stats, these are
+// copies owned by the collector, and Stats.Sub preserves Links, so the
+// exports depend on it.
+
+func init() {
+	snap.Cover(Observer{}, snap.Coverage{
+		Serialized: []string{"Sampler", "Tracer", "Spatial"},
+	})
+	snap.Cover(Options{}, snap.Coverage{
+		Waived: map[string]string{
+			"SampleInterval": "config: construction input",
+			"TraceSample":    "config: construction input",
+			"TraceBudget":    "config: construction input",
+			"Spatial":        "config: construction input",
+		},
+	})
+	snap.Cover(Meta{}, snap.Coverage{
+		Waived: map[string]string{
+			"Nodes":        "config: derived from the topology",
+			"Width":        "config: derived from the topology",
+			"Height":       "config: derived from the topology",
+			"ActiveNodes":  "config: derived from the app assignment",
+			"FlitsPerMiss": "config: derived from the packet sizes",
+		},
+	})
+	snap.Cover(Probe{}, snap.Coverage{
+		Waived: map[string]string{
+			"Tracer":  "construction: capability view of the observer",
+			"Spatial": "construction: capability view of the observer",
+		},
+	})
+	snap.Cover(Sampler{}, snap.Coverage{
+		Serialized: []string{"samples", "prevNet", "prevRetired", "prevMisses"},
+		Waived: map[string]string{
+			"Interval": "config: construction input",
+			"meta":     "config: construction input",
+			"sink":     "construction: streaming consumers re-attach after restore (SetSink replays)",
+		},
+	})
+	snap.Cover(Sample{}, snap.Coverage{
+		Serialized: []string{
+			"Cycle", "IPC", "IPF", "ThrottleRate", "StarvationRate",
+			"Utilization", "AvgNetLatency", "Net",
+		},
+	})
+	snap.Cover(Tracer{}, snap.Coverage{
+		Serialized: []string{"rings", "next", "lost"},
+		Waived: map[string]string{
+			"mod":     "config: construction input",
+			"ringCap": "config: construction input",
+		},
+	})
+	snap.Cover(Event{}, snap.Coverage{
+		Serialized: []string{
+			"Cycle", "Start", "Seq", "Node", "Src", "Dst",
+			"Index", "PKind", "Kind",
+		},
+	})
+	snap.Cover(Spatial{}, snap.Coverage{
+		Serialized: []string{
+			"link", "injected", "ejected", "deflected", "starved", "throttled",
+		},
+		Waived: map[string]string{
+			"meta": "config: construction input",
+		},
+	})
+}
+
+const tagObs = 0x38
+
+// snapshotStats encodes a collector-owned stats copy, including Links
+// (which Stats.Snapshot leaves to the owning fabric).
+func snapshotStats(w *snap.Writer, s *noc.Stats) {
+	w.I64(int64(s.Links))
+	s.Snapshot(w)
+}
+
+func restoreStats(r *snap.Reader, s *noc.Stats) {
+	links := int(r.I64())
+	s.Restore(r)
+	s.Links = links
+}
+
+// Prime sets the sampler's delta baselines to the given cumulative
+// totals, so the first window recorded after a warm-start fork covers
+// only post-fork activity (the warmup prefix ran unobserved).
+func (s *Sampler) Prime(net noc.Stats, retired, misses int64) {
+	s.prevNet = net
+	s.prevRetired = retired
+	s.prevMisses = misses
+}
+
+func (s *Sampler) snapshot(w *snap.Writer) {
+	w.U32(uint32(len(s.samples)))
+	for i := range s.samples {
+		sm := &s.samples[i]
+		w.I64(sm.Cycle)
+		w.F64(sm.IPC)
+		w.F64(sm.IPF)
+		w.F64(sm.ThrottleRate)
+		w.F64(sm.StarvationRate)
+		w.F64(sm.Utilization)
+		w.F64(sm.AvgNetLatency)
+		snapshotStats(w, &sm.Net)
+	}
+	snapshotStats(w, &s.prevNet)
+	w.I64(s.prevRetired)
+	w.I64(s.prevMisses)
+}
+
+func (s *Sampler) restore(r *snap.Reader) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	s.samples = s.samples[:0]
+	for i := 0; i < n; i++ {
+		var sm Sample
+		sm.Cycle = r.I64()
+		sm.IPC = r.F64()
+		sm.IPF = r.F64()
+		sm.ThrottleRate = r.F64()
+		sm.StarvationRate = r.F64()
+		sm.Utilization = r.F64()
+		sm.AvgNetLatency = r.F64()
+		restoreStats(r, &sm.Net)
+		if r.Err() != nil {
+			return
+		}
+		s.samples = append(s.samples, sm)
+	}
+	restoreStats(r, &s.prevNet)
+	s.prevRetired = r.I64()
+	s.prevMisses = r.I64()
+}
+
+func snapshotEvent(w *snap.Writer, ev *Event) {
+	w.I64(ev.Cycle)
+	w.I64(ev.Start)
+	w.U64(ev.Seq)
+	w.I32(ev.Node)
+	w.I32(ev.Src)
+	w.I32(ev.Dst)
+	w.U8(ev.Index)
+	w.U8(uint8(ev.PKind))
+	w.U8(uint8(ev.Kind))
+}
+
+func restoreEvent(r *snap.Reader, ev *Event) {
+	ev.Cycle = r.I64()
+	ev.Start = r.I64()
+	ev.Seq = r.U64()
+	ev.Node = r.I32()
+	ev.Src = r.I32()
+	ev.Dst = r.I32()
+	ev.Index = r.U8()
+	ev.PKind = noc.Kind(r.U8())
+	ev.Kind = EventKind(r.U8())
+}
+
+func (t *Tracer) snapshot(w *snap.Writer) {
+	w.U32(uint32(len(t.rings)))
+	for node := range t.rings {
+		ring := t.rings[node]
+		w.U32(uint32(len(ring)))
+		for i := range ring {
+			snapshotEvent(w, &ring[i])
+		}
+	}
+	for _, nx := range t.next {
+		w.I32(nx)
+	}
+	for _, l := range t.lost {
+		w.I64(l)
+	}
+}
+
+func (t *Tracer) restore(r *snap.Reader) {
+	if n := int(r.U32()); n != len(t.rings) {
+		r.Failf("tracer rings %d, want %d", n, len(t.rings))
+		return
+	}
+	for node := range t.rings {
+		n := int(r.U32())
+		if n < 0 || n > t.ringCap {
+			r.Failf("tracer ring %d overflow (%d > %d)", node, n, t.ringCap)
+			return
+		}
+		if n == 0 {
+			t.rings[node] = nil
+			continue
+		}
+		ring := make([]Event, n, t.ringCap)
+		for i := range ring {
+			restoreEvent(r, &ring[i])
+		}
+		t.rings[node] = ring
+	}
+	for i := range t.next {
+		t.next[i] = r.I32()
+	}
+	for i := range t.lost {
+		t.lost[i] = r.I64()
+	}
+}
+
+func snapshotGrid(w *snap.Writer, g []int64) {
+	w.U32(uint32(len(g)))
+	for _, v := range g {
+		w.I64(v)
+	}
+}
+
+func restoreGrid(r *snap.Reader, g []int64) {
+	if n := int(r.U32()); n != len(g) {
+		r.Failf("spatial grid %d, want %d", n, len(g))
+		return
+	}
+	for i := range g {
+		g[i] = r.I64()
+	}
+}
+
+func (s *Spatial) snapshot(w *snap.Writer) {
+	snapshotGrid(w, s.link)
+	snapshotGrid(w, s.injected)
+	snapshotGrid(w, s.ejected)
+	snapshotGrid(w, s.deflected)
+	snapshotGrid(w, s.starved)
+	snapshotGrid(w, s.throttled)
+}
+
+func (s *Spatial) restore(r *snap.Reader) {
+	restoreGrid(r, s.link)
+	restoreGrid(r, s.injected)
+	restoreGrid(r, s.ejected)
+	restoreGrid(r, s.deflected)
+	restoreGrid(r, s.starved)
+	restoreGrid(r, s.throttled)
+}
+
+// Snapshot encodes every enabled collector's full state.
+func (o *Observer) Snapshot(w *snap.Writer) {
+	w.Tag(tagObs)
+	w.Bool(o.Sampler != nil)
+	w.Bool(o.Tracer != nil)
+	w.Bool(o.Spatial != nil)
+	if o.Sampler != nil {
+		o.Sampler.snapshot(w)
+	}
+	if o.Tracer != nil {
+		o.Tracer.snapshot(w)
+	}
+	if o.Spatial != nil {
+		o.Spatial.snapshot(w)
+	}
+}
+
+// Restore overlays collector state captured by Snapshot onto an
+// observer built from the same Options. A presence mismatch means the
+// blob belongs to a different observability configuration.
+func (o *Observer) Restore(r *snap.Reader) {
+	r.Expect(tagObs)
+	hasSampler := r.Bool()
+	hasTracer := r.Bool()
+	hasSpatial := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if hasSampler != (o.Sampler != nil) || hasTracer != (o.Tracer != nil) ||
+		hasSpatial != (o.Spatial != nil) {
+		r.Failf("observer collectors (sampler=%t tracer=%t spatial=%t) do not match the configuration",
+			hasSampler, hasTracer, hasSpatial)
+		return
+	}
+	if o.Sampler != nil {
+		o.Sampler.restore(r)
+	}
+	if o.Tracer != nil {
+		o.Tracer.restore(r)
+	}
+	if o.Spatial != nil {
+		o.Spatial.restore(r)
+	}
+}

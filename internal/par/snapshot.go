@@ -1,0 +1,13 @@
+package par
+
+import "nocsim/internal/snap"
+
+func init() {
+	// The Stats block is encoded by each fabric as one merged total (and
+	// restored into shard 0), so shard boundaries never leak into a
+	// snapshot — the same property that keeps parallel runs byte-identical
+	// to sequential ones keeps their checkpoints byte-identical too.
+	snap.Cover(PaddedStats{}, snap.Coverage{
+		Serialized: []string{"Stats"},
+	})
+}

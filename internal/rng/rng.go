@@ -45,6 +45,22 @@ func New(seed uint64) *Source {
 	return &s
 }
 
+// State returns the generator's internal xoshiro256** state, for
+// checkpoint serialization. Restoring it with SetState resumes the
+// stream at exactly the same point.
+func (s *Source) State() [4]uint64 { return s.s }
+
+// SetState overwrites the generator's internal state with one captured
+// by State. It panics on an all-zero state, which xoshiro256** can
+// never reach from a valid seed — such a state can only come from a
+// corrupt or forged checkpoint.
+func (s *Source) SetState(st [4]uint64) {
+	if st[0]|st[1]|st[2]|st[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	s.s = st
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

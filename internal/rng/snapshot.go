@@ -1,0 +1,32 @@
+package rng
+
+import "nocsim/internal/snap"
+
+// The checkpoint codec serializes a Source as its four state words
+// (State/SetState); the pinned golden encoding in state_test.go guards
+// the byte layout.
+
+func init() {
+	snap.Cover(Source{}, snap.Coverage{
+		Serialized: []string{"s"},
+	})
+}
+
+// Snapshot writes the stream's state words.
+func (s *Source) Snapshot(w *snap.Writer) {
+	for _, v := range s.s {
+		w.U64(v)
+	}
+}
+
+// Restore overwrites the stream's state with words written by Snapshot.
+func (s *Source) Restore(r *snap.Reader) {
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.U64()
+	}
+	if r.Err() != nil {
+		return
+	}
+	s.SetState(st)
+}

@@ -1,0 +1,102 @@
+package rng
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+)
+
+// The checkpoint codec serializes every Source as its State() words in
+// little-endian order. These constants pin that encoding: if New's
+// seeding, the state layout, or the byte order ever changes, old
+// checkpoints silently stop replaying the same streams — this test
+// turns that into a loud failure instead.
+const (
+	goldenSeed = 42
+	// goldenStateHex is the LE byte encoding of New(42).State().
+	goldenStateHex = "956eeb2f2632d7bd03f166b233e3ef28529f0f135767524794e34a0effe11c58"
+)
+
+var goldenState = [4]uint64{
+	0xbdd732262feb6e95, 0x28efe333b266f103,
+	0x47526757130f9f52, 0x581ce1ff0e4ae394,
+}
+
+// goldenDraws pins the first outputs from the golden state, so the
+// generator algorithm itself (not just the seeding) is covered.
+var goldenDraws = [4]uint64{
+	0x15780b2e0c2ec716, 0x6104d9866d113a7e,
+	0xae17533239e499a1, 0xecb8ad4703b360a1,
+}
+
+func encodeState(st [4]uint64) string {
+	var b [32]byte
+	for i, w := range st {
+		binary.LittleEndian.PutUint64(b[i*8:], w)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func decodeState(s string) [4]uint64 {
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 32 {
+		panic("rng: bad golden state hex")
+	}
+	var st [4]uint64
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return st
+}
+
+func TestStateGoldenEncoding(t *testing.T) {
+	s := New(goldenSeed)
+	if got := s.State(); got != goldenState {
+		t.Errorf("New(%d).State() = %#x, want %#x", goldenSeed, got, goldenState)
+	}
+	if got := encodeState(s.State()); got != goldenStateHex {
+		t.Errorf("encoded state = %s, want %s", got, goldenStateHex)
+	}
+	for i, want := range goldenDraws {
+		if got := s.Uint64(); got != want {
+			t.Errorf("draw %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestStateRoundTripContinuesStream(t *testing.T) {
+	// Serialize mid-stream, keep drawing on the original, and check a
+	// restored copy produces the identical continuation.
+	s := New(goldenSeed)
+	for i := 0; i < 1000; i++ {
+		s.Uint64()
+	}
+	saved := decodeState(encodeState(s.State()))
+
+	var want [64]uint64
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+
+	var restored Source
+	restored.SetState(saved)
+	for i, w := range want {
+		if got := restored.Uint64(); got != w {
+			t.Fatalf("restored draw %d = %#x, want %#x", i, got, w)
+		}
+	}
+	// And the restored stream's own state now matches the original's.
+	if restored.State() != s.State() {
+		t.Error("restored stream diverged from original after identical draws")
+	}
+}
+
+func TestSetStateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState accepted the all-zero state")
+		}
+	}()
+	var s Source
+	s.SetState([4]uint64{})
+}

@@ -22,6 +22,7 @@ func Baseline(w workload.Workload, width, height int, sc Scale, opts ...Option) 
 		Apps:   w.Apps,
 		Params: sc.Params(),
 		Seed:   sc.Seed ^ w.Seed,
+		Warmup: sc.Warmup,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -123,6 +124,13 @@ func WithWritebacks() Option {
 // studies.
 func WithRecordEpochs() Option {
 	return func(c *sim.Config) { c.RecordEpochs = true }
+}
+
+// WithWarmup gives the run an uncontrolled warm-start prefix of n
+// cycles (0 disables), overriding the scale-level default. All runs of
+// a plan that agree modulo measured knobs share one prefix simulation.
+func WithWarmup(n int64) Option {
+	return func(c *sim.Config) { c.Warmup = n }
 }
 
 // WithWorkers pins the intra-sim shard count, overriding the

@@ -77,6 +77,12 @@ type Plan struct {
 	runs     []Run
 	stats    []Stat
 	progress *Progress
+
+	// warm single-flights the warm-prefix computation per (prefix
+	// digest, warmup cycle): concurrent sweep points forking from the
+	// same prefix share one simulation instead of racing to recompute it.
+	wm   sync.Mutex
+	warm map[string]*warmEntry
 }
 
 // NewPlan starts an empty plan at the given scale, inheriting the
@@ -212,14 +218,27 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 		cfg.Obs = p.sc.Obs
 	}
 	start := time.Now()
-	s := sim.New(cfg)
+	// startSim restores from the nearest usable checkpoint (same-config
+	// resume, or a warm-prefix fork at Config.Warmup) when the scale has
+	// a snapshot store; at is the cycle the simulation begins at, so
+	// remaining is what is left to actually step. A warm run's declared
+	// Cycles all lie after the warmup prefix.
+	s, at := p.startSim(cfg, r)
 	defer s.Close()
+	remaining := r.Cycles
+	if cfg.Warmup > 0 {
+		remaining += cfg.Warmup
+	}
+	remaining -= at
+	if remaining < 0 {
+		remaining = 0
+	}
 	if r.Start != nil {
 		r.Start(s)
 	}
 	switch {
 	case r.Stride > 0:
-		for done := int64(0); done < r.Cycles; done += r.Stride {
+		for done := int64(0); done < remaining; done += r.Stride {
 			if r.Cancel != nil && r.Cancel() {
 				break
 			}
@@ -233,10 +252,10 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 		if every <= 0 {
 			every = 10_000
 		}
-		for done := int64(0); done < r.Cycles && !r.Cancel(); done += every {
+		for done := int64(0); done < remaining && !r.Cancel(); done += every {
 			w := every
-			if done+w > r.Cycles {
-				w = r.Cycles - done
+			if done+w > remaining {
+				w = remaining - done
 			}
 			s.Run(w)
 		}
@@ -244,7 +263,7 @@ func (p *Plan) execOne(i, intra int) sim.Metrics {
 			r.Observe(s)
 		}
 	default:
-		s.Run(r.Cycles)
+		s.Run(remaining)
 		if r.Observe != nil {
 			r.Observe(s)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"nocsim/internal/core"
 	"nocsim/internal/obs"
+	"nocsim/internal/snap"
 )
 
 // Scale sets the cost/fidelity trade-off of every experiment.
@@ -43,6 +44,19 @@ type Scale struct {
 	// execute locally. The determinism contract makes the two paths
 	// return identical metrics.
 	Remote Remote
+	// Snapshots, when non-nil, is the checkpoint store the executor
+	// consults before simulating: runs resume from a same-config
+	// checkpoint at or before their target cycle, and warm-start runs
+	// (Config.Warmup > 0) fork from — or compute and file — the shared
+	// NormalizeWarm prefix. Checkpoints are a wall-clock optimization
+	// only; restores are byte-exact, so results never depend on the
+	// store's contents.
+	Snapshots *snap.Store
+	// Warmup, when positive, gives every preset-assembled configuration
+	// (Baseline/Controlled) an uncontrolled warm-start prefix of this
+	// many cycles, shared across all runs of a plan that agree modulo
+	// measured knobs.
+	Warmup int64
 }
 
 // DefaultScale finishes the full suite in minutes on a laptop while

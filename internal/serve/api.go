@@ -53,6 +53,13 @@ type JobResponse struct {
 	Results []RunResult `json:"results,omitempty"`
 }
 
+// ExtendRequest is the body of POST /v1/runs/{id}/extend: run the
+// referenced job's plan for Cycles more cycles per run, resuming each
+// run from its final-state checkpoint when one is stored.
+type ExtendRequest struct {
+	Cycles int64 `json:"cycles"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -197,6 +197,7 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 		sc.Remote = nil // the daemon is the remote; execute in-process
 		sc.ObsDir = ""
 		sc.Obs = obs.Options{SampleInterval: s.cfg.SampleInterval}
+		sc.Snapshots = s.snaps
 
 		// The deadline is written before the plan executes and only read
 		// afterwards (the cancel closure shares no mutable state), so the
@@ -216,7 +217,7 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 		for _, i := range miss {
 			r := j.runs[i]
 			label := r.Label
-			plan.AddRun(runner.Run{
+			run := runner.Run{
 				Label:  r.Label,
 				Config: r.Config,
 				Cycles: r.Cycles,
@@ -229,7 +230,20 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 				},
 				Cancel:      cancel,
 				CancelEvery: every,
-			})
+			}
+			if s.snaps != nil {
+				// Checkpoint the final state so a later extend job resumes
+				// here instead of recomputing; a timed-out run is excluded
+				// by the partial check below never reaching the cache, but
+				// its checkpoint is still exact state and safe to keep.
+				cfg := r.Config
+				run.Observe = func(sm *sim.Sim) {
+					if err := runner.Checkpoint(s.snaps, cfg, sm); err != nil {
+						s.logf("job %s: checkpointing %q: %v", j.id, label, err)
+					}
+				}
+			}
+			plan.AddRun(run)
 		}
 		metrics := plan.Execute()
 		stats := plan.Stats()

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"nocsim/internal/runner"
+	"nocsim/internal/snap"
 )
 
 // Config assembles a Server.
@@ -55,6 +56,13 @@ type Config struct {
 	// SampleInterval is the interval-sampler period attached to every
 	// fresh run for event streaming. 0 means 1000.
 	SampleInterval int64
+	// SnapDir, when non-empty, roots the checkpoint store: fresh runs
+	// are snapshotted at completion so later jobs can resume (extend)
+	// them, and warm-start runs share their warmup prefixes across jobs.
+	SnapDir string
+	// SnapCap caps the checkpoint store's total bytes; the oldest
+	// checkpoints are evicted first. 0 means unlimited.
+	SnapCap int64
 	// Log receives operational lines; nil discards them.
 	Log io.Writer
 }
@@ -63,6 +71,7 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	cache *Cache
+	snaps *snap.Store
 	mux   *http.ServeMux
 
 	mu        sync.Mutex
@@ -102,9 +111,17 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var snaps *snap.Store
+	if cfg.SnapDir != "" {
+		snaps, err = snap.NewStore(cfg.SnapDir, cfg.SnapCap)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     cache,
+		snaps:     snaps,
 		jobs:      make(map[string]*job),
 		active:    make(map[string]*job),
 		queue:     make(chan *job, cfg.QueueCap),
@@ -112,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/runs", s.handleSubmit)
+	s.route("POST /v1/runs/{id}/extend", s.handleExtend)
 	s.route("GET /v1/runs/{id}", s.handleJob)
 	s.route("GET /v1/runs/{id}/events", s.handleEvents)
 	s.route("GET /v1/cache/stats", s.handleCacheStats)
@@ -125,6 +143,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Cache exposes the result store (tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Snapshots exposes the checkpoint store; nil when unconfigured.
+func (s *Server) Snapshots() *snap.Store { return s.snaps }
 
 // route registers a pattern with per-endpoint latency instrumentation.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
@@ -161,6 +182,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.enqueue(w, sc, runs)
+}
+
+// enqueue dedups, admits and queues a resolved plan, answering the
+// request with the job's SubmitResponse (shared by submit and extend).
+func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.ResolvedRun) {
 	key := planKey(runs)
 	cached := 0
 	for _, rr := range runs {
@@ -209,6 +236,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ID: j.id, Status: stateQueued,
 		CachedRuns: cached, TotalRuns: len(runs), PlanKey: key,
 	})
+}
+
+// handleExtend accepts {"cycles": N} and enqueues a new job covering
+// the referenced job's runs for N more cycles each. With a checkpoint
+// store configured, each extended run resumes from the original's
+// final-state checkpoint and only simulates the added tail; without
+// one it recomputes, with byte-identical results either way.
+func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		s.fail(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	if st := j.getState(); st != stateDone {
+		s.fail(w, http.StatusConflict, "job %s is %s; only done jobs can be extended", j.id, st)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req ExtendRequest
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding extend request: %v", err)
+		return
+	}
+	if req.Cycles <= 0 {
+		s.fail(w, http.StatusBadRequest, "extend cycles must be positive, got %d", req.Cycles)
+		return
+	}
+	runs := make([]runner.ResolvedRun, len(j.runs))
+	for i, rr := range j.runs {
+		rr.Cycles += req.Cycles
+		key, err := runner.CacheKey(rr.Config, rr.Cycles)
+		if err != nil {
+			s.fail(w, http.StatusInternalServerError, "keying extended run %q: %v", rr.Label, err)
+			return
+		}
+		rr.Key = key
+		runs[i] = rr
+	}
+	s.logf("job %s: extending %d runs by %d cycles", j.id, len(runs), req.Cycles)
+	s.enqueue(w, j.sc, runs)
 }
 
 // handleJob answers a job's current status and, once done, results.
@@ -290,6 +358,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("nocd_queue_depth %d", depth),
 		fmt.Sprintf("nocd_inflight_jobs %d", inflight),
 		fmt.Sprintf("nocd_jobs_total %d", jobs),
+	}
+	if s.snaps != nil {
+		ss := s.snaps.Stats()
+		lines = append(lines,
+			fmt.Sprintf("nocd_snap_entries %d", ss.Entries),
+			fmt.Sprintf("nocd_snap_bytes %d", ss.Bytes),
+			fmt.Sprintf("nocd_snap_hits_total %d", ss.Hits),
+			fmt.Sprintf("nocd_snap_misses_total %d", ss.Misses),
+			fmt.Sprintf("nocd_snap_writes_total %d", ss.Writes),
+			fmt.Sprintf("nocd_snap_corrupt_total %d", ss.Corrupt),
+			fmt.Sprintf("nocd_snap_evicted_total %d", ss.Evicted))
 	}
 	s.em.Lock()
 	for pattern, ep := range s.endpoints {

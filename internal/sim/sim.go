@@ -171,6 +171,13 @@ type Config struct {
 	// in the BLESS fabric (§7 "Traffic Engineering").
 	Adaptive bool
 
+	// Warmup declares that the run's first Warmup cycles execute under
+	// the warmup-normalized configuration (NormalizeWarm): no congestion
+	// controller, no observability, no epoch recording. The runner uses
+	// it to share one warmup simulation per config prefix and fork grid
+	// points from its checkpoint; the simulator itself only validates it
+	// when restoring across configurations (see Restore).
+	Warmup int64
 	// Workers shards the per-cycle node loops; 0 means 1.
 	Workers int
 	// Seed makes the whole system deterministic.

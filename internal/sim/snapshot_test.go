@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nocsim/internal/app"
+	"nocsim/internal/cache"
+	"nocsim/internal/core"
+	"nocsim/internal/cpu"
+	"nocsim/internal/noc"
+	"nocsim/internal/noc/bless"
+	"nocsim/internal/noc/buffered"
+	"nocsim/internal/noc/hierring"
+	"nocsim/internal/obs"
+	"nocsim/internal/par"
+	"nocsim/internal/snap"
+	"nocsim/internal/topology"
+	"nocsim/internal/trace"
+)
+
+// TestSnapshotCoverageComplete is the codec's rot guard: it walks the
+// type graph reachable from the assembled simulator and every concrete
+// fabric, controller and mapper, and fails when any state struct has a
+// field that is neither serialized nor explicitly waived. Adding a
+// field to any of these types without deciding its snapshot fate fails
+// here, not in a future bug hunt.
+func TestSnapshotCoverageComplete(t *testing.T) {
+	problems := snap.Verify(snap.VerifyOptions{
+		PkgPrefix: "nocsim/",
+		Opaque: []any{
+			// Construction-time structure with no mutable simulation state.
+			topology.Topology{},
+			par.Pool{},
+			app.Profile{},
+		},
+	},
+		Sim{}, Config{},
+		bless.Fabric{}, buffered.Fabric{}, hierring.Fabric{},
+		core.Policy{}, core.Controller{}, core.Static{},
+		core.Distributed{}, core.Unaware{}, core.LatencyTriggered{},
+		cache.XORInterleave{}, cache.Locality{}, cache.Grouped{}, cache.Fixed{},
+		cpu.Core{}, trace.Generator{}, obs.Observer{}, noc.NIC{},
+		noc.FlitPool{},
+	)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// snapCase is one byte-identity scenario: a fabric plus the knobs that
+// light up its optional state (side buffers, adaptive load, random
+// arbitration streams, VC credits, ring bridges).
+type snapCase struct {
+	name string
+	cfg  Config
+}
+
+func snapCases() []snapCase {
+	apps := func(n int) []*app.Profile {
+		out := make([]*app.Profile, n)
+		hog := app.MustByName("mcf")
+		light := app.MustByName("gromacs")
+		for i := range out {
+			if i%2 == 0 {
+				out[i] = &hog
+			} else {
+				out[i] = &light
+			}
+		}
+		// Leave a couple of idle nodes so core-presence encoding is
+		// exercised.
+		out[3] = nil
+		out[n-1] = nil
+		return out
+	}
+	base := func(router RouterKind) Config {
+		cfg := Config{
+			Width: 8, Height: 8,
+			Router:     router,
+			Apps:       apps(64),
+			Controller: Central,
+			Params:     core.DefaultParams(),
+			Mapping:    ExpMap,
+			Seed:       7,
+			Writebacks: true,
+			Obs: obs.Options{
+				SampleInterval: 32,
+				TraceSample:    4,
+				TraceBudget:    1 << 12,
+				Spatial:        true,
+			},
+			RecordEpochs: true,
+		}
+		cfg.Params.Epoch = 64
+		return cfg
+	}
+	bl := base(BLESS)
+	blMinBD := base(BLESS)
+	blMinBD.SideBuffer = 4
+	blMinBD.Adaptive = true
+	blMinBD.RandomArb = true
+	blMinBD.Controller = Distributed
+	blMinBD.ControlTraffic = false
+	buf := base(Buffered)
+	buf.Controller = StaticUniform
+	buf.StaticRate = 0.6
+	hr := base(HierRing)
+	hr.RingGroup = 8
+	hr.Mapping = GroupMap
+	hr.Groups = make([]int, 64)
+	for i := range hr.Groups {
+		hr.Groups[i] = i / 8
+	}
+	return []snapCase{
+		{"bless", bl},
+		{"bless-minbd-random-distributed", blMinBD},
+		{"buffered-static", buf},
+		{"hierring-groupmap", hr},
+	}
+}
+
+// obsExports concatenates every collector export so a single byte
+// comparison covers the sampler series, the trace and the heatmaps.
+func obsExports(t *testing.T, s *Sim) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	o := s.Obs()
+	if o == nil {
+		return nil
+	}
+	if o.Sampler != nil {
+		if err := o.Sampler.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Sampler.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Tracer != nil {
+		if err := o.Tracer.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Spatial != nil {
+		if err := o.Spatial.WriteNodeCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Spatial.WriteLinkCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Bytes()
+}
+
+func countersHash(s *Sim) string {
+	var retired int64
+	for i := 0; i < s.Topology().Nodes(); i++ {
+		if c := s.Core(i); c != nil {
+			retired += c.Retired()
+		}
+	}
+	return obs.HashCounters(s.Network().Stats(), retired)
+}
+
+// TestSnapshotByteIdentity is the acceptance criterion: for every
+// fabric, at Workers 1 and 8, a run snapshotted at cycle k and resumed
+// to N must match a straight 0→N run byte for byte — counters hash,
+// observability exports, and the full state blob itself.
+func TestSnapshotByteIdentity(t *testing.T) {
+	const (
+		total = 400
+		k     = 193 // deliberately not epoch- or sample-aligned
+	)
+	for _, tc := range snapCases() {
+		for _, workers := range []int{1, 8} {
+			tc, workers := tc, workers
+			t.Run(fmt.Sprintf("%s/workers=%d", tc.name, workers), func(t *testing.T) {
+				cfg := tc.cfg
+				cfg.Workers = workers
+
+				straight := New(cfg)
+				defer straight.Close()
+				straight.Run(total)
+				wantBlob := straight.Snapshot()
+				wantHash := countersHash(straight)
+				wantObs := obsExports(t, straight)
+
+				head := New(cfg)
+				head.Run(k)
+				blob := head.Snapshot()
+				head.Close()
+
+				resumed, err := Restore(cfg, blob)
+				if err != nil {
+					t.Fatalf("Restore: %v", err)
+				}
+				defer resumed.Close()
+				if got := resumed.Cycle(); got != k {
+					t.Fatalf("restored cycle %d, want %d", got, k)
+				}
+				resumed.Run(total - k)
+
+				if got := countersHash(resumed); got != wantHash {
+					t.Errorf("counters hash diverged: %s != %s", got, wantHash)
+				}
+				if got := obsExports(t, resumed); !bytes.Equal(got, wantObs) {
+					t.Errorf("obs exports diverged (%d vs %d bytes)", len(got), len(wantObs))
+				}
+				if got := resumed.Snapshot(); !bytes.Equal(got, wantBlob) {
+					t.Errorf("state blob diverged (%d vs %d bytes)", len(got), len(wantBlob))
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotWorkerInvariance checks the stronger property the
+// snapshot store depends on: the blob at cycle k is identical whatever
+// Workers produced it, so one checkpoint serves any parallelism.
+func TestSnapshotWorkerInvariance(t *testing.T) {
+	for _, tc := range snapCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var want []byte
+			for _, workers := range []int{1, 8} {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				s := New(cfg)
+				s.Run(193)
+				blob := s.Snapshot()
+				s.Close()
+				if want == nil {
+					want = blob
+					continue
+				}
+				if !bytes.Equal(blob, want) {
+					t.Fatalf("blob at Workers=%d differs from Workers=1 (%d vs %d bytes)",
+						workers, len(blob), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestWarmStartFork covers the modulo-knob fork: a warmup run under
+// NormalizeWarm(cfg), snapshotted at cfg.Warmup, restores into
+// configurations that differ in measured knobs, and the fork is
+// deterministic (two forks of the same blob replay identically).
+func TestWarmStartFork(t *testing.T) {
+	target := snapCases()[0].cfg // bless + Central + obs
+	target.Warmup = 200
+	norm := NormalizeWarm(target)
+	if norm.Controller != NoControl || norm.Obs.Enabled() || norm.Warmup != 0 {
+		t.Fatalf("NormalizeWarm left measured knobs set: %+v", norm)
+	}
+
+	warm := New(norm)
+	warm.Run(200)
+	blob := warm.Snapshot()
+	warm.Close()
+
+	runFork := func(cfg Config) (*Sim, string) {
+		s, err := Restore(cfg, blob)
+		if err != nil {
+			t.Fatalf("Restore fork: %v", err)
+		}
+		if s.Cycle() != 200 {
+			t.Fatalf("fork cycle %d, want 200", s.Cycle())
+		}
+		s.Run(300)
+		h := countersHash(s)
+		return s, h
+	}
+
+	s1, h1 := runFork(target)
+	defer s1.Close()
+	s2, h2 := runFork(target)
+	defer s2.Close()
+	if h1 != h2 {
+		t.Errorf("fork not deterministic: %s != %s", h1, h2)
+	}
+	if len(s1.Decisions()) == 0 {
+		t.Error("forked Central run recorded no controller decisions")
+	}
+	if o := s1.Obs(); o == nil || o.Sampler == nil {
+		t.Fatal("forked run lost its collectors")
+	} else {
+		samples := o.Sampler.Samples()
+		if len(samples) == 0 {
+			t.Fatal("forked run recorded no samples")
+		}
+		// The first window after the fork must not fold warmup totals in:
+		// its cycle delta is bounded by the sampling interval.
+		if first := samples[0]; first.Net.Cycles > target.Obs.SampleInterval {
+			t.Errorf("first post-fork window spans %d cycles, want <= %d (sampler not primed at the fork)",
+				first.Net.Cycles, target.Obs.SampleInterval)
+		}
+	}
+
+	// A fork into a different measured knob diverges from the first.
+	other := target
+	other.Controller = StaticUniform
+	other.StaticRate = 0.3
+	s3, h3 := runFork(other)
+	defer s3.Close()
+	if h3 == h1 {
+		t.Error("static-throttled fork unexpectedly matched the Central fork")
+	}
+
+	// Restore guards: a fork must land exactly on Config.Warmup, and
+	// only uncontrolled blobs may fork.
+	bad := target
+	bad.Warmup = 100
+	if _, err := Restore(bad, blob); err == nil {
+		t.Error("Restore accepted a fork at the wrong Warmup cycle")
+	}
+	ctrl := target
+	ctrl.Warmup = 0
+	ctrlSim := New(ctrl)
+	ctrlSim.Run(64)
+	ctrlBlob := ctrlSim.Snapshot()
+	ctrlSim.Close()
+	forked := ctrl
+	forked.Controller = Distributed
+	forked.Warmup = 64
+	if _, err := Restore(forked, ctrlBlob); err == nil {
+		t.Error("Restore accepted a fork from a controlled run")
+	}
+}
+
+// TestRestoreRejectsWrongFabric guards the router-kind check.
+func TestRestoreRejectsWrongFabric(t *testing.T) {
+	cfg := snapCases()[0].cfg
+	s := New(cfg)
+	s.Run(10)
+	blob := s.Snapshot()
+	s.Close()
+	wrong := cfg
+	wrong.Router = Buffered
+	if _, err := Restore(wrong, blob); err == nil {
+		t.Fatal("Restore accepted a blob from a different fabric")
+	}
+}

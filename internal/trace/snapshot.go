@@ -1,0 +1,62 @@
+package trace
+
+import "nocsim/internal/snap"
+
+// Checkpoint codec for the synthetic instruction generator. The
+// calibration outputs (memFrac, pMiss, hot set) are pure functions of
+// the Config, so a restored generator recomputes them in New and only
+// the dynamic stream position is encoded. New consumes two RNG draws
+// (initial phase and dwell); Restore overwrites the RNG state after
+// construction, so those draws leave no trace.
+
+func init() {
+	snap.Cover(Generator{}, snap.Coverage{
+		Serialized: []string{"r", "phase", "dwell", "streamPtr", "insns", "misses"},
+		Waived: map[string]string{
+			"cfg":     "construction: derived from sim.Config",
+			"memFrac": "construction: calibrated from cfg.Profile in New",
+			"pMiss":   "construction: calibrated from cfg.Profile in New",
+			"hot":     "construction: computed from cfg.AddrBase in New",
+		},
+	})
+	snap.Cover(Instr{}, snap.Coverage{
+		Serialized: []string{"IsMem", "IsStore", "Addr"},
+	})
+	snap.Cover(Config{}, snap.Coverage{
+		Waived: map[string]string{
+			"Profile":         "config: derived from sim.Config",
+			"FlitsPerMiss":    "config: derived from sim.Config",
+			"BlockBytes":      "config: derived from sim.Config",
+			"HotBlocks":       "config: derived from sim.Config",
+			"PhaseDwellInsns": "config: derived from sim.Config",
+			"StoreFrac":       "config: derived from sim.Config",
+			"AddrBase":        "config: derived from sim.Config",
+			"Seed":            "config: derived from sim.Config",
+		},
+	})
+}
+
+const tagGen = 0x11
+
+// Snapshot encodes the generator's stream position.
+func (g *Generator) Snapshot(w *snap.Writer) {
+	w.Tag(tagGen)
+	g.r.Snapshot(w)
+	w.U32(uint32(g.phase))
+	w.I64(g.dwell)
+	w.U64(g.streamPtr)
+	w.I64(g.insns)
+	w.I64(g.misses)
+}
+
+// Restore overlays a stream position captured by Snapshot onto a
+// generator constructed with the same Config.
+func (g *Generator) Restore(r *snap.Reader) {
+	r.Expect(tagGen)
+	g.r.Restore(r)
+	g.phase = int(r.U32())
+	g.dwell = r.I64()
+	g.streamPtr = r.U64()
+	g.insns = r.I64()
+	g.misses = r.I64()
+}
