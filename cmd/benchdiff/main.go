@@ -1,0 +1,171 @@
+// Command benchdiff is the benchmark drift gate: it compares two
+// benchmark documents (cmd/benchjson output, schema internal/bench)
+// record by record and exits non-zero when the new numbers regress
+// beyond a noise threshold. CI runs it so a hot-path regression fails
+// a build instead of being discovered three PRs later in a chart.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff old.json new.json
+//	go run ./cmd/benchdiff -threshold 0.25 old.json new.json
+//	go run ./cmd/benchdiff -old-run pr6-after -new-run pr8-checkpoints BENCH.json BENCH.json
+//
+// Both arguments may name the same file: -old-run/-new-run select
+// labeled runs inside one accumulating document (empty means the most
+// recent run). Records pair by (name, workers); snapshot records by
+// name. A record present in the old run but missing from the new one
+// is itself a regression — coverage loss hides performance loss.
+//
+// Exit status: 0 clean, 1 regressions found, 2 usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocsim/internal/bench"
+)
+
+// zeroAllocEps separates "steady-state zero allocations" from real
+// per-cycle allocation: benchmark warmup can attribute a stray
+// allocation or two to a run, so the gate triggers on crossing the
+// epsilon, not on exact zero.
+const zeroAllocEps = 0.01
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.25,
+			"fractional slowdown tolerated before a timing counts as a regression")
+		oldRun = flag.String("old-run", "", "label of the baseline run (empty: most recent)")
+		newRun = flag.String("new-run", "", "label of the candidate run (empty: most recent)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-old-run l] [-new-run l] old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := bench.Load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newDoc, err := bench.Load(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+	o := oldDoc.Run(*oldRun)
+	n := newDoc.Run(*newRun)
+	if o == nil {
+		fail(fmt.Errorf("%s has no run labeled %q", flag.Arg(0), *oldRun))
+	}
+	if n == nil {
+		fail(fmt.Errorf("%s has no run labeled %q", flag.Arg(1), *newRun))
+	}
+
+	report, regressions := diff(o, n, *threshold)
+	for _, l := range report {
+		fmt.Println(l)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%% threshold (%q -> %q)\n",
+			len(regressions), *threshold*100, o.Label, n.Label)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: no regressions beyond %.0f%% threshold (%q -> %q)\n",
+		*threshold*100, o.Label, n.Label)
+}
+
+// diff compares a baseline run against a candidate and returns the
+// full per-record report plus the subset that counts as regressions.
+// Three rules, checked per paired record:
+//
+//  1. timing: new exceeds old by more than the fractional threshold
+//     (ns/cycle for step records; snapshot and restore ns for
+//     checkpoint records, blob bytes likewise);
+//  2. allocations: a case that was at steady-state zero allocations
+//     (< zeroAllocEps/cycle) now allocates — any amount; a case that
+//     already allocated is held to the timing threshold;
+//  3. coverage: an old record with no counterpart in the candidate.
+func diff(o, n *bench.Run, threshold float64) (report, regressions []string) {
+	bad := func(format string, args ...any) {
+		l := fmt.Sprintf(format, args...)
+		report = append(report, "REGRESSION "+l)
+		regressions = append(regressions, l)
+	}
+
+	newRecs := make(map[string]bench.Record, len(n.Records))
+	for _, r := range n.Records {
+		newRecs[recKey(r)] = r
+	}
+	for _, or := range o.Records {
+		nr, ok := newRecs[recKey(or)]
+		if !ok {
+			bad("%s: record missing from candidate run", recKey(or))
+			continue
+		}
+		ratio := ratioOf(nr.NsPerCycle, or.NsPerCycle)
+		switch {
+		case ratio > 1+threshold:
+			bad("%s: %.0f -> %.0f ns/cycle (%+.1f%%)",
+				recKey(or), or.NsPerCycle, nr.NsPerCycle, (ratio-1)*100)
+		default:
+			report = append(report, fmt.Sprintf("ok %s: %.0f -> %.0f ns/cycle (%+.1f%%)",
+				recKey(or), or.NsPerCycle, nr.NsPerCycle, (ratio-1)*100))
+		}
+		switch {
+		case or.AllocsPerCycle < zeroAllocEps && nr.AllocsPerCycle >= zeroAllocEps:
+			bad("%s: steady state was allocation-free, now %.2f allocs/cycle",
+				recKey(or), nr.AllocsPerCycle)
+		case or.AllocsPerCycle >= zeroAllocEps &&
+			ratioOf(nr.AllocsPerCycle, or.AllocsPerCycle) > 1+threshold:
+			bad("%s: %.2f -> %.2f allocs/cycle",
+				recKey(or), or.AllocsPerCycle, nr.AllocsPerCycle)
+		}
+	}
+
+	newSnaps := make(map[string]bench.SnapRecord, len(n.Snapshots))
+	for _, r := range n.Snapshots {
+		newSnaps[r.Name] = r
+	}
+	for _, sold := range o.Snapshots {
+		ns, ok := newSnaps[sold.Name]
+		if !ok {
+			bad("snap %s: record missing from candidate run", sold.Name)
+			continue
+		}
+		for _, m := range []struct {
+			what     string
+			old, new float64
+		}{
+			{"snapshot ns", sold.SnapshotNs, ns.SnapshotNs},
+			{"restore ns", sold.RestoreNs, ns.RestoreNs},
+			{"blob bytes", sold.BlobBytes, ns.BlobBytes},
+		} {
+			if ratioOf(m.new, m.old) > 1+threshold {
+				bad("snap %s: %s %.0f -> %.0f", sold.Name, m.what, m.old, m.new)
+			} else {
+				report = append(report, fmt.Sprintf("ok snap %s: %s %.0f -> %.0f",
+					sold.Name, m.what, m.old, m.new))
+			}
+		}
+	}
+	return report, regressions
+}
+
+func recKey(r bench.Record) string {
+	return fmt.Sprintf("%s/w%d", r.Name, r.Workers)
+}
+
+// ratioOf treats a zero baseline as neutral: there is nothing to
+// regress from, and dividing by it would turn noise into infinity.
+func ratioOf(new, old float64) float64 {
+	if old <= 0 {
+		return 1
+	}
+	return new / old
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nocsim/internal/bench"
+)
+
+func baselineRun() bench.Run {
+	return bench.Run{
+		Label: "base",
+		Records: []bench.Record{
+			{Name: "mesh8x8", Workers: 1, NsPerCycle: 1000, AllocsPerCycle: 0},
+			{Name: "mesh8x8", Workers: 4, NsPerCycle: 400, AllocsPerCycle: 0},
+			{Name: "ring16", Workers: 1, NsPerCycle: 250, AllocsPerCycle: 0.5},
+		},
+		Snapshots: []bench.SnapRecord{
+			{Name: "mesh8x8", BlobBytes: 4096, SnapshotNs: 9000, RestoreNs: 12000},
+		},
+	}
+}
+
+func TestDiffCleanOnSelf(t *testing.T) {
+	o, n := baselineRun(), baselineRun()
+	report, regressions := diff(&o, &n, 0.25)
+	if len(regressions) != 0 {
+		t.Fatalf("self-comparison found regressions: %v", regressions)
+	}
+	if len(report) == 0 {
+		t.Fatal("self-comparison produced an empty report")
+	}
+}
+
+func TestDiffWithinNoise(t *testing.T) {
+	o, n := baselineRun(), baselineRun()
+	n.Records[0].NsPerCycle *= 1.20 // inside a 25% threshold
+	if _, regressions := diff(&o, &n, 0.25); len(regressions) != 0 {
+		t.Fatalf("20%% drift inside 25%% threshold flagged: %v", regressions)
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	o, n := baselineRun(), baselineRun()
+	n.Records[0].NsPerCycle *= 2        // timing regression
+	n.Records[1].AllocsPerCycle = 3     // zero-alloc contract broken
+	n.Records = n.Records[:2]           // ring16 coverage lost
+	n.Snapshots[0].BlobBytes = 3 * 4096 // checkpoint blob tripled
+	_, regressions := diff(&o, &n, 0.25)
+	if len(regressions) != 4 {
+		t.Fatalf("want 4 regressions, got %d: %v", len(regressions), regressions)
+	}
+	for _, want := range []string{"ns/cycle", "allocation-free", "missing", "blob bytes"} {
+		found := false
+		for _, r := range regressions {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no regression mentions %q: %v", want, regressions)
+		}
+	}
+}
+
+// TestDiffFixtureFiles drives the same comparison through the on-disk
+// document form CI uses: a baseline file and a candidate with an
+// injected slowdown must disagree.
+func TestDiffFixtureFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r bench.Run) string {
+		doc := bench.File{Runs: []bench.Run{r}}
+		b, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	slow := baselineRun()
+	slow.Label = "candidate"
+	slow.Records[2].NsPerCycle *= 4
+	oldPath := write("old.json", baselineRun())
+	newPath := write("new.json", slow)
+
+	oldDoc, err := bench.Load(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newDoc, err := bench.Load(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty labels select each file's most recent run, as main does.
+	_, regressions := diff(oldDoc.Run(""), newDoc.Run(""), 0.25)
+	if len(regressions) != 1 {
+		t.Fatalf("want exactly the injected slowdown, got %v", regressions)
+	}
+	if !strings.Contains(regressions[0], "ring16/w1") {
+		t.Fatalf("regression names wrong record: %v", regressions)
+	}
+}

@@ -11,7 +11,8 @@
 //	go run ./cmd/benchjson -time 200ms       # longer per-case runs
 //
 // The output file accumulates labeled runs so before/after pairs live
-// side by side in one document. Re-using a label replaces that run.
+// side by side in one document (schema: internal/bench; drift gate:
+// cmd/benchdiff). Re-using a label replaces that run.
 // Each record reports one (case, workers) cell: nanoseconds per
 // simulated cycle, flit-hops retired per second, and steady-state
 // heap allocations per cycle (which the pooled hot path keeps at
@@ -20,121 +21,20 @@ package main
 
 import (
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"nocsim/internal/bench"
 	"nocsim/internal/noc/stepbench"
 	"nocsim/internal/runner"
 	"nocsim/internal/sim"
 	"nocsim/internal/snap"
 	"nocsim/internal/workload"
 )
-
-// record is one benchmark cell in the output file.
-type record struct {
-	Name           string  `json:"name"`
-	Workers        int     `json:"workers"`
-	NsPerCycle     float64 `json:"ns_per_cycle"`
-	CyclesPerSec   float64 `json:"cycles_per_sec"`
-	FlitHopsPerSec float64 `json:"flit_hops_per_sec"`
-	AllocsPerCycle float64 `json:"allocs_per_cycle"`
-	BytesPerCycle  float64 `json:"bytes_per_cycle"`
-}
-
-// snapRecord is one checkpoint-codec cell: the cost of encoding a full
-// simulator state, the cost of rebuilding one from the blob, and the
-// blob size the store pays per entry.
-type snapRecord struct {
-	Name       string  `json:"name"`
-	BlobBytes  float64 `json:"blob_bytes"`
-	SnapshotNs float64 `json:"snapshot_ns"`
-	RestoreNs  float64 `json:"restore_ns"`
-}
-
-// sweepRecord reports the warm-start sweep benchmark: the same
-// static-rate sweep executed cold (every point re-simulates its warmup
-// prefix) and warm (all points fork one shared checkpoint). The cycle
-// totals are the simulated work each mode pays; points_per_sec is the
-// wall-clock payoff.
-type sweepRecord struct {
-	Points             int     `json:"points"`
-	WarmupCycles       int64   `json:"warmup_cycles"`
-	MeasuredCycles     int64   `json:"measured_cycles_per_point"`
-	ColdTotalCycles    int64   `json:"cold_total_cycles"`
-	WarmTotalCycles    int64   `json:"warm_total_cycles"`
-	ColdOverWarmCycles float64 `json:"cold_over_warm_cycles"`
-	ColdPointsPerSec   float64 `json:"cold_points_per_sec"`
-	WarmPointsPerSec   float64 `json:"warm_points_per_sec"`
-}
-
-// environment identifies the machine and toolchain a benchmark file was
-// produced on; numbers are only comparable within one environment.
-type environment struct {
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-}
-
-// run is one labeled sweep of the benchmark matrix.
-type run struct {
-	Label     string       `json:"label"`
-	Records   []record     `json:"records"`
-	Snapshots []snapRecord `json:"snapshots,omitempty"`
-	Sweep     *sweepRecord `json:"sweep,omitempty"`
-}
-
-// benchFile is the output document: environment metadata plus the
-// accumulated labeled runs. The legacy single-run form (a top-level
-// "records" array) is still read and migrated to a run labeled
-// "legacy" on the next write.
-type benchFile struct {
-	Env  environment `json:"env"`
-	Runs []run       `json:"runs"`
-
-	// LegacyRecords captures the pre-labeled-run schema on read; it is
-	// never written back.
-	LegacyRecords []record `json:"records,omitempty"`
-}
-
-// load reads an existing output file and migrates the legacy schema.
-// A missing file yields an empty document.
-func load(path string) (benchFile, error) {
-	var doc benchFile
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return doc, nil
-	}
-	if err != nil {
-		return doc, err
-	}
-	if err := json.Unmarshal(data, &doc); err != nil {
-		return doc, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	if len(doc.LegacyRecords) > 0 {
-		doc.Runs = append([]run{{Label: "legacy", Records: doc.LegacyRecords}}, doc.Runs...)
-		doc.LegacyRecords = nil
-	}
-	return doc, nil
-}
-
-// upsert replaces the run with the same label, or appends.
-func upsert(runs []run, r run) []run {
-	for i := range runs {
-		if runs[i].Label == r.Label {
-			runs[i] = r
-			return runs
-		}
-	}
-	return append(runs, r)
-}
 
 func main() {
 	testing.Init() // registers -test.* flags so benchtime is settable
@@ -149,10 +49,10 @@ func main() {
 		fail(err)
 	}
 
-	doc := benchFile{}
+	doc := bench.File{}
 	if !*fresh {
 		var err error
-		if doc, err = load(*out); err != nil {
+		if doc, err = bench.Load(*out); err != nil {
 			fail(err)
 		}
 	}
@@ -162,7 +62,7 @@ func main() {
 		workerSet = append(workerSet, p)
 	}
 
-	var records []record
+	var records []bench.Record
 	for _, c := range stepbench.Cases() {
 		for _, w := range workerSet {
 			c, w := c, w
@@ -170,7 +70,7 @@ func main() {
 				stepbench.Bench(b, c, w)
 			})
 			nsPerCycle := float64(r.T.Nanoseconds()) / float64(r.N)
-			records = append(records, record{
+			records = append(records, bench.Record{
 				Name:           c.Name,
 				Workers:        w,
 				NsPerCycle:     nsPerCycle,
@@ -194,14 +94,14 @@ func main() {
 		sweep.Points, sweep.ColdTotalCycles, sweep.ColdPointsPerSec,
 		sweep.WarmTotalCycles, sweep.WarmPointsPerSec, sweep.ColdOverWarmCycles)
 
-	doc.Env = environment{
+	doc.Env = bench.Environment{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
-	doc.Runs = upsert(doc.Runs, run{Label: *label, Records: records, Snapshots: snaps, Sweep: sweep})
+	doc.Runs = bench.Upsert(doc.Runs, bench.Run{Label: *label, Records: records, Snapshots: snaps, Sweep: sweep})
 	js, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fail(err)
@@ -214,13 +114,13 @@ func main() {
 
 // measureSnapshots runs the checkpoint-codec matrix: per configuration,
 // the encode cost, the rebuild cost, and the blob size.
-func measureSnapshots() []snapRecord {
-	var out []snapRecord
+func measureSnapshots() []bench.SnapRecord {
+	var out []bench.SnapRecord
 	for _, c := range stepbench.SnapCases() {
 		c := c
 		enc := testing.Benchmark(func(b *testing.B) { stepbench.BenchSnapshot(b, c) })
 		dec := testing.Benchmark(func(b *testing.B) { stepbench.BenchRestore(b, c) })
-		r := snapRecord{
+		r := bench.SnapRecord{
 			Name:       c.Name,
 			BlobBytes:  enc.Extra["blob_bytes"],
 			SnapshotNs: float64(enc.T.Nanoseconds()) / float64(enc.N),
@@ -239,7 +139,7 @@ func measureSnapshots() []snapRecord {
 // totals are exact by construction (the runner's warm tests pin the
 // behaviour); the store's write counter is checked so the record can
 // never claim sharing that did not happen.
-func measureSweep() (*sweepRecord, error) {
+func measureSweep() (*bench.SweepRecord, error) {
 	const (
 		points       = 8
 		cycles int64 = 2_000
@@ -310,7 +210,7 @@ func measureSweep() (*sweepRecord, error) {
 	}
 	cold := int64(points) * (warmup + cycles)
 	warm := warmup + int64(points)*cycles
-	return &sweepRecord{
+	return &bench.SweepRecord{
 		Points:             points,
 		WarmupCycles:       warmup,
 		MeasuredCycles:     cycles,

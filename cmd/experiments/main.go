@@ -27,6 +27,7 @@ import (
 	"nocsim/internal/plot"
 	"nocsim/internal/runner"
 	"nocsim/internal/serve"
+	"nocsim/internal/snap"
 )
 
 // runDriver executes one experiment driver, converting a harness panic
@@ -92,9 +93,13 @@ func main() {
 
 		server = flag.String("server", "", "nocd daemon URL; plain runs execute remotely against its result cache")
 
+		warmup  = flag.Int64("warmup", 0, "simulate N unmeasured warmup cycles per run before measuring")
+		snapDir = flag.String("snapdir", "", "checkpoint store directory; warm-start prefixes are shared through it")
+
 		obsInterval = flag.Int64("obs-interval", 0, "record an interval sample every N cycles (0 = off)")
 		obsTrace    = flag.Uint64("obs-trace", 0, "trace the lifecycle of ~1/N packets as Chrome trace JSON (0 = off, 1 = all)")
 		obsSpatial  = flag.Bool("obs-spatial", false, "collect per-link and per-node heatmap grids")
+		obsEpochs   = flag.Bool("obs-epochs", false, "record the congestion decision ledger (one record per controller epoch)")
 		obsDir      = flag.String("obs-dir", "obs", "directory for observability exports and run manifests")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -165,9 +170,20 @@ func main() {
 	if *parallel > 0 {
 		sc.Parallel = *parallel
 	}
-	sc.Obs = obs.Options{SampleInterval: *obsInterval, TraceSample: *obsTrace, Spatial: *obsSpatial}
+	sc.Obs = obs.Options{SampleInterval: *obsInterval, TraceSample: *obsTrace, Spatial: *obsSpatial, Epochs: *obsEpochs}
 	if sc.Obs.Enabled() {
 		sc.ObsDir = *obsDir
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	if *snapDir != "" {
+		st, err := snap.NewStore(*snapDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		sc.Snapshots = st
 	}
 	if *progress {
 		sc.Progress = runner.NewProgress(os.Stderr)

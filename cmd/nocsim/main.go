@@ -47,6 +47,7 @@ func main() {
 		obsInterval = flag.Int64("obs-interval", 0, "record an interval sample every N cycles (0 = off)")
 		obsTrace    = flag.Uint64("obs-trace", 0, "trace the lifecycle of ~1/N packets as Chrome trace JSON (0 = off, 1 = all)")
 		obsSpatial  = flag.Bool("obs-spatial", false, "collect per-link and per-node heatmap grids")
+		obsEpochs   = flag.Bool("obs-epochs", false, "record the congestion decision ledger (one record per controller epoch)")
 		obsDir      = flag.String("obs-dir", "obs", "directory for observability exports and the run manifest")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -138,7 +139,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	obsOpt := obs.Options{SampleInterval: *obsInterval, TraceSample: *obsTrace, Spatial: *obsSpatial}
+	obsOpt := obs.Options{SampleInterval: *obsInterval, TraceSample: *obsTrace, Spatial: *obsSpatial, Epochs: *obsEpochs}
 	if obsOpt.Enabled() {
 		opts = append(opts, runner.WithObs(obsOpt))
 	}

@@ -26,6 +26,7 @@ var fixtureCases = []struct {
 	{"globalrand", "nocsim/internal/traffic"},
 	{"globalrand_clean", "nocsim/internal/traffic"},
 	{"maprange", "nocsim/internal/stats"},
+	{"maprange_obs", "nocsim/internal/obs"},
 	{"maprange_exempt", "nocsim/internal/cache"},
 	{"rawconfig", "nocsim/internal/exp"},
 	{"rawconfig_exempt", "nocsim/internal/runner"},

@@ -1,0 +1,60 @@
+// Package maprangeobs pins the maprange rule on the congestion
+// ledger's home package: analyzed as nocsim/internal/obs, where epoch
+// records are exported byte-for-byte and a map iteration anywhere on
+// the row-building path would scramble export order between runs.
+package maprangeobs
+
+import "sort"
+
+// nodeRow is a stand-in per-node ledger row.
+type nodeRow struct {
+	node int
+	rate float64
+}
+
+// badRows builds ledger rows straight off the controller's per-node
+// throttle map — the exact bug the rule exists to catch.
+func badRows(rates map[int]float64) []nodeRow {
+	var out []nodeRow
+	for n, r := range rates { // want `range over map map\[int\]float64`
+		out = append(out, nodeRow{node: n, rate: r})
+	}
+	return out
+}
+
+// perApp mirrors the controller's MPKI-keyed accumulator type.
+type perApp map[string]float64
+
+func badSum(m perApp) float64 {
+	var total float64
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+// goodRows is the sanctioned shape: collect keys under a justified
+// waiver, sort them, then index deterministically.
+func goodRows(rates map[int]float64) []nodeRow {
+	nodes := make([]int, 0, len(rates))
+	//nocvet:allow maprange key collection; nodes are sorted before the rows are built
+	for n := range rates {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	out := make([]nodeRow, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, nodeRow{node: n, rate: rates[n]})
+	}
+	return out
+}
+
+// goodDense is the better shape still: ledger state held densely by
+// node index, no map on the export path at all.
+func goodDense(rates []float64) []nodeRow {
+	out := make([]nodeRow, 0, len(rates))
+	for n, r := range rates {
+		out = append(out, nodeRow{node: n, rate: r})
+	}
+	return out
+}

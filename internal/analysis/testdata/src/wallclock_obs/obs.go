@@ -30,3 +30,25 @@ func goodDelta(endCycle, startCycle int64) int64 {
 	// Simulated-time arithmetic is the deterministic alternative.
 	return endCycle - startCycle
 }
+
+// epochRecord is a stand-in congestion-ledger record: the ledger is
+// cycle-indexed by contract, so even a "harmless" capture timestamp
+// must fire.
+type epochRecord struct {
+	epoch    int64
+	cycle    int64
+	captured time.Time
+}
+
+func badLedgerRecord(epoch, cycle int64) epochRecord {
+	return epochRecord{
+		epoch:    epoch,
+		cycle:    cycle,
+		captured: time.Now(), // want "time.Now reads the wall clock"
+	}
+}
+
+func goodLedgerRecord(epoch, epochLen int64) epochRecord {
+	// The epoch boundary cycle is derived from simulated time alone.
+	return epochRecord{epoch: epoch, cycle: epoch * epochLen}
+}

@@ -37,6 +37,14 @@ type Manifest struct {
 	// ElapsedMS is the measured wall-clock time (nondeterministic;
 	// compare manifests on CountersHash, never on this).
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// WarmSource records warm-start provenance: "cold" for a run
+	// simulated from cycle 0, otherwise the content digest of the
+	// checkpoint the run was forked or resumed from. WarmCycle is the
+	// cycle the restored run continued at (0 for cold runs). Restores
+	// are byte-exact, so provenance never affects results — it answers
+	// "where did this run's prefix come from".
+	WarmSource string `json:"warm_source"`
+	WarmCycle  int64  `json:"warm_cycle"`
 	// CountersHash digests the run's final counters; equal hashes mean
 	// the simulations were identical event for event.
 	CountersHash string `json:"counters_hash"`

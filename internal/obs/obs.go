@@ -5,11 +5,15 @@
 // per-epoch reaction — and end-of-run aggregates cannot show *when*
 // or *where* a run went wrong. The collectors here can.
 //
-// Four components:
+// Five components:
 //
 //   - Sampler: snapshots interval deltas of the fabric counters plus
 //     application-layer signals (IPC, IPF, throttle rate, starvation
 //     rate) every N cycles, exportable as JSONL or CSV time series.
+//   - EpochLedger: the congestion decision ledger — one record per
+//     controller epoch holding every input (per-node IPF/MPKI, sigma)
+//     and output (throttle rates, congested verdict) of the throttling
+//     decision plus the window's network rates, as JSONL or CSV.
 //   - Tracer: flit-lifecycle events (enqueue/inject/deflect/buffer/
 //     eject/drop) for a deterministic sample of packets, held in
 //     bounded per-node rings and exported as Chrome trace-event JSON
@@ -46,11 +50,14 @@ type Options struct {
 	TraceBudget int
 	// Spatial enables the per-link and per-node grids.
 	Spatial bool
+	// Epochs enables the congestion decision ledger (one record per
+	// controller epoch).
+	Epochs bool
 }
 
 // Enabled reports whether any collector is configured.
 func (o Options) Enabled() bool {
-	return o.SampleInterval > 0 || o.TraceSample > 0 || o.Spatial
+	return o.SampleInterval > 0 || o.TraceSample > 0 || o.Spatial || o.Epochs
 }
 
 // Meta describes the simulated system to the collectors.
@@ -71,6 +78,7 @@ type Observer struct {
 	Sampler *Sampler
 	Tracer  *Tracer
 	Spatial *Spatial
+	Epochs  *EpochLedger
 }
 
 // New builds the collectors opt selects. It returns nil when opt
@@ -92,6 +100,9 @@ func New(opt Options, m Meta) *Observer {
 	}
 	if opt.Spatial {
 		o.Spatial = NewSpatial(m)
+	}
+	if opt.Epochs {
+		o.Epochs = NewEpochLedger(m)
 	}
 	return o
 }

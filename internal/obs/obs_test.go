@@ -38,6 +38,7 @@ func observedConfig(workers int) sim.Config {
 			SampleInterval: 1_000,
 			TraceSample:    4,
 			Spatial:        true,
+			Epochs:         true,
 		}),
 	)
 }
@@ -92,7 +93,7 @@ func TestGoldenSamplerJSONL(t *testing.T) {
 // partition nodes.
 func TestExportsWorkerInvariant(t *testing.T) {
 	type exports struct {
-		jsonl, csv, trace, nodes, links []byte
+		jsonl, csv, trace, nodes, links, epochs, epochsCSV []byte
 	}
 	collect := func(workers int) exports {
 		s := runObserved(t, workers)
@@ -107,6 +108,8 @@ func TestExportsWorkerInvariant(t *testing.T) {
 			{&e.trace, func(b *bytes.Buffer) error { return o.Tracer.WriteChromeTrace(b) }},
 			{&e.nodes, func(b *bytes.Buffer) error { return o.Spatial.WriteNodeCSV(b) }},
 			{&e.links, func(b *bytes.Buffer) error { return o.Spatial.WriteLinkCSV(b) }},
+			{&e.epochs, func(b *bytes.Buffer) error { return o.Epochs.WriteJSONL(b) }},
+			{&e.epochsCSV, func(b *bytes.Buffer) error { return o.Epochs.WriteCSV(b) }},
 		} {
 			var buf bytes.Buffer
 			if err := w.emit(&buf); err != nil {
@@ -126,6 +129,8 @@ func TestExportsWorkerInvariant(t *testing.T) {
 		{"chrome trace", par.trace, seq.trace},
 		{"node grid CSV", par.nodes, seq.nodes},
 		{"link grid CSV", par.links, seq.links},
+		{"epoch ledger JSONL", par.epochs, seq.epochs},
+		{"epoch ledger CSV", par.epochsCSV, seq.epochsCSV},
 	} {
 		if !bytes.Equal(c.got, c.ref) {
 			t.Errorf("%s differs between Workers=1 and Workers=4 (%d vs %d bytes)",

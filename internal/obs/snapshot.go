@@ -19,7 +19,7 @@ import (
 
 func init() {
 	snap.Cover(Observer{}, snap.Coverage{
-		Serialized: []string{"Sampler", "Tracer", "Spatial"},
+		Serialized: []string{"Sampler", "Tracer", "Spatial", "Epochs"},
 	})
 	snap.Cover(Options{}, snap.Coverage{
 		Waived: map[string]string{
@@ -27,6 +27,7 @@ func init() {
 			"TraceSample":    "config: construction input",
 			"TraceBudget":    "config: construction input",
 			"Spatial":        "config: construction input",
+			"Epochs":         "config: construction input",
 		},
 	})
 	snap.Cover(Meta{}, snap.Coverage{
@@ -70,6 +71,23 @@ func init() {
 			"Cycle", "Start", "Seq", "Node", "Src", "Dst",
 			"Index", "PKind", "Kind",
 		},
+	})
+	snap.Cover(EpochLedger{}, snap.Coverage{
+		Serialized: []string{"records", "prevNet"},
+		Waived: map[string]string{
+			"meta": "config: construction input",
+			"sink": "construction: streaming consumers re-attach after restore (SetSink replays)",
+		},
+	})
+	snap.Cover(EpochRecord{}, snap.Coverage{
+		Serialized: []string{
+			"Epoch", "Cycle", "DecisionRan", "Congested", "MeanIPF",
+			"ThrottledNodes", "ControlPackets", "Utilization",
+			"DeflectionRate", "EjectionRate", "StarvationRate", "Nodes",
+		},
+	})
+	snap.Cover(EpochNode{}, snap.Coverage{
+		Serialized: []string{"Node", "IPF", "MPKI", "Sigma", "Rate"},
 	})
 	snap.Cover(Spatial{}, snap.Coverage{
 		Serialized: []string{
@@ -254,12 +272,88 @@ func (s *Spatial) restore(r *snap.Reader) {
 	restoreGrid(r, s.throttled)
 }
 
+// Prime sets the ledger's delta baseline to the given cumulative
+// counters, so the first epoch recorded after a warm-start fork
+// derives its window rates from post-fork activity only.
+func (l *EpochLedger) Prime(net noc.Stats) {
+	l.prevNet = net
+}
+
+func (l *EpochLedger) snapshot(w *snap.Writer) {
+	w.U32(uint32(len(l.records)))
+	for i := range l.records {
+		rec := &l.records[i]
+		w.I64(rec.Epoch)
+		w.I64(rec.Cycle)
+		w.Bool(rec.DecisionRan)
+		w.Bool(rec.Congested)
+		w.F64(rec.MeanIPF)
+		w.I32(int32(rec.ThrottledNodes))
+		w.I32(int32(rec.ControlPackets))
+		w.F64(rec.Utilization)
+		w.F64(rec.DeflectionRate)
+		w.F64(rec.EjectionRate)
+		w.F64(rec.StarvationRate)
+		w.U32(uint32(len(rec.Nodes)))
+		for j := range rec.Nodes {
+			nd := &rec.Nodes[j]
+			w.I32(nd.Node)
+			w.F64(nd.IPF)
+			w.F64(nd.MPKI)
+			w.F64(nd.Sigma)
+			w.F64(nd.Rate)
+		}
+	}
+	snapshotStats(w, &l.prevNet)
+}
+
+func (l *EpochLedger) restore(r *snap.Reader) {
+	n := int(r.U32())
+	if r.Err() != nil {
+		return
+	}
+	l.records = l.records[:0]
+	for i := 0; i < n; i++ {
+		var rec EpochRecord
+		rec.Epoch = r.I64()
+		rec.Cycle = r.I64()
+		rec.DecisionRan = r.Bool()
+		rec.Congested = r.Bool()
+		rec.MeanIPF = r.F64()
+		rec.ThrottledNodes = int(r.I32())
+		rec.ControlPackets = int(r.I32())
+		rec.Utilization = r.F64()
+		rec.DeflectionRate = r.F64()
+		rec.EjectionRate = r.F64()
+		rec.StarvationRate = r.F64()
+		nn := int(r.U32())
+		if r.Err() != nil {
+			return
+		}
+		rec.Nodes = make([]EpochNode, nn)
+		for j := range rec.Nodes {
+			nd := &rec.Nodes[j]
+			nd.Node = r.I32()
+			nd.IPF = r.F64()
+			nd.MPKI = r.F64()
+			nd.Sigma = r.F64()
+			nd.Rate = r.F64()
+		}
+		if r.Err() != nil {
+			return
+		}
+		l.records = append(l.records, rec)
+	}
+	restoreStats(r, &l.prevNet)
+}
+
 // Snapshot encodes every enabled collector's full state.
 func (o *Observer) Snapshot(w *snap.Writer) {
 	w.Tag(tagObs)
 	w.Bool(o.Sampler != nil)
 	w.Bool(o.Tracer != nil)
 	w.Bool(o.Spatial != nil)
+	w.Bool(o.Epochs != nil)
 	if o.Sampler != nil {
 		o.Sampler.snapshot(w)
 	}
@@ -268,6 +362,9 @@ func (o *Observer) Snapshot(w *snap.Writer) {
 	}
 	if o.Spatial != nil {
 		o.Spatial.snapshot(w)
+	}
+	if o.Epochs != nil {
+		o.Epochs.snapshot(w)
 	}
 }
 
@@ -279,13 +376,14 @@ func (o *Observer) Restore(r *snap.Reader) {
 	hasSampler := r.Bool()
 	hasTracer := r.Bool()
 	hasSpatial := r.Bool()
+	hasEpochs := r.Bool()
 	if r.Err() != nil {
 		return
 	}
 	if hasSampler != (o.Sampler != nil) || hasTracer != (o.Tracer != nil) ||
-		hasSpatial != (o.Spatial != nil) {
-		r.Failf("observer collectors (sampler=%t tracer=%t spatial=%t) do not match the configuration",
-			hasSampler, hasTracer, hasSpatial)
+		hasSpatial != (o.Spatial != nil) || hasEpochs != (o.Epochs != nil) {
+		r.Failf("observer collectors (sampler=%t tracer=%t spatial=%t epochs=%t) do not match the configuration",
+			hasSampler, hasTracer, hasSpatial, hasEpochs)
 		return
 	}
 	if o.Sampler != nil {
@@ -296,5 +394,8 @@ func (o *Observer) Restore(r *snap.Reader) {
 	}
 	if o.Spatial != nil {
 		o.Spatial.restore(r)
+	}
+	if o.Epochs != nil {
+		o.Epochs.restore(r)
 	}
 }

@@ -221,19 +221,20 @@ func (t *Tracer) Lost() int64 {
 	return n
 }
 
-// chromeEvent is one record of the Chrome trace-event format
-// (Perfetto's legacy JSON ingestion). Timestamps are simulated cycles
-// presented as microseconds, so 1 cycle renders as 1 us.
-type chromeEvent struct {
-	Name string      `json:"name"`
-	Cat  string      `json:"cat,omitempty"`
-	Ph   string      `json:"ph"`
-	Ts   int64       `json:"ts"`
-	Dur  int64       `json:"dur,omitempty"`
-	Pid  int64       `json:"pid"`
-	Tid  uint64      `json:"tid"`
-	S    string      `json:"s,omitempty"`
-	Args *chromeArgs `json:"args,omitempty"`
+// ChromeEvent is one record of the Chrome trace-event format
+// (Perfetto's legacy JSON ingestion). The flit tracer presents
+// simulated cycles as microseconds, so 1 cycle renders as 1 us; other
+// producers (the serve layer's job spans) put real microseconds in Ts.
+type ChromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	Ts   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	Pid  int64  `json:"pid"`
+	Tid  uint64 `json:"tid"`
+	S    string `json:"s,omitempty"`
+	Args any    `json:"args,omitempty"`
 }
 
 type chromeArgs struct {
@@ -247,8 +248,24 @@ type chromeArgs struct {
 
 // chromeTrace is the top-level trace-event JSON object.
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON wraps events in the top-level Chrome trace-event
+// object and writes it. Every trace-JSON producer (the flit tracer,
+// the serve layer's job spans) funnels through here so the envelope
+// stays in one place.
+func WriteChromeJSON(w io.Writer, events []ChromeEvent) error {
+	out := chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	return nil
 }
 
 // WriteChromeTrace exports the trace in Chrome trace-event JSON. Each
@@ -258,9 +275,9 @@ type chromeTrace struct {
 // events on the same track, positioned at the router that acted.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	evs := t.Events()
-	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(evs)), DisplayTimeUnit: "ms"}
+	out := make([]ChromeEvent, 0, len(evs))
 	for _, ev := range evs {
-		ce := chromeEvent{
+		ce := ChromeEvent{
 			Cat: ev.PKind.String(),
 			Ts:  ev.Start,
 			Pid: int64(ev.Src),
@@ -290,11 +307,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			ce.S = "t"
 			ce.Ts = ev.Cycle
 		}
-		out.TraceEvents = append(out.TraceEvents, ce)
+		out = append(out, ce)
 	}
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(&out); err != nil {
-		return fmt.Errorf("obs: encoding trace: %w", err)
-	}
-	return nil
+	return WriteChromeJSON(w, out)
 }

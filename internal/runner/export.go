@@ -15,8 +15,9 @@ import (
 
 // ExportObs writes every enabled collector of an observed simulation
 // into dir as <label>.<kind> files: samples.jsonl and samples.csv
-// (interval time series), trace.json (Chrome trace-event format),
-// nodes.csv and links.csv (spatial grids), and manifest.json (the
+// (interval time series), epochs.jsonl and epochs.csv (the congestion
+// decision ledger), trace.json (Chrome trace-event format), nodes.csv
+// and links.csv (spatial grids), and manifest.json (the
 // reproducibility record). It is a no-op when the simulation was built
 // without collectors. All exports except the manifest's elapsed_ms
 // field are deterministic: byte-identical at any Workers or -parallel
@@ -39,6 +40,14 @@ func ExportObs(s *sim.Sim, dir, label string, cfg sim.Config, elapsed time.Durat
 			return err
 		}
 		if err := writeFile(base+".samples.csv", o.Sampler.WriteCSV); err != nil {
+			return err
+		}
+	}
+	if o.Epochs != nil {
+		if err := writeFile(base+".epochs.jsonl", o.Epochs.WriteJSONL); err != nil {
+			return err
+		}
+		if err := writeFile(base+".epochs.csv", o.Epochs.WriteCSV); err != nil {
 			return err
 		}
 	}
@@ -73,6 +82,10 @@ func ExportObs(s *sim.Sim, dir, label string, cfg sim.Config, elapsed time.Durat
 		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
 		CountersHash: obs.HashCounters(m.Net, retired, m.Misses),
 		Config:       rawCfg,
+	}
+	man.WarmSource, man.WarmCycle = s.Origin()
+	if man.WarmSource == "" {
+		man.WarmSource = "cold"
 	}
 	man.FillEnv()
 	return writeFile(base+".manifest.json", man.Write)

@@ -84,6 +84,7 @@ func (p *Plan) startSim(cfg sim.Config, r Run) (*sim.Sim, int64) {
 				if key, err := CacheKey(cfg, c); err == nil {
 					if blob, ok := st.Get(digest, c, key); ok {
 						if s, err := sim.Restore(cfg, blob); err == nil {
+							s.SetOrigin(digest, c)
 							return s, c
 						}
 						// A structurally incompatible checkpoint (different
@@ -94,12 +95,14 @@ func (p *Plan) startSim(cfg sim.Config, r Run) (*sim.Sim, int64) {
 		}
 	}
 	if cfg.Warmup > 0 {
-		e := p.warmSlot(mustWarmDigest(cfg), cfg.Warmup)
+		digest := mustWarmDigest(cfg)
+		e := p.warmSlot(digest, cfg.Warmup)
 		e.once.Do(func() { e.blob = p.warmBlob(cfg) })
 		s, err := sim.Restore(cfg, e.blob)
 		if err != nil {
 			panic(fmt.Sprintf("runner: warm-start fork at cycle %d: %v", cfg.Warmup, err))
 		}
+		s.SetOrigin(digest, cfg.Warmup)
 		return s, cfg.Warmup
 	}
 	return sim.New(cfg), 0

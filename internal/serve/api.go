@@ -1,6 +1,9 @@
 package serve
 
-import "nocsim/internal/sim"
+import (
+	"nocsim/internal/obs"
+	"nocsim/internal/sim"
+)
 
 // This file is the wire vocabulary of the daemon's HTTP API. Requests
 // are runner.PlanSpec JSON (the same declarative form Execute ships for
@@ -89,6 +92,14 @@ type sampleEvent struct {
 	Type   string `json:"type"` // "sample"
 	Label  string `json:"label"`
 	Sample any    `json:"sample"`
+}
+
+// epochEvent carries one congestion-ledger record of a live run: every
+// input and output of one controller decision, streamed as it lands.
+type epochEvent struct {
+	Type   string          `json:"type"` // "epoch"
+	Label  string          `json:"label"`
+	Record obs.EpochRecord `json:"record"`
 }
 
 type runDoneEvent struct {

@@ -28,6 +28,7 @@ type job struct {
 	key  string
 	sc   runner.Scale
 	runs []runner.ResolvedRun
+	born time.Time // submission instant; anchors the job's trace
 
 	mu         sync.Mutex
 	state      string
@@ -35,6 +36,7 @@ type job struct {
 	results    []RunResult
 	events     []json.RawMessage
 	eventsDone bool
+	spans      []jobSpan
 }
 
 func (j *job) getState() string {
@@ -137,6 +139,9 @@ func (s *Server) Drain() {
 // a client that saw a terminal state and resubmits always gets a fresh
 // job (which then hits the cache) rather than a stale dedup answer.
 func (s *Server) runJob(j *job) {
+	wait := time.Since(j.born)
+	s.tele.observe(s.tele.queueWait, wait)
+	j.addSpan("queue", "", j.born, wait)
 	s.mu.Lock()
 	s.inflight++
 	s.mu.Unlock()
@@ -144,6 +149,7 @@ func (s *Server) runJob(j *job) {
 		if r := recover(); r != nil {
 			s.release(j)
 			j.finish(nil, fmt.Sprintf("%v", r))
+			s.tele.countJob(stateFailed)
 			s.logf("job %s panicked: %v", j.id, r)
 		}
 		s.mu.Lock()
@@ -156,6 +162,11 @@ func (s *Server) runJob(j *job) {
 	results, errMsg := s.execute(j)
 	s.release(j)
 	j.finish(results, errMsg)
+	if errMsg == "" {
+		s.tele.countJob(stateDone)
+	} else {
+		s.tele.countJob(stateFailed)
+	}
 }
 
 // release removes the job from the dedup set.
@@ -175,7 +186,10 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 	results := make([]RunResult, len(j.runs))
 	var miss []int
 	for i, r := range j.runs {
+		lookup := time.Now()
 		e, err := s.cache.Get(r.Key)
+		s.tele.observe(s.tele.cacheGet, time.Since(lookup))
+		j.addSpan("cache_lookup", r.Label, lookup, time.Since(lookup))
 		if err != nil {
 			s.logf("job %s: %v (re-simulating)", j.id, err)
 		}
@@ -183,6 +197,7 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 			miss = append(miss, i)
 			continue
 		}
+		s.tele.countRun("cached")
 		results[i] = RunResult{
 			Label: r.Label, Key: r.Key, Cached: true,
 			CountersHash: e.Manifest.CountersHash,
@@ -196,7 +211,7 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 		sc := j.sc
 		sc.Remote = nil // the daemon is the remote; execute in-process
 		sc.ObsDir = ""
-		sc.Obs = obs.Options{SampleInterval: s.cfg.SampleInterval}
+		sc.Obs = obs.Options{SampleInterval: s.cfg.SampleInterval, Epochs: true}
 		sc.Snapshots = s.snaps
 
 		// The deadline is written before the plan executes and only read
@@ -213,8 +228,16 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 			every = 1000
 		}
 
+		// Per-run provenance and wall-clock starts, filled by each run's
+		// Start hook on its worker goroutine and read only after Execute
+		// joins the pool — no two goroutines touch the same slot.
+		origins := make([]string, len(miss))
+		originCycles := make([]int64, len(miss))
+		starts := make([]time.Time, len(miss))
+
 		plan := runner.NewPlan(sc)
-		for _, i := range miss {
+		for k, i := range miss {
+			k := k
 			r := j.runs[i]
 			label := r.Label
 			run := runner.Run{
@@ -222,10 +245,19 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 				Config: r.Config,
 				Cycles: r.Cycles,
 				Start: func(sm *sim.Sim) {
-					if o := sm.Obs(); o != nil && o.Sampler != nil {
-						o.Sampler.SetSink(func(smp obs.Sample) {
-							j.emit(sampleEvent{Type: "sample", Label: label, Sample: smp})
-						})
+					starts[k] = time.Now()
+					origins[k], originCycles[k] = sm.Origin()
+					if o := sm.Obs(); o != nil {
+						if o.Sampler != nil {
+							o.Sampler.SetSink(func(smp obs.Sample) {
+								j.emit(sampleEvent{Type: "sample", Label: label, Sample: smp})
+							})
+						}
+						if o.Epochs != nil {
+							o.Epochs.SetSink(func(rec obs.EpochRecord) {
+								j.emit(epochEvent{Type: "epoch", Label: label, Record: rec})
+							})
+						}
 					}
 				},
 				Cancel:      cancel,
@@ -238,16 +270,23 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 				// its checkpoint is still exact state and safe to keep.
 				cfg := r.Config
 				run.Observe = func(sm *sim.Sim) {
-					if err := runner.Checkpoint(s.snaps, cfg, sm); err != nil {
+					ckpt := time.Now()
+					err := runner.Checkpoint(s.snaps, cfg, sm)
+					s.tele.observe(s.tele.snapStore, time.Since(ckpt))
+					j.addSpan("checkpoint", label, ckpt, time.Since(ckpt))
+					if err != nil {
 						s.logf("job %s: checkpointing %q: %v", j.id, label, err)
 					}
 				}
 			}
 			plan.AddRun(run)
 		}
+		runStart := time.Now()
 		metrics := plan.Execute()
+		j.addSpan("run", "", runStart, time.Since(runStart))
 		stats := plan.Stats()
 
+		exportStart := time.Now()
 		for k, i := range miss {
 			r := j.runs[i]
 			m := metrics[k]
@@ -257,6 +296,9 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 				return nil, fmt.Sprintf("serve: job exceeded %v timeout (run %q stopped at cycle %d of %d)",
 					s.cfg.JobTimeout, r.Label, m.Cycles, r.Cycles)
 			}
+			s.tele.observe(s.tele.runDur, stats[k].Elapsed)
+			j.addSpan("simulate", r.Label, starts[k], stats[k].Elapsed)
+			s.tele.countRun("fresh")
 			var retired int64
 			for _, rt := range m.Retired {
 				retired += rt
@@ -275,7 +317,12 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 				Cycles:       m.Cycles,
 				ElapsedMS:    elapsedMS,
 				CountersHash: hash,
+				WarmSource:   origins[k],
+				WarmCycle:    originCycles[k],
 				Config:       rawCfg,
+			}
+			if man.WarmSource == "" {
+				man.WarmSource = "cold"
 			}
 			man.FillEnv()
 			if err := s.cache.Put(&Entry{Key: r.Key, Manifest: man, Metrics: m}); err != nil {
@@ -288,6 +335,7 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 			j.emit(runDoneEvent{Type: "run_done", Label: r.Label, Key: r.Key,
 				Cached: false, CountersHash: hash})
 		}
+		j.addSpan("export", "", exportStart, time.Since(exportStart))
 	}
 	return results, ""
 }

@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -73,6 +74,7 @@ type Server struct {
 	cache *Cache
 	snaps *snap.Store
 	mux   *http.ServeMux
+	tele  *telemetry
 
 	mu        sync.Mutex
 	jobs      map[string]*job // by id, append-only
@@ -122,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		cache:     cache,
 		snaps:     snaps,
+		tele:      newTelemetry(),
 		jobs:      make(map[string]*job),
 		active:    make(map[string]*job),
 		queue:     make(chan *job, cfg.QueueCap),
@@ -132,6 +135,8 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/runs/{id}/extend", s.handleExtend)
 	s.route("GET /v1/runs/{id}", s.handleJob)
 	s.route("GET /v1/runs/{id}/events", s.handleEvents)
+	s.route("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.route("GET /v1/cache/stats", s.handleCacheStats)
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /metrics", s.handleMetrics)
@@ -217,6 +222,7 @@ func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.R
 		sc:    sc,
 		runs:  runs,
 		state: stateQueued,
+		born:  time.Now(),
 	}
 	select {
 	case s.queue <- j:
@@ -230,6 +236,7 @@ func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.R
 	s.active[key] = j
 	s.mu.Unlock()
 
+	j.addInstant("submit", j.born)
 	j.emit(jobEvent{Type: "job", Job: j.id, State: stateQueued})
 	s.logf("job %s accepted: %d runs, %d cached, plan %s", j.id, len(runs), cached, short(key))
 	s.writeJSON(w, http.StatusAccepted, SubmitResponse{
@@ -340,49 +347,54 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, h)
 }
 
-// handleMetrics emits a flat Prometheus-style text page. Lines are
-// assembled into a sorted set so the output order is deterministic.
+// handleMetrics emits the daemon's Prometheus-style text page in a
+// fixed section order: build info, cache, queue, checkpoint store,
+// latency histograms, outcome counters, then per-endpoint HTTP lines
+// sorted by route pattern. The section order is deliberate and pinned
+// by a format-stability test; lexicographically sorting the whole page
+// (as earlier versions did) would scramble histogram buckets, filing
+// le="10" before le="2.5".
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	s.mu.Lock()
 	depth, inflight, jobs := len(s.queue), s.inflight, s.jobsTotal
 	s.mu.Unlock()
 
-	lines := []string{
-		fmt.Sprintf("nocd_cache_entries %d", cs.Entries),
-		fmt.Sprintf("nocd_cache_bytes %d", cs.Bytes),
-		fmt.Sprintf("nocd_cache_hits_total %d", cs.Hits),
-		fmt.Sprintf("nocd_cache_misses_total %d", cs.Misses),
-		fmt.Sprintf("nocd_cache_writes_total %d", cs.Writes),
-		fmt.Sprintf("nocd_cache_hit_ratio %g", cs.HitRatio),
-		fmt.Sprintf("nocd_queue_depth %d", depth),
-		fmt.Sprintf("nocd_inflight_jobs %d", inflight),
-		fmt.Sprintf("nocd_jobs_total %d", jobs),
-	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "nocd_build_info{go_version=%q,goos=%q,goarch=%q} 1\n",
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(w, "nocd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "nocd_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "nocd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "nocd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "nocd_cache_writes_total %d\n", cs.Writes)
+	fmt.Fprintf(w, "nocd_cache_hit_ratio %g\n", cs.HitRatio)
+	fmt.Fprintf(w, "nocd_queue_depth %d\n", depth)
+	fmt.Fprintf(w, "nocd_inflight_jobs %d\n", inflight)
+	fmt.Fprintf(w, "nocd_jobs_total %d\n", jobs)
 	if s.snaps != nil {
 		ss := s.snaps.Stats()
-		lines = append(lines,
-			fmt.Sprintf("nocd_snap_entries %d", ss.Entries),
-			fmt.Sprintf("nocd_snap_bytes %d", ss.Bytes),
-			fmt.Sprintf("nocd_snap_hits_total %d", ss.Hits),
-			fmt.Sprintf("nocd_snap_misses_total %d", ss.Misses),
-			fmt.Sprintf("nocd_snap_writes_total %d", ss.Writes),
-			fmt.Sprintf("nocd_snap_corrupt_total %d", ss.Corrupt),
-			fmt.Sprintf("nocd_snap_evicted_total %d", ss.Evicted))
+		fmt.Fprintf(w, "nocd_snap_entries %d\n", ss.Entries)
+		fmt.Fprintf(w, "nocd_snap_bytes %d\n", ss.Bytes)
+		fmt.Fprintf(w, "nocd_snap_hits_total %d\n", ss.Hits)
+		fmt.Fprintf(w, "nocd_snap_misses_total %d\n", ss.Misses)
+		fmt.Fprintf(w, "nocd_snap_writes_total %d\n", ss.Writes)
+		fmt.Fprintf(w, "nocd_snap_corrupt_total %d\n", ss.Corrupt)
+		fmt.Fprintf(w, "nocd_snap_evicted_total %d\n", ss.Evicted)
 	}
+	s.tele.write(w, s.snaps != nil)
 	s.em.Lock()
-	for pattern, ep := range s.endpoints {
-		lines = append(lines,
-			fmt.Sprintf("nocd_http_requests_total{path=%q} %d", pattern, ep.count),
-			fmt.Sprintf("nocd_http_request_seconds_sum{path=%q} %g", pattern, ep.seconds))
+	patterns := make([]string, 0, len(s.endpoints))
+	for pattern := range s.endpoints {
+		patterns = append(patterns, pattern)
+	}
+	sort.Strings(patterns)
+	for _, pattern := range patterns {
+		ep := s.endpoints[pattern]
+		fmt.Fprintf(w, "nocd_http_requests_total{path=%q} %d\n", pattern, ep.count)
+		fmt.Fprintf(w, "nocd_http_request_seconds_sum{path=%q} %g\n", pattern, ep.seconds)
 	}
 	s.em.Unlock()
-	sort.Strings(lines)
-
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, l := range lines {
-		fmt.Fprintln(w, l)
-	}
 }
 
 // job looks a job up by id.

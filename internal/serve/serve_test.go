@@ -365,6 +365,11 @@ func TestEventStream(t *testing.T) {
 	if counts["sample"] < 2 {
 		t.Fatalf("event stream carries %d samples, want >= 2 (counts: %v)", counts["sample"], counts)
 	}
+	// The congestion ledger records every controller epoch: 2000 cycles
+	// at epoch 500 must stream four decision records.
+	if counts["epoch"] != 4 {
+		t.Fatalf("event stream carries %d epoch records, want 4 (counts: %v)", counts["epoch"], counts)
+	}
 	if counts["run_done"] != 1 || counts["job_done"] != 1 {
 		t.Fatalf("event counts = %v, want exactly one run_done and one job_done", counts)
 	}

@@ -296,8 +296,17 @@ type Sim struct {
 	samples           []EpochSample
 
 	// obs owns the observability collectors; nil when Config.Obs
-	// disables them all.
-	obs *obs.Observer
+	// disables them all. epochNodes is the decision ledger's per-node
+	// scratch, rewritten every epoch before the ledger copies it.
+	obs        *obs.Observer
+	epochNodes []obs.EpochNode
+
+	// originDigest/originCycle record warm-start provenance for the run
+	// manifest: the content digest of the checkpoint this Sim was
+	// restored from and the cycle it resumed at. Empty for cold runs.
+	// Execution metadata only — never consulted by the simulation.
+	originDigest string
+	originCycle  int64
 
 	decisions []core.Decision
 }
@@ -353,6 +362,9 @@ func New(cfg Config) *Sim {
 		ActiveNodes:  active,
 		FlitsPerMiss: float64(cfg.ReqFlits + cfg.RepFlits),
 	})
+	if s.obs != nil && s.obs.Epochs != nil {
+		s.epochNodes = make([]obs.EpochNode, n)
+	}
 
 	// Congestion-control policy.
 	switch cfg.Controller {
@@ -658,7 +670,14 @@ func (s *Sim) runEpoch() {
 	s.epochs++
 	n := s.top.Nodes()
 	fpm := float64(s.cfg.ReqFlits + s.cfg.RepFlits)
+	var ledger *obs.EpochLedger
+	if s.obs != nil {
+		ledger = s.obs.Epochs
+	}
 	for i := 0; i < n; i++ {
+		if ledger != nil {
+			s.epochNodes[i] = obs.EpochNode{Node: int32(i)}
+		}
 		if s.cores[i] == nil {
 			s.ipfScratch[i] = 0 // sanitised to IPFCap by the controller
 			continue
@@ -671,6 +690,13 @@ func (s *Sim) runEpoch() {
 			s.ipfScratch[i] = 0
 		} else {
 			s.ipfScratch[i] = float64(dI) / (float64(dM) * fpm)
+		}
+		if ledger != nil {
+			nd := &s.epochNodes[i]
+			nd.IPF = s.ipfScratch[i]
+			if dI > 0 {
+				nd.MPKI = float64(dM) * 1000 / float64(dI)
+			}
 		}
 	}
 
@@ -708,23 +734,60 @@ func (s *Sim) runEpoch() {
 			if s.cores[i] == nil {
 				continue
 			}
-			var sigma, rate float64
-			if s.corePolicy != nil {
-				sigma = s.corePolicy.M.Rate(i)
-				rate = s.corePolicy.T.Rate(i)
-			} else if s.static != nil {
-				sigma = s.static.M.Rate(i)
-				rate = s.static.T.Rate(i)
-			} else if s.distributed != nil {
-				sigma = s.distributed.M.Rate(i)
-				rate = s.distributed.Rate(i)
-			}
+			sigma, rate := s.policyRates(i)
 			s.samples = append(s.samples, EpochSample{
 				Epoch: s.epochs, Node: i, IPF: s.ipfScratch[i],
 				Sigma: sigma, Throttled: rate,
 			})
 		}
 	}
+
+	// Decision ledger: the epoch's evidence and verdict, recorded after
+	// the controller applied its rates so the rows show what each node
+	// runs under next epoch.
+	if ledger != nil {
+		for i := 0; i < n; i++ {
+			if s.cores[i] == nil {
+				continue
+			}
+			sigma, rate := s.policyRates(i)
+			s.epochNodes[i].Sigma = sigma
+			s.epochNodes[i].Rate = rate
+		}
+		ledger.Record(s.epochs, s.cycle, s.net.Stats(), obs.EpochDecision{
+			Ran: ran, Congested: d.Congested, MeanIPF: d.MeanIPF,
+			ThrottledNodes: d.ThrottledNodes, ControlPackets: d.ControlPackets,
+		}, s.epochNodes)
+	}
+}
+
+// policyRates reads node i's measured starvation rate (sigma) and
+// applied throttle rate from whichever injection policy the
+// configuration runs; (0, 0) for open injection.
+func (s *Sim) policyRates(i int) (sigma, rate float64) {
+	switch {
+	case s.corePolicy != nil:
+		return s.corePolicy.M.Rate(i), s.corePolicy.T.Rate(i)
+	case s.static != nil:
+		return s.static.M.Rate(i), s.static.T.Rate(i)
+	case s.distributed != nil:
+		return s.distributed.M.Rate(i), s.distributed.Rate(i)
+	}
+	return 0, 0
+}
+
+// SetOrigin records warm-start provenance — the content digest of the
+// checkpoint this simulation was restored from and the cycle it
+// resumed at — for the run manifest. It never affects simulation.
+func (s *Sim) SetOrigin(digest string, cycle int64) {
+	s.originDigest = digest
+	s.originCycle = cycle
+}
+
+// Origin returns the provenance recorded by SetOrigin; an empty digest
+// means the run was simulated cold from cycle 0.
+func (s *Sim) Origin() (digest string, cycle int64) {
+	return s.originDigest, s.originCycle
 }
 
 // injectControlTraffic sends the epoch's 2n coordination packets: one

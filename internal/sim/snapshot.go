@@ -46,15 +46,18 @@ func init() {
 			"corePolicy", "controller", "static", "distributed",
 		},
 		Waived: map[string]string{
-			"cfg":        "config: construction input",
-			"top":        "construction: topology is config-derived",
-			"pool":       "construction: worker pool is execution machinery, not simulated state",
-			"nodeFn":     "construction: prebuilt closure over the pool",
-			"policy":     "construction: interface view; the state lives in the concrete controller fields",
-			"unaware":    "construction: stateless beyond its Policy, which is serialized",
-			"latencyCtl": "construction: stateless beyond its Policy, which is serialized",
-			"wheelLen":   "construction: derived from Config.L2Latency",
-			"ipfScratch": "scratch: runEpoch rewrites every element before any read",
+			"cfg":          "config: construction input",
+			"top":          "construction: topology is config-derived",
+			"pool":         "construction: worker pool is execution machinery, not simulated state",
+			"nodeFn":       "construction: prebuilt closure over the pool",
+			"policy":       "construction: interface view; the state lives in the concrete controller fields",
+			"unaware":      "construction: stateless beyond its Policy, which is serialized",
+			"latencyCtl":   "construction: stateless beyond its Policy, which is serialized",
+			"wheelLen":     "construction: derived from Config.L2Latency",
+			"ipfScratch":   "scratch: runEpoch rewrites every element before any read",
+			"epochNodes":   "scratch: runEpoch rewrites every element before the ledger copies it",
+			"originDigest": "provenance: execution metadata for manifests, never read by the simulation",
+			"originCycle":  "provenance: execution metadata for manifests, never read by the simulation",
 		},
 	})
 	snap.Cover(Config{}, snap.Coverage{
@@ -358,7 +361,8 @@ func (s *Sim) decode(r *snap.Reader) {
 		r.Failf("snapshot has observability state but the configuration disables it")
 	case s.obs != nil:
 		// Warm-start into an observed run: collectors begin at the fork
-		// point; base the sampler's first window there too.
+		// point; base the sampler's and the ledger's first windows there
+		// too.
 		if s.obs.Sampler != nil {
 			var retired, misses int64
 			for i, c := range s.cores {
@@ -369,6 +373,9 @@ func (s *Sim) decode(r *snap.Reader) {
 				misses += s.misses[i]
 			}
 			s.obs.Sampler.Prime(s.net.Stats(), retired, misses)
+		}
+		if s.obs.Epochs != nil {
+			s.obs.Epochs.Prime(s.net.Stats())
 		}
 	}
 	if fork && r.Err() == nil {

@@ -90,6 +90,7 @@ func snapCases() []snapCase {
 				TraceSample:    4,
 				TraceBudget:    1 << 12,
 				Spatial:        true,
+				Epochs:         true,
 			},
 			RecordEpochs: true,
 		}
@@ -135,6 +136,14 @@ func obsExports(t *testing.T, s *Sim) []byte {
 			t.Fatal(err)
 		}
 		if err := o.Sampler.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Epochs != nil {
+		if err := o.Epochs.WriteJSONL(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Epochs.WriteCSV(&b); err != nil {
 			t.Fatal(err)
 		}
 	}
