@@ -23,10 +23,10 @@ import (
 	"time"
 
 	"nocsim/internal/exp"
+	"nocsim/internal/fleet"
 	"nocsim/internal/obs"
 	"nocsim/internal/plot"
 	"nocsim/internal/runner"
-	"nocsim/internal/serve"
 	"nocsim/internal/snap"
 )
 
@@ -91,7 +91,7 @@ func main() {
 		asPlot   = flag.Bool("plot", false, "append an ASCII chart of each figure's series")
 		progress = flag.Bool("progress", false, "print a live line per completed run to stderr")
 
-		server = flag.String("server", "", "nocd daemon URL; plain runs execute remotely against its result cache")
+		server = flag.String("server", "", "nocd daemon URL; plain runs execute remotely through the fleet sweep API")
 
 		warmup  = flag.Int64("warmup", 0, "simulate N unmeasured warmup cycles per run before measuring")
 		snapDir = flag.String("snapdir", "", "checkpoint store directory; warm-start prefixes are shared through it")
@@ -189,7 +189,7 @@ func main() {
 		sc.Progress = runner.NewProgress(os.Stderr)
 	}
 	if *server != "" {
-		sc.Remote = serve.NewClient(*server)
+		sc.Remote = fleet.NewClient(*server)
 	}
 
 	var ids []string

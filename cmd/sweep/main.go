@@ -1,22 +1,61 @@
 // Command sweep runs the §6.4 parameter-sensitivity studies: it sweeps
 // one controller parameter (or the epoch length) over a congested
-// workload and prints throughput at each setting.
+// workload and prints throughput at each setting. With -server it
+// instead submits a declarative parameter grid to a nocd daemon's
+// sweep API and prints the aggregated points.
 //
 //	sweep -param alpha_starve
 //	sweep -param epoch -cycles 300000
 //	sweep -all
+//	sweep -server http://host:8080 -grid "preset=baseline,controlled" -grid "seed=1,2,3"
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"nocsim/internal/exp"
+	"nocsim/internal/fleet"
+	"nocsim/internal/runner"
 	"nocsim/internal/snap"
 )
+
+// gridFlags collects repeated -grid "axis=v1,v2,..." declarations.
+type gridFlags []fleet.Axis
+
+func (g *gridFlags) String() string { return fmt.Sprintf("%d axes", len(*g)) }
+
+func (g *gridFlags) Set(s string) error {
+	name, vals, ok := strings.Cut(s, "=")
+	if !ok || name == "" || vals == "" {
+		return fmt.Errorf("want axis=v1,v2,..., got %q", s)
+	}
+	ax := fleet.Axis{Name: strings.TrimSpace(name)}
+	for _, tok := range strings.Split(vals, ",") {
+		ax.Values = append(ax.Values, gridValue(strings.TrimSpace(tok)))
+	}
+	*g = append(*g, ax)
+	return nil
+}
+
+// gridValue encodes one axis value token as JSON: numbers and booleans
+// pass through, everything else becomes a string.
+func gridValue(tok string) json.RawMessage {
+	if tok == "true" || tok == "false" {
+		return json.RawMessage(tok)
+	}
+	if _, err := strconv.ParseFloat(tok, 64); err == nil {
+		return json.RawMessage(tok)
+	}
+	b, _ := json.Marshal(tok)
+	return b
+}
 
 // guard runs fn, converting a harness panic (the runner panics on
 // infrastructure failures) into an error so main exits non-zero with a
@@ -42,8 +81,33 @@ func main() {
 		warmup   = flag.Int64("warmup", 0, "shared uncontrolled warm-start prefix in cycles (0 = cold runs)")
 		snapDir  = flag.String("snapdir", "", "checkpoint store directory for warm-start prefixes")
 		snapCap  = flag.Int64("snapcap", 0, "checkpoint store byte cap, oldest evicted first (0 = unlimited)")
+
+		server   = flag.String("server", "", "nocd daemon URL; enables grid mode (-grid)")
+		preset   = flag.String("preset", "controlled", "grid base preset: baseline | controlled | static")
+		category = flag.String("workload", "H", "grid base workload category")
+		router   = flag.String("router", "", "grid base router: bless | buffered | hierring")
+		mapping  = flag.String("mapping", "", "grid base mapping: xor | exp | pow")
+		size     = flag.Int("size", 4, "grid base mesh edge length")
+		label    = flag.String("label", "", "grid base label")
 	)
+	var grid gridFlags
+	flag.Var(&grid, "grid", "axis=v1,v2,... to sweep (repeatable); requires -server")
 	flag.Parse()
+
+	if len(grid) > 0 && *server == "" {
+		fmt.Fprintln(os.Stderr, "sweep: -grid requires -server")
+		os.Exit(2)
+	}
+	if *server != "" {
+		runGrid(*server, grid, fleet.SweepSpec{
+			Scale: runner.ScaleSpec{Cycles: *cycles, Seed: *seed},
+			Base: runner.RunSpec{
+				Label: *label, Preset: *preset, Workload: *category,
+				Router: *router, Mapping: *mapping, Width: *size, Height: *size,
+			},
+		})
+		return
+	}
 
 	sc := exp.DefaultScale()
 	sc.Cycles = *cycles
@@ -100,7 +164,38 @@ func main() {
 		}
 		os.Stdout.Write(buf.Bytes())
 	default:
-		fmt.Fprintln(os.Stderr, "sweep: pass -param <name> or -all")
+		fmt.Fprintln(os.Stderr, "sweep: pass -param <name>, -all, or -server with -grid")
 		os.Exit(2)
 	}
+}
+
+// runGrid submits the grid to the daemon's sweep API and prints the
+// aggregated points. The table renders into a buffer and reaches
+// stdout only after the whole sweep has succeeded: any point failing
+// terminally exits non-zero with a message and no partial output.
+func runGrid(server string, grid gridFlags, spec fleet.SweepSpec) {
+	if len(grid) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: grid mode needs at least one -grid axis")
+		os.Exit(2)
+	}
+	spec.Axes = grid
+	res, err := fleet.NewClient(server).Sweep(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "sweep %s: %d points (%d cached, %d fresh)\n",
+		res.ID, len(res.Points), res.Cached, len(res.Points)-res.Cached)
+	fmt.Fprintf(&buf, "%-44s %8s %8s %9s  %s\n", "point", "IPC/node", "util", "lat(cyc)", "counters")
+	for _, pt := range res.Points {
+		m := pt.Metrics
+		hash := pt.CountersHash
+		if len(hash) > 12 {
+			hash = hash[:12]
+		}
+		fmt.Fprintf(&buf, "%-44s %8.3f %8.3f %9.1f  %s\n",
+			pt.Label, m.ThroughputPerNode, m.NetUtilization, m.AvgNetLatency, hash)
+	}
+	os.Stdout.Write(buf.Bytes())
 }

@@ -23,6 +23,7 @@ var fixtureCases = []struct {
 	{"wallclock_obs", "nocsim/internal/obs"},
 	{"wallclock_exempt_runner", "nocsim/internal/runner"},
 	{"wallclock_exempt_serve", "nocsim/internal/serve"},
+	{"wallclock_exempt_fleet", "nocsim/internal/fleet"},
 	{"globalrand", "nocsim/internal/traffic"},
 	{"globalrand_clean", "nocsim/internal/traffic"},
 	{"maprange", "nocsim/internal/stats"},
@@ -34,6 +35,7 @@ var fixtureCases = []struct {
 	{"goroutine_exempt", "nocsim/internal/runner"},
 	{"goroutine_exempt_par", "nocsim/internal/par"},
 	{"goroutine_exempt_serve", "nocsim/internal/serve"},
+	{"goroutine_exempt_fleet", "nocsim/internal/fleet"},
 	{"panicmsg", "nocsim/internal/cache"},
 	{"panicmsg_main", "nocsim/cmd/probe"},
 	{"hotalloc", "nocsim/internal/noc/fixt"},

@@ -2,36 +2,40 @@ package analysis
 
 import "go/ast"
 
-// Goroutine forbids go statements and sync.WaitGroup outside the three
+// Goroutine forbids go statements and sync.WaitGroup outside the four
 // sanctioned concurrency layers: internal/runner (cross-simulation —
 // the bounded pool keeps results in declaration order at any -parallel
 // level), internal/par (intra-simulation — the persistent shard pool
 // whose barrier-joined workers cover disjoint index ranges, so no
-// interleaving can reach any output), and internal/serve (the service
+// interleaving can reach any output), internal/serve (the service
 // daemon's HTTP listener and job-queue workers, which sit strictly
 // above the runner: a job's simulations still execute through the
-// runner's pool, and concurrent jobs share no simulator state). Every
-// fabric's per-cycle parallelism must go through par.Pool rather than
-// spawning its own goroutines.
+// runner's pool, and concurrent jobs share no simulator state), and
+// internal/fleet (the coordinator's dispatch workers and health
+// prober, which sit strictly above serve and touch only HTTP clients
+// and the coordinator's own mutex-guarded queues). Every fabric's
+// per-cycle parallelism must go through par.Pool rather than spawning
+// its own goroutines.
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "no go statements or sync.WaitGroup outside internal/runner, internal/par and internal/serve",
-	Explain: `All concurrency flows through three audited layers: internal/runner
+	Doc:  "no go statements or sync.WaitGroup outside internal/runner, internal/par, internal/serve and internal/fleet",
+	Explain: `All concurrency flows through four audited layers: internal/runner
 (cross-simulation: a bounded pool that keeps results in declaration
 order at any -parallel level), internal/par (intra-simulation: the
 persistent shard pool whose barrier-joined workers cover disjoint
-index ranges), and internal/serve (the daemon's listener and job
-queue, strictly above the runner). An ad-hoc go statement or WaitGroup
-anywhere else creates an interleaving the determinism argument does
-not cover. The rule flags go statements and any mention of
-sync.WaitGroup outside those packages.
+index ranges), internal/serve (the daemon's listener and job queue,
+strictly above the runner), and internal/fleet (the coordinator's
+dispatch workers and health prober, strictly above serve). An ad-hoc
+go statement or WaitGroup anywhere else creates an interleaving the
+determinism argument does not cover. The rule flags go statements and
+any mention of sync.WaitGroup outside those packages.
 
 Waive with //nocvet:allow goroutine only for concurrency that cannot
 touch simulator state, with the isolation argument in the
 justification.`,
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
-		if rel == "internal/runner" || rel == "internal/par" || rel == "internal/serve" {
+		if rel == "internal/runner" || rel == "internal/par" || rel == "internal/serve" || rel == "internal/fleet" {
 			return
 		}
 		for _, f := range pass.Files {

@@ -1,0 +1,30 @@
+// Package wcexemptfleet pins the fleet side of the wallclock exemption
+// boundary: the fixture is analyzed as nocsim/internal/fleet, where the
+// coordinator's dispatch-latency histogram, retry backoff deadlines and
+// dead-peer health-probe timing legitimately read the host clock. The
+// shapes here mirror the sanctioned uses, and the rule must stay silent
+// on all of them.
+package wcexemptfleet
+
+import "time"
+
+// dispatch mirrors timing one remote job submission for the
+// nocd_peer_dispatch_seconds histogram.
+func dispatch(send func()) time.Duration {
+	start := time.Now()
+	send()
+	return time.Since(start)
+}
+
+// eligible mirrors the retry backoff gate: a requeued job only becomes
+// dispatchable after its not-before deadline passes. A delayed job is
+// re-executed identically, so the clock never reaches a result.
+func eligible(notBefore time.Time) bool {
+	return !time.Now().Before(notBefore)
+}
+
+// stale mirrors the duplicate-steal scan picking in-flight work older
+// than the steal threshold.
+func stale(started time.Time, after time.Duration) bool {
+	return time.Since(started) > after
+}

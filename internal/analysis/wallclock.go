@@ -10,23 +10,26 @@ import (
 var wallclockFuncs = []string{"Now", "Since", "Until"}
 
 // Wallclock forbids reading the wall clock outside cmd/,
-// internal/runner and internal/serve. Simulated time is the cycle
-// counter; host time may only be observed by the process entry points,
-// the run executor, and the service daemon. The runner sanction covers
-// its progress reporter and the elapsed_ms field it stamps into run
-// manifests; the serve sanction covers request-latency metrics, job
-// deadlines and stream poll intervals — all diagnostics or robustness
-// plumbing that never feeds back into a simulation (a timed-out job is
-// discarded, never cached). The observability collectors (internal/obs)
-// are NOT exempt: every collector is indexed by simulated cycle, which
-// is what keeps their exports reproducible.
+// internal/runner, internal/serve and internal/fleet. Simulated time
+// is the cycle counter; host time may only be observed by the process
+// entry points, the run executor, and the service layers. The runner
+// sanction covers its progress reporter and the elapsed_ms field it
+// stamps into run manifests; the serve sanction covers request-latency
+// metrics, job deadlines and stream poll intervals; the fleet sanction
+// covers dispatch latency, retry backoff and health-probe timing — all
+// diagnostics or robustness plumbing that never feeds back into a
+// simulation (a timed-out job is discarded, never cached). The
+// observability collectors (internal/obs) are NOT exempt: every
+// collector is indexed by simulated cycle, which is what keeps their
+// exports reproducible.
 var Wallclock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "no time.Now/time.Since/time.Until outside cmd/, internal/runner and internal/serve (run timing, request metrics and job deadlines are the sanctioned uses)",
+	Doc:  "no time.Now/time.Since/time.Until outside cmd/, internal/runner, internal/serve and internal/fleet (run timing, request metrics, job deadlines and dispatch/backoff timing are the sanctioned uses)",
 	Explain: `Simulated time is the cycle counter; the host clock makes output
 depend on machine speed. Only cmd/ entry points, internal/runner (run
-timing, the elapsed_ms manifest field) and internal/serve (request
-metrics, job deadlines) may read it — all diagnostics that never feed
+timing, the elapsed_ms manifest field), internal/serve (request
+metrics, job deadlines) and internal/fleet (dispatch latency, retry
+backoff, health probes) may read it — all diagnostics that never feed
 back into a simulation. internal/obs is deliberately NOT exempt: every
 collector is indexed by simulated cycle, which is what keeps exports
 reproducible. The rule flags time.Now/Since/Until selector calls on the
@@ -36,7 +39,7 @@ Waive with //nocvet:allow wallclock only where the timestamp provably
 cannot reach simulator state or rendered output.`,
 	Run: func(pass *Pass) {
 		rel := pass.Rel()
-		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" || rel == "internal/serve" {
+		if strings.HasPrefix(rel, "cmd/") || rel == "internal/runner" || rel == "internal/serve" || rel == "internal/fleet" {
 			return
 		}
 		for _, f := range pass.Files {
@@ -52,7 +55,7 @@ cannot reach simulator state or rendered output.`,
 				for _, fn := range wallclockFuncs {
 					if isPkgSel(e, timeName, fn) {
 						pass.Reportf(f, e.Pos(),
-							"time.%s reads the wall clock; simulator code must be deterministic (only cmd/, internal/runner and internal/serve may time runs)", fn)
+							"time.%s reads the wall clock; simulator code must be deterministic (only cmd/, internal/runner, internal/serve and internal/fleet may time runs)", fn)
 					}
 				}
 				return true

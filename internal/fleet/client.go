@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"nocsim/internal/runner"
+	"nocsim/internal/serve"
+)
+
+// Client is the sweep API's client side: it submits a grid, consumes
+// the NDJSON stream, and hands back the points in grid order. It also
+// implements runner.Remote, so the experiment drivers' -server path
+// rides the sweep API unchanged.
+//
+// Failure semantics are all-or-nothing: any point failing terminally —
+// or the stream truncating mid-sweep — fails the whole call, so a
+// driver never renders a partial table.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a daemon at base.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+var _ runner.Remote = (*Client)(nil)
+
+// SweepResult is a completed sweep: every point terminal and done.
+type SweepResult struct {
+	ID     string
+	Points []PointEvent // in grid order
+	Done   int
+	Cached int
+	Failed int
+}
+
+// Sweep submits the spec and consumes the stream to completion,
+// returning an error — never partial points — when any point fails.
+func (c *Client) Sweep(spec SweepSpec) (*SweepResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding sweep: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: POST /v1/sweeps: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var er serve.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("fleet: sweep rejected: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("fleet: sweep rejected: HTTP %d", resp.StatusCode)
+	}
+
+	res := &SweepResult{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20) // a point's Metrics can be large
+	complete := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return nil, fmt.Errorf("fleet: decoding sweep stream: %w", err)
+		}
+		switch head.Type {
+		case "sweep":
+			var ev SweepEvent
+			if err := json.Unmarshal(line, &ev); err != nil {
+				return nil, fmt.Errorf("fleet: decoding sweep header: %w", err)
+			}
+			res.ID = ev.ID
+		case "point":
+			var pt PointEvent
+			if err := json.Unmarshal(line, &pt); err != nil {
+				return nil, fmt.Errorf("fleet: decoding point event: %w", err)
+			}
+			res.Points = append(res.Points, pt)
+		case "sweep_done":
+			var sum SweepSummary
+			if err := json.Unmarshal(line, &sum); err != nil {
+				return nil, fmt.Errorf("fleet: decoding sweep summary: %w", err)
+			}
+			res.Done, res.Cached, res.Failed = sum.Done, sum.Cached, sum.Failed
+			complete = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: reading sweep stream: %w", err)
+	}
+	if !complete {
+		return nil, fmt.Errorf("fleet: sweep stream truncated before summary (sweep %s)", res.ID)
+	}
+	if res.Failed > 0 {
+		for _, pt := range res.Points {
+			if pt.State == "failed" {
+				return nil, fmt.Errorf("fleet: sweep %s: %d of %d points failed; first: %q: %s",
+					res.ID, res.Failed, len(res.Points), pt.Label, pt.Error)
+			}
+		}
+		return nil, fmt.Errorf("fleet: sweep %s: %d points failed", res.ID, res.Failed)
+	}
+	sort.Slice(res.Points, func(i, j int) bool { return res.Points[i].Index < res.Points[j].Index })
+	return res, nil
+}
+
+// ExecuteSpecs implements runner.Remote over the sweep API: the plan's
+// runs become explicit sweep points, and the completed points map back
+// to results in plan order.
+func (c *Client) ExecuteSpecs(spec runner.PlanSpec) ([]runner.RemoteResult, error) {
+	res, err := c.Sweep(SweepSpec{Scale: spec.Scale, Runs: spec.Runs})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Points) != len(spec.Runs) {
+		return nil, fmt.Errorf("fleet: sweep %s returned %d points for %d runs",
+			res.ID, len(res.Points), len(spec.Runs))
+	}
+	out := make([]runner.RemoteResult, len(res.Points))
+	for i, pt := range res.Points {
+		if pt.Metrics == nil {
+			return nil, fmt.Errorf("fleet: sweep %s point %q carries no metrics", res.ID, pt.Label)
+		}
+		out[i] = runner.RemoteResult{
+			Metrics:   *pt.Metrics,
+			ElapsedMS: pt.ElapsedMS,
+			Cached:    pt.Cached,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,724 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"nocsim/internal/runner"
+	"nocsim/internal/serve"
+)
+
+// maxBackoff caps the exponential retry delay after peer failures.
+const maxBackoff = 2 * time.Second
+
+// pollInterval is the remote job status polling period.
+const pollInterval = 25 * time.Millisecond
+
+// peer is one remote daemon the coordinator dispatches to. All mutable
+// state is guarded by the coordinator's mutex.
+type peer struct {
+	name   string
+	client *serve.Client // dispatch and polling
+	probe  *serve.Client // short-timeout health probes
+
+	alive    bool
+	queue    []*task             // assigned, not yet picked up
+	inflight map[*task]time.Time // dispatched, keyed by pickup instant
+
+	dispatched int64 // jobs sent to this peer
+	stolen     int64 // tasks this peer's workers took from another peer
+	retried    int64 // tasks requeued after this peer failed mid-job
+	dead       int64 // times this peer was marked dead
+}
+
+// load is the peer's assigned-plus-inflight task count.
+func (p *peer) load() int { return len(p.queue) + len(p.inflight) }
+
+// task is one delegated job's uncached remainder moving through the
+// fleet. The immutable fields are set at creation; everything mutable
+// is guarded by the coordinator's mutex. doneCh closes exactly once,
+// when the task turns terminal (done or failed).
+type task struct {
+	dj   serve.DelegatedJob
+	miss []int           // indices into dj.Runs still to execute
+	spec runner.PlanSpec // raw-config spec of exactly the missed runs
+
+	attempts  int
+	notBefore time.Time // retry backoff gate; zero means eligible
+	running   int       // workers currently executing it (dup steals)
+	done      bool
+	failed    bool
+	results   []serve.RunResult // per missed run, in miss order
+	errMsg    string
+	doneCh    chan struct{}
+	preempted bool
+	preemptTo *peer
+}
+
+// terminal reports done-or-failed; callers hold the coordinator mutex.
+func (t *task) terminal() bool { return t.done || t.failed }
+
+// coordinator owns the fleet's dispatch state: per-peer queues and
+// in-flight windows, the worker pool (Window workers per peer) and the
+// health prober. One mutex guards everything; the condition variable
+// wakes idle workers on task arrival, peer death/revival and backoff
+// expiry.
+type coordinator struct {
+	srv *serve.Server
+	cfg Config
+
+	dispatch *serve.Histogram // dispatch round-trip latency
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	peers    []*peer
+	closed   bool
+	preempts int64
+
+	wg        sync.WaitGroup
+	stopProbe chan struct{}
+}
+
+func newCoordinator(s *serve.Server, cfg Config) *coordinator {
+	c := &coordinator{
+		srv:       s,
+		cfg:       cfg,
+		dispatch:  serve.NewHistogram("nocd_peer_dispatch_seconds"),
+		stopProbe: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, addr := range cfg.Peers {
+		addr = strings.TrimSpace(addr)
+		c.peers = append(c.peers, &peer{
+			name:     addr,
+			client:   serve.NewClient(addr),
+			probe:    serve.NewClient(addr).WithTimeout(probeTimeout(cfg.ProbeInterval)),
+			alive:    true,
+			inflight: make(map[*task]time.Time),
+		})
+	}
+	return c
+}
+
+// probeTimeout budgets one health probe: at least a second regardless
+// of the probe period, so a peer that is alive but answering slowly —
+// say, on a host saturated by a local-fallback simulation — is not
+// kept dead by an aggressive ProbeInterval.
+func probeTimeout(interval time.Duration) time.Duration {
+	if interval < time.Second {
+		return time.Second
+	}
+	return interval
+}
+
+// start launches the dispatch workers (Window per peer) and the prober.
+func (c *coordinator) start() {
+	for _, p := range c.peers {
+		for w := 0; w < c.cfg.Window; w++ {
+			c.wg.Add(1)
+			go c.worker(p)
+		}
+	}
+	c.wg.Add(1)
+	go c.prober()
+}
+
+// close stops the workers and prober and waits for them.
+func (c *coordinator) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.stopProbe)
+	c.wg.Wait()
+}
+
+// Execute is the daemon's delegation hook: it resolves the job's runs
+// against the local cache, then peers' caches, and fans the remainder
+// out to the fleet, blocking until every run has a result. It always
+// handles the job (handled=true); local execution happens here too,
+// via the claim-for-local fallback, so the serve layer never bypasses
+// the coordinator's accounting.
+func (c *coordinator) Execute(dj serve.DelegatedJob) ([]serve.RunResult, string, bool) {
+	results := make([]serve.RunResult, len(dj.Runs))
+	var miss []int
+	for i, r := range dj.Runs {
+		start := time.Now()
+		e, err := c.srv.Cache().Get(r.Key)
+		dj.Span("cache_lookup", r.Label, start, time.Since(start))
+		if err != nil {
+			c.logf("job %s: %v (consulting peers)", dj.ID, err)
+		}
+		if e == nil {
+			pl := time.Now()
+			e = c.Lookup(r.Key)
+			dj.Span("peer_lookup", r.Label, pl, time.Since(pl))
+		}
+		if e == nil {
+			miss = append(miss, i)
+			continue
+		}
+		dj.CountRun("cached")
+		results[i] = serve.RunResult{
+			Label: r.Label, Key: r.Key, Cached: true,
+			CountersHash: e.Manifest.CountersHash,
+			Metrics:      e.Metrics,
+		}
+		dj.EmitRunDone(r.Label, r.Key, true, e.Manifest.CountersHash)
+	}
+	if len(miss) == 0 {
+		return results, "", true
+	}
+
+	t, err := c.newTask(dj, miss)
+	if err != nil {
+		return nil, err.Error(), true
+	}
+	c.assign(t)
+
+	for {
+		select {
+		case <-t.doneCh:
+			c.mu.Lock()
+			failed, errMsg, res := t.failed, t.errMsg, t.results
+			c.mu.Unlock()
+			if failed {
+				return nil, errMsg, true
+			}
+			for k, i := range miss {
+				results[i] = res[k]
+			}
+			return results, "", true
+		case <-time.After(50 * time.Millisecond):
+			if c.claimForLocal(t) {
+				res, errMsg := c.runLocal(t)
+				c.completeLocal(t, res, errMsg)
+			}
+		}
+	}
+}
+
+// Lookup consults peers' caches for key (HEAD probe, then GET), and
+// replicates the first verified hit into the local cache — exactly the
+// crash-safe temp+rename write and counters-hash verification a
+// locally computed entry gets. A peer that errors is simply skipped;
+// the prober owns liveness, not the cache path.
+func (c *coordinator) Lookup(key string) *serve.Entry {
+	c.mu.Lock()
+	peers := make([]*peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		if p.alive {
+			peers = append(peers, p)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range peers {
+		ok, err := p.client.CacheContains(key)
+		if err != nil || !ok {
+			continue
+		}
+		e, err := p.client.CacheEntry(key)
+		if err != nil {
+			continue
+		}
+		if err := e.Verify(key); err != nil {
+			c.logf("peer %s served a corrupt cache entry: %v", p.name, err)
+			continue
+		}
+		if err := c.srv.Cache().Put(e); err != nil {
+			c.logf("replicating %s from %s: %v", short(key), p.name, err)
+		}
+		return e
+	}
+	return nil
+}
+
+// newTask builds the fleet task covering the job's missed runs: the
+// shipped spec carries each run as label, cycles and raw config, the
+// exact shape runner.Scale.Remote ships, so the receiving daemon
+// re-derives the same cache keys.
+func (c *coordinator) newTask(dj serve.DelegatedJob, miss []int) (*task, error) {
+	spec := runner.PlanSpec{
+		Scale: runner.ScaleSpec{Epoch: dj.Scale.Epoch, Seed: dj.Scale.Seed},
+	}
+	for _, i := range miss {
+		r := dj.Runs[i]
+		raw, err := json.Marshal(&r.Config)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: encoding config of run %q: %v", r.Label, err)
+		}
+		spec.Runs = append(spec.Runs, runner.RunSpec{
+			Label: r.Label, Cycles: r.Cycles, Config: raw,
+		})
+	}
+	return &task{dj: dj, miss: miss, spec: spec, doneCh: make(chan struct{})}, nil
+}
+
+// assign queues the task on the least-loaded alive peer — or, with
+// every peer dead, on the least-loaded peer regardless, where it waits
+// for a revival or the submitting goroutine's claim-for-local.
+func (c *coordinator) assign(t *task) {
+	c.mu.Lock()
+	var best *peer
+	for _, p := range c.peers {
+		if best == nil || (p.alive && !best.alive) ||
+			(p.alive == best.alive && p.load() < best.load()) {
+			best = p
+		}
+	}
+	best.queue = append(best.queue, t)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// claimForLocal atomically claims the task for local execution. The
+// claim succeeds only when no peer is alive, no worker is running the
+// task and it is not already terminal — graceful degradation, never a
+// race with a dispatch.
+func (c *coordinator) claimForLocal(t *task) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.terminal() || t.running > 0 {
+		return false
+	}
+	for _, p := range c.peers {
+		if p.alive {
+			return false
+		}
+	}
+	for _, p := range c.peers {
+		p.queue = removeTask(p.queue, t)
+	}
+	t.running++
+	return true
+}
+
+// removeTask drops t from a queue, preserving order.
+func removeTask(q []*task, t *task) []*task {
+	for i, x := range q {
+		if x == t {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// worker is one dispatch slot on one peer: it claims tasks — own queue
+// first, then stealing from the longest other queue, then duplicating
+// a long-inflight task from a slower peer — and runs each against the
+// peer to completion.
+func (c *coordinator) worker(p *peer) {
+	defer c.wg.Done()
+	for {
+		t := c.claim(p)
+		if t == nil {
+			return
+		}
+		c.runOn(p, t)
+	}
+}
+
+// claim blocks until the worker's peer is alive and a task is
+// available, in preference order: the peer's own queue, a steal from
+// the longest other queue, a duplicate steal of the oldest inflight
+// task elsewhere that has exceeded StealAfter. Returns nil when the
+// coordinator closes.
+func (c *coordinator) claim(p *peer) *task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil
+		}
+		if p.alive {
+			if t := c.takeEligible(p); t != nil {
+				p.inflight[t] = time.Now()
+				t.running++
+				return t
+			}
+			if t := c.stealQueued(p); t != nil {
+				p.stolen++
+				p.inflight[t] = time.Now()
+				t.running++
+				return t
+			}
+			if t := c.stealInflight(p); t != nil {
+				p.stolen++
+				p.inflight[t] = time.Now()
+				t.running++
+				return t
+			}
+		}
+		c.cond.Wait()
+	}
+}
+
+// takeEligible pops the first backoff-eligible task off p's own queue.
+func (c *coordinator) takeEligible(p *peer) *task {
+	now := time.Now()
+	for _, t := range p.queue {
+		if t.notBefore.After(now) {
+			continue
+		}
+		p.queue = removeTask(p.queue, t)
+		return t
+	}
+	return nil
+}
+
+// stealQueued takes a backoff-eligible task from the longest other
+// queue: a peer that drains its own work pulls queued work from its
+// slowest sibling.
+func (c *coordinator) stealQueued(p *peer) *task {
+	now := time.Now()
+	var victim *peer
+	for _, o := range c.peers {
+		if o == p || len(o.queue) == 0 {
+			continue
+		}
+		if victim == nil || len(o.queue) > len(victim.queue) {
+			victim = o
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	for _, t := range victim.queue {
+		if t.notBefore.After(now) {
+			continue
+		}
+		victim.queue = removeTask(victim.queue, t)
+		return t
+	}
+	return nil
+}
+
+// stealInflight duplicates the oldest task that has been in flight on
+// another peer longer than StealAfter. The duplicate dispatch is safe
+// by construction: both executions resolve to the same cache keys, the
+// first completion wins, and the second lands as a cache hit.
+func (c *coordinator) stealInflight(p *peer) *task {
+	if c.cfg.StealAfter <= 0 {
+		return nil
+	}
+	cutoff := time.Now().Add(-c.cfg.StealAfter)
+	var oldest *task
+	var oldestAt time.Time
+	for _, o := range c.peers {
+		if o == p {
+			continue
+		}
+		for t, at := range o.inflight {
+			if at.After(cutoff) || t.terminal() {
+				continue
+			}
+			if _, dup := p.inflight[t]; dup {
+				continue
+			}
+			if oldest == nil || at.Before(oldestAt) {
+				oldest, oldestAt = t, at
+			}
+		}
+	}
+	return oldest
+}
+
+// runOn dispatches the task to p and polls the remote job to a
+// terminal state, recording the dispatch latency and trace spans and
+// replicating fresh results into the local cache.
+func (c *coordinator) runOn(p *peer, t *task) {
+	start := time.Now()
+	sub, err := p.client.SubmitDispatch(t.spec)
+	if err != nil {
+		c.peerFailed(p, t, err)
+		return
+	}
+	c.dispatch.Observe(time.Since(start).Seconds())
+	t.dj.Span("dispatch", "", start, time.Since(start))
+	c.mu.Lock()
+	p.dispatched++
+	c.mu.Unlock()
+
+	for {
+		c.mu.Lock()
+		settled := t.terminal()
+		c.mu.Unlock()
+		if settled {
+			c.releaseFrom(p, t)
+			return
+		}
+		jr, err := p.client.Job(sub.ID)
+		if err != nil {
+			c.peerFailed(p, t, err)
+			return
+		}
+		switch jr.Status {
+		case "done":
+			t.dj.Span("peer_run", "", start, time.Since(start))
+			if len(jr.Results) != len(t.miss) {
+				c.failTask(p, t, fmt.Sprintf("fleet: peer %s returned %d results for %d runs",
+					p.name, len(jr.Results), len(t.miss)))
+				return
+			}
+			c.replicate(t, jr.Results)
+			c.completeRemote(p, t, jr.Results)
+			return
+		case "failed":
+			c.failTask(p, t, fmt.Sprintf("fleet: peer %s: %s", p.name, jr.Error))
+			return
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// replicate copies each fresh result the peer computed into the local
+// cache, re-verified, so subsequent sweeps hit locally. Failures
+// degrade to log lines — the results themselves are already in hand.
+func (c *coordinator) replicate(t *task, results []serve.RunResult) {
+	start := time.Now()
+	for _, r := range results {
+		if c.srv.Cache().Contains(r.Key) {
+			continue
+		}
+		if e := c.Lookup(r.Key); e == nil {
+			c.logf("result %s of run %q not replicable (no peer serves it)", short(r.Key), r.Label)
+		}
+	}
+	t.dj.Span("replicate", "", start, time.Since(start))
+}
+
+// completeRemote records a successful remote execution; the first
+// completion of a task wins (duplicate steals make seconds possible).
+func (c *coordinator) completeRemote(p *peer, t *task, results []serve.RunResult) {
+	c.mu.Lock()
+	delete(p.inflight, t)
+	t.running--
+	first := !t.terminal()
+	if first {
+		t.done = true
+		t.results = results
+	}
+	c.mu.Unlock()
+	if first {
+		for _, r := range results {
+			outcome := "fresh"
+			if r.Cached {
+				outcome = "cached"
+			}
+			t.dj.CountRun(outcome)
+			t.dj.EmitRunDone(r.Label, r.Key, r.Cached, r.CountersHash)
+		}
+		close(t.doneCh)
+	}
+}
+
+// releaseFrom drops a duplicate execution whose task was settled by
+// another worker while this one was polling.
+func (c *coordinator) releaseFrom(p *peer, t *task) {
+	c.mu.Lock()
+	delete(p.inflight, t)
+	t.running--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// completeLocal records a local-fallback execution's outcome.
+func (c *coordinator) completeLocal(t *task, results []serve.RunResult, errMsg string) {
+	c.mu.Lock()
+	t.running--
+	first := !t.terminal()
+	if first {
+		if errMsg != "" {
+			t.failed = true
+			t.errMsg = errMsg
+		} else {
+			t.done = true
+			t.results = results
+		}
+	}
+	c.mu.Unlock()
+	if first {
+		if errMsg == "" {
+			for _, r := range results {
+				t.dj.CountRun("fresh")
+				t.dj.EmitRunDone(r.Label, r.Key, r.Cached, r.CountersHash)
+			}
+		}
+		close(t.doneCh)
+	}
+}
+
+// failTask records a terminal job failure reported by a peer. This is
+// the job's own verdict (bad spec, timeout), not a peer-death signal,
+// so the task is not retried.
+func (c *coordinator) failTask(p *peer, t *task, msg string) {
+	c.mu.Lock()
+	delete(p.inflight, t)
+	t.running--
+	first := !t.terminal()
+	if first {
+		t.failed = true
+		t.errMsg = msg
+	}
+	c.mu.Unlock()
+	if first {
+		close(t.doneCh)
+	}
+}
+
+// peerFailed handles a transport failure against p while running t:
+// the peer is marked dead (the prober revives it), and the task — a
+// job lost with a peer is requeued, never dropped — goes back to the
+// best remaining peer with capped exponential backoff. An admission
+// rejection (429/503) is backpressure, not death: the task is requeued
+// without marking the peer dead.
+func (c *coordinator) peerFailed(p *peer, t *task, err error) {
+	transient := isAdmission(err)
+	c.mu.Lock()
+	delete(p.inflight, t)
+	t.running--
+	if !transient && p.alive {
+		p.alive = false
+		p.dead++
+	}
+	if !t.terminal() {
+		t.attempts++
+		p.retried++
+		backoff := c.cfg.Backoff << (t.attempts - 1)
+		if backoff > maxBackoff || backoff <= 0 {
+			backoff = maxBackoff
+		}
+		t.notBefore = time.Now().Add(backoff)
+		var best *peer
+		for _, o := range c.peers {
+			if !o.alive {
+				continue
+			}
+			if best == nil || o.load() < best.load() {
+				best = o
+			}
+		}
+		if best == nil {
+			best = p
+		}
+		best.queue = append(best.queue, t)
+		time.AfterFunc(backoff+time.Millisecond, c.cond.Broadcast)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if transient {
+		c.logf("peer %s rejected dispatch (%v); will retry", p.name, err)
+	} else {
+		c.logf("peer %s marked dead: %v", p.name, err)
+	}
+}
+
+// isAdmission reports whether a dispatch error is the peer's admission
+// control (queue full, draining) rather than a dead peer.
+func isAdmission(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "HTTP 429") || strings.Contains(msg, "HTTP 503")
+}
+
+// prober periodically re-probes dead peers and revives responders; its
+// tick also wakes workers so StealAfter scans run even when no other
+// event fires.
+func (c *coordinator) prober() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopProbe:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		var deadPeers []*peer
+		for _, p := range c.peers {
+			if !p.alive {
+				deadPeers = append(deadPeers, p)
+			}
+		}
+		c.mu.Unlock()
+		for _, p := range deadPeers {
+			if _, err := p.probe.Health(); err != nil {
+				continue
+			}
+			c.mu.Lock()
+			p.alive = true
+			c.mu.Unlock()
+			c.logf("peer %s revived", p.name)
+		}
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// preemptReady decides (and records, once per task) whether a locally
+// running task should checkpoint and hand its remainder to a peer: a
+// peer has come back alive and sits idle while the coordinator grinds
+// locally. Called from the runner's cancel polling.
+func (c *coordinator) preemptReady(t *task) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.preempted {
+		return true
+	}
+	for _, p := range c.peers {
+		if p.alive && p.load() == 0 {
+			t.preempted = true
+			t.preemptTo = p
+			c.preempts++
+			return true
+		}
+	}
+	return false
+}
+
+// peerMetrics are the per-peer counter names, in render order.
+var peerMetrics = []string{"dispatched", "stolen", "retried", "dead"}
+
+// WriteMetrics renders the fleet section of /metrics: the live-peer
+// gauge, per-peer counters in configuration order, the preemption
+// counter and the dispatch-latency histogram — fixed order, pinned by
+// the format-stability test.
+func (c *coordinator) WriteMetrics(w io.Writer) {
+	c.mu.Lock()
+	live := 0
+	vals := make(map[string][]int64, len(peerMetrics))
+	names := make([]string, len(c.peers))
+	for i, p := range c.peers {
+		if p.alive {
+			live++
+		}
+		names[i] = p.name
+		vals["dispatched"] = append(vals["dispatched"], p.dispatched)
+		vals["stolen"] = append(vals["stolen"], p.stolen)
+		vals["retried"] = append(vals["retried"], p.retried)
+		vals["dead"] = append(vals["dead"], p.dead)
+	}
+	preempts := c.preempts
+	c.mu.Unlock()
+
+	fmt.Fprintf(w, "nocd_peers_live %d\n", live)
+	for _, m := range peerMetrics {
+		for i, name := range names {
+			fmt.Fprintf(w, "nocd_peer_%s_total{peer=%q} %d\n", m, name, vals[m][i])
+		}
+	}
+	fmt.Fprintf(w, "nocd_fleet_preempted_total %d\n", preempts)
+	c.dispatch.Write(w)
+}
+
+func (c *coordinator) logf(format string, args ...any) {
+	if c.cfg.Log == nil {
+		return
+	}
+	fmt.Fprintf(c.cfg.Log, "fleet: "+format+"\n", args...)
+}

@@ -1,0 +1,371 @@
+package fleet
+
+// Failure-injection suite for the coordinator. Every test pins the
+// fleet's hard guarantee — counters hashes byte-identical to a local
+// -parallel 1 execution — while injecting the failure mode under test
+// through the flaky proxy: peer death mid-job, duplicate steals,
+// every peer down, and preemption hand-off.
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nocsim/internal/runner"
+	"nocsim/internal/serve"
+)
+
+// fleetCounters is a consistent snapshot of the coordinator's per-peer
+// accounting.
+type fleetCounters struct {
+	live                              int
+	dispatched, stolen, retried, dead []int64
+	preempts                          int64
+}
+
+func snapshotCounters(f *Fleet) fleetCounters {
+	c := f.co
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fc fleetCounters
+	for _, p := range c.peers {
+		if p.alive {
+			fc.live++
+		}
+		fc.dispatched = append(fc.dispatched, p.dispatched)
+		fc.stolen = append(fc.stolen, p.stolen)
+		fc.retried = append(fc.retried, p.retried)
+		fc.dead = append(fc.dead, p.dead)
+	}
+	fc.preempts = c.preempts
+	return fc
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// scrapeMetrics fetches a daemon's /metrics page.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// metricValue reads one unlabeled integer metric off a /metrics page.
+func metricValue(t *testing.T, page, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s = %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not on page", name)
+	return 0
+}
+
+// wideGrid is the 6-point byte-identity grid: 2 presets x 3 seeds.
+func wideGrid() SweepSpec {
+	spec := smallGrid()
+	spec.Axes[1].Values = rawVals("1", "2", "3")
+	return spec
+}
+
+// assertHashes checks every point of a completed sweep against the
+// local reference.
+func assertHashes(t *testing.T, res *SweepResult, want map[string]string) {
+	t.Helper()
+	for _, pt := range res.Points {
+		if pt.State != "done" {
+			t.Fatalf("point %q = %+v, want done", pt.Label, pt)
+		}
+		if pt.CountersHash != want[pt.Label] {
+			t.Errorf("point %q hash %s, want %s (local -parallel 1)", pt.Label, pt.CountersHash, want[pt.Label])
+		}
+	}
+}
+
+// TestFleetByteIdentity is the tentpole pin: a 3-peer fleet sweep
+// produces exactly the counters hashes of the same grid run locally at
+// -parallel 1, every point simulates exactly once across the fleet,
+// and a repeated sweep is answered 100% from the replicated local
+// cache with zero new simulations — verified through the metrics.
+func TestFleetByteIdentity(t *testing.T) {
+	var peerURLs []string
+	var peerTS []string
+	for i := 0; i < 3; i++ {
+		_, ts := startPeer(t, testServeConfig(t))
+		peerURLs = append(peerURLs, ts.URL)
+		peerTS = append(peerTS, ts.URL)
+	}
+	_, fl, ts := startDaemon(t, testServeConfig(t), Config{
+		Peers:         peerURLs,
+		Window:        2,
+		ProbeInterval: 50 * time.Millisecond,
+		StealAfter:    -1,
+		Backoff:       time.Millisecond,
+	})
+
+	spec := wideGrid()
+	want := referenceHashes(t, spec)
+
+	res, err := NewClient(ts.URL).Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 6 || res.Cached != 0 {
+		t.Fatalf("first sweep done %d cached %d, want 6 fresh", res.Done, res.Cached)
+	}
+	assertHashes(t, res, want)
+
+	fc := snapshotCounters(fl)
+	if got := sum(fc.dispatched); got != 6 {
+		t.Errorf("fleet dispatched %d jobs for 6 points, want 6", got)
+	}
+	if sum(fc.retried) != 0 || sum(fc.dead) != 0 {
+		t.Errorf("healthy fleet recorded retries/deaths: %+v", fc)
+	}
+	var peerRuns int64
+	for _, u := range peerTS {
+		peerRuns += metricValue(t, scrapeMetrics(t, u), "nocd_run_seconds_count")
+	}
+	if peerRuns != 6 {
+		t.Errorf("peers simulated %d runs for 6 points, want exactly 6", peerRuns)
+	}
+	if n := metricValue(t, scrapeMetrics(t, ts.URL), "nocd_run_seconds_count"); n != 0 {
+		t.Errorf("coordinator simulated %d runs itself, want 0", n)
+	}
+
+	// Second identical sweep: all cache hits, zero simulations anywhere.
+	res2, err := NewClient(ts.URL).Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached != 6 {
+		t.Fatalf("repeat sweep cached %d of 6 points", res2.Cached)
+	}
+	assertHashes(t, res2, want)
+	if fc2 := snapshotCounters(fl); sum(fc2.dispatched) != sum(fc.dispatched) {
+		t.Errorf("repeat sweep dispatched %d new jobs, want 0", sum(fc2.dispatched)-sum(fc.dispatched))
+	}
+	var peerRuns2 int64
+	for _, u := range peerTS {
+		peerRuns2 += metricValue(t, scrapeMetrics(t, u), "nocd_run_seconds_count")
+	}
+	if peerRuns2 != peerRuns {
+		t.Errorf("repeat sweep simulated %d new runs on peers, want 0", peerRuns2-peerRuns)
+	}
+}
+
+// TestFleetPeerDeathMidJob kills a peer after it accepts a dispatch:
+// the coordinator must mark it dead, requeue the orphaned job on the
+// surviving peer, and still deliver every point with reference-equal
+// hashes — jobs are requeued, never dropped.
+func TestFleetPeerDeathMidJob(t *testing.T) {
+	_, realA := startPeer(t, testServeConfig(t))
+	proxyA, proxyATS := newFlakyProxy(t, realA.URL)
+	_, peerB := startPeer(t, testServeConfig(t))
+	_, fl, ts := startDaemon(t, testServeConfig(t), Config{
+		Peers:         []string{proxyATS.URL, peerB.URL},
+		Window:        2,
+		ProbeInterval: 25 * time.Millisecond,
+		StealAfter:    -1,
+		Backoff:       time.Millisecond,
+	})
+	proxyA.armDeathAfterDispatch()
+
+	spec := smallGrid()
+	want := referenceHashes(t, spec)
+	res, err := NewClient(ts.URL).Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 4 || res.Failed != 0 {
+		t.Fatalf("sweep done %d failed %d, want all 4 done despite the dead peer", res.Done, res.Failed)
+	}
+	assertHashes(t, res, want)
+
+	fc := snapshotCounters(fl)
+	if fc.dead[0] < 1 {
+		t.Errorf("killed peer was never marked dead: %+v", fc)
+	}
+	if fc.retried[0] < 1 {
+		t.Errorf("no job was retried off the dead peer: %+v", fc)
+	}
+	if fc.live != 1 {
+		t.Errorf("%d peers live, want 1 (the survivor)", fc.live)
+	}
+}
+
+// TestFleetDuplicateSteal puts one peer behind a long delay so an idle
+// peer duplicate-steals its in-flight job: the first completion wins,
+// results stay reference-identical, and a resubmission is fully
+// cached — the CacheKey dedup makes the duplicate execution harmless.
+func TestFleetDuplicateSteal(t *testing.T) {
+	_, realA := startPeer(t, testServeConfig(t))
+	proxyA, proxyATS := newFlakyProxy(t, realA.URL)
+	proxyA.setDelay(300 * time.Millisecond)
+	_, peerB := startPeer(t, testServeConfig(t))
+	_, fl, ts := startDaemon(t, testServeConfig(t), Config{
+		Peers:         []string{proxyATS.URL, peerB.URL},
+		Window:        1,
+		ProbeInterval: 10 * time.Millisecond,
+		StealAfter:    20 * time.Millisecond,
+		Backoff:       time.Millisecond,
+	})
+
+	spec := smallGrid()
+	spec.Axes = spec.Axes[:1] // 2 points: one per preset
+	want := referenceHashes(t, spec)
+	res, err := NewClient(ts.URL).Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 2 {
+		t.Fatalf("sweep done %d, want 2", res.Done)
+	}
+	assertHashes(t, res, want)
+
+	if fc := snapshotCounters(fl); sum(fc.stolen) < 1 {
+		t.Errorf("no steal happened off the slow peer: %+v", fc)
+	}
+
+	res2, err := NewClient(ts.URL).Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached != 2 {
+		t.Fatalf("post-steal resubmission cached %d of 2 points (duplicate execution broke dedup?)", res2.Cached)
+	}
+	assertHashes(t, res2, want)
+}
+
+// TestFleetAllPeersDownFallback starts every peer dead: the
+// coordinator must degrade gracefully to local execution and still
+// answer the sweep with reference-equal hashes.
+func TestFleetAllPeersDownFallback(t *testing.T) {
+	_, realA := startPeer(t, testServeConfig(t))
+	proxyA, proxyATS := newFlakyProxy(t, realA.URL)
+	proxyA.setDead(true)
+	_, realB := startPeer(t, testServeConfig(t))
+	proxyB, proxyBTS := newFlakyProxy(t, realB.URL)
+	proxyB.setDead(true)
+
+	log := newSignalLog("executing")
+	_, fl, ts := startDaemon(t, testServeConfig(t), Config{
+		Peers:         []string{proxyATS.URL, proxyBTS.URL},
+		Window:        1,
+		ProbeInterval: 20 * time.Millisecond,
+		StealAfter:    -1,
+		Backoff:       time.Millisecond,
+		Log:           log,
+	})
+
+	spec := smallGrid()
+	spec.Axes = spec.Axes[:1] // 2 points
+	want := referenceHashes(t, spec)
+	res, err := NewClient(ts.URL).Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 2 || res.Failed != 0 {
+		t.Fatalf("sweep done %d failed %d, want all 2 done locally", res.Done, res.Failed)
+	}
+	assertHashes(t, res, want)
+
+	fc := snapshotCounters(fl)
+	if fc.live != 0 {
+		t.Errorf("%d peers live after total outage, want 0", fc.live)
+	}
+	if sum(fc.dispatched) != 0 {
+		t.Errorf("%d dispatches against dead peers succeeded", sum(fc.dispatched))
+	}
+	if !strings.Contains(log.String(), "executing") {
+		t.Error("coordinator never logged the local fallback")
+	}
+}
+
+// TestFleetPreemptionHandoff pins the preemption path: with its only
+// peer dead, the coordinator starts a long job locally; the peer
+// revives mid-run, the local run checkpoints and hands the remainder
+// off, and the peer resumes from the pushed blob — the result's
+// manifest records the warm source, and its counters hash equals the
+// unpreempted local reference.
+func TestFleetPreemptionHandoff(t *testing.T) {
+	peerCfg := testServeConfig(t)
+	peerCfg.SnapDir = t.TempDir()
+	_, peerTS := startPeer(t, peerCfg)
+	proxy, proxyTS := newFlakyProxy(t, peerTS.URL)
+	proxy.setDead(true)
+
+	log := newSignalLog("executing")
+	coordCfg := testServeConfig(t)
+	coordCfg.SnapDir = t.TempDir()
+	coordSrv, fl, ts := startDaemon(t, coordCfg, Config{
+		Peers:         []string{proxyTS.URL},
+		Window:        1,
+		ProbeInterval: 5 * time.Millisecond,
+		StealAfter:    -1,
+		Backoff:       time.Millisecond,
+		Log:           log,
+	})
+
+	plan := runner.PlanSpec{
+		Scale: runner.ScaleSpec{Cycles: 30_000, Epoch: 1000},
+		Runs: []runner.RunSpec{
+			{Label: "pre", Preset: "controlled", Workload: "H", Width: 8, Height: 8},
+		},
+	}
+	refSpec := SweepSpec{Scale: plan.Scale, Runs: plan.Runs}
+	want := referenceHashes(t, refSpec)
+
+	cl := serve.NewClient(ts.URL)
+	sub, err := cl.Submit(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-log.ch:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("local fallback never started; log:\n%s", log.String())
+	}
+	proxy.setDead(false) // peer revives while the local run grinds
+
+	jr := awaitJob(t, cl, sub.ID)
+	if jr.Status != "done" || len(jr.Results) != 1 {
+		t.Fatalf("job = %+v, want done with 1 result", jr)
+	}
+	if jr.Results[0].CountersHash != want["pre"] {
+		t.Errorf("preempted run hash %s, want %s (unpreempted local reference)",
+			jr.Results[0].CountersHash, want["pre"])
+	}
+	if fc := snapshotCounters(fl); fc.preempts < 1 {
+		t.Fatalf("run completed without preemption (timing too fast for this host?): %+v; log:\n%s", fc, log.String())
+	}
+	e, err := coordSrv.Cache().Get(jr.Results[0].Key)
+	if err != nil || e == nil {
+		t.Fatalf("preempted result not in the coordinator cache: %v", err)
+	}
+	if e.Manifest.WarmSource == "" || e.Manifest.WarmSource == "cold" {
+		t.Errorf("peer did not resume from the pushed checkpoint: warm source %q", e.Manifest.WarmSource)
+	}
+}

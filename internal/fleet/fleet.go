@@ -1,0 +1,111 @@
+// Package fleet turns a nocd daemon into a horizontally scalable
+// service: a batch sweep API that expands parameter grids into
+// individually cached jobs, a coordinator that fans jobs out to peer
+// daemons with bounded in-flight windows, work-stealing and
+// retry-on-peer-death, and peer-aware caching that replicates remote
+// results into the local content-addressed store.
+//
+// The layer adds no new correctness machinery — it leans entirely on
+// the determinism contract underneath. runner.CacheKey is
+// location-independent (it covers the canonicalized configuration and
+// cycle budget, never the executing process), so a result computed on
+// any peer is byte-identical to one computed locally, and a cache
+// entry can replicate freely: every entry is re-verified against its
+// counters hash on read, locally and again after crossing the wire.
+// That is what makes the fleet's hard guarantee cheap to state: a
+// sweep executed by N peers — under peer death, duplicate steals and
+// retries — produces exactly the counters hashes of the same plan run
+// locally at -parallel 1.
+//
+// Like the serve layer it extends, fleet is sanctioned ground for
+// wall-clock reads (dispatch latency, backoff, probes) and goroutines
+// (dispatch workers, the prober): all of it sits strictly above the
+// runner and none of it can reach a simulation result.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"nocsim/internal/serve"
+)
+
+// Config assembles the fleet layer over a daemon.
+type Config struct {
+	// Peers are the base URLs of peer daemons ("http://host:port") the
+	// coordinator fans jobs out to. Empty means no coordinator: the
+	// sweep API still works, executing every job locally.
+	Peers []string
+	// Window bounds the jobs in flight per peer. 0 means 2.
+	Window int
+	// ProbeInterval is the health-probe period for dead peers (and the
+	// steal-scan heartbeat). 0 means 2s.
+	ProbeInterval time.Duration
+	// StealAfter is how long a job may sit in flight on one peer before
+	// an idle worker duplicates it onto another (the cache key dedups
+	// the results). 0 means 30s; negative disables duplicate steals.
+	StealAfter time.Duration
+	// Backoff is the base retry delay after a peer failure, doubling
+	// per attempt and capped at 2s. 0 means 50ms.
+	Backoff time.Duration
+	// MaxPoints caps a single sweep's expanded grid. 0 means 4096.
+	MaxPoints int
+	// Log receives operational lines; nil discards them.
+	Log io.Writer
+}
+
+// Fleet is the enabled layer: the sweep API and, with peers, the
+// coordinator.
+type Fleet struct {
+	co *coordinator
+	sw *sweeps
+}
+
+// Enable installs the fleet layer on a daemon: the sweep routes always,
+// and with peers configured also the coordinator (job delegation, peer
+// cache lookup, fleet metrics). Call after serve.New and before the
+// daemon starts serving traffic.
+func Enable(s *serve.Server, cfg Config) (*Fleet, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 2
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.StealAfter == 0 {
+		cfg.StealAfter = 30 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 4096
+	}
+	for _, p := range cfg.Peers {
+		if strings.TrimSpace(p) == "" {
+			return nil, fmt.Errorf("fleet: empty peer address")
+		}
+	}
+
+	f := &Fleet{sw: newSweeps(s, cfg)}
+	s.Route("POST /v1/sweeps", f.sw.handleSubmit)
+	s.Route("GET /v1/sweeps/{id}", f.sw.handleGet)
+	if len(cfg.Peers) > 0 {
+		f.co = newCoordinator(s, cfg)
+		s.SetDelegate(f.co.Execute)
+		s.SetLookup(f.co.Lookup)
+		s.SetExtraMetrics(f.co.WriteMetrics)
+		f.co.start()
+	}
+	return f, nil
+}
+
+// Close stops the coordinator's workers and prober. Jobs already
+// delegated finish first; call after the daemon has drained.
+func (f *Fleet) Close() {
+	if f.co != nil {
+		f.co.close()
+	}
+}

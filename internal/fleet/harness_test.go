@@ -1,0 +1,223 @@
+package fleet
+
+// In-process fleet harness: real serve daemons behind httptest
+// listeners, a killable/delayable proxy standing in for a flaky peer,
+// and a reference executor that computes the expected counters hashes
+// locally at -parallel 1 — the ground truth every fleet test pins its
+// results against.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nocsim/internal/obs"
+	"nocsim/internal/runner"
+	"nocsim/internal/serve"
+)
+
+// testScale is the base daemon scale for fleet tests: single worker
+// shard, defaults otherwise.
+func testScale() runner.Scale {
+	sc := runner.DefaultScale()
+	sc.Workers = 1
+	return sc
+}
+
+// testServeConfig is the base daemon configuration: fresh temp cache,
+// enough workers to keep a small sweep moving.
+func testServeConfig(t *testing.T) serve.Config {
+	t.Helper()
+	return serve.Config{
+		Scale:          testScale(),
+		CacheDir:       t.TempDir(),
+		QueueCap:       32,
+		Jobs:           4,
+		SampleInterval: 500,
+	}
+}
+
+// startDaemon builds and starts one daemon with the fleet layer
+// enabled, serving over httptest. Teardown drains the queue and stops
+// the coordinator.
+func startDaemon(t *testing.T, cfg serve.Config, fc Config) (*serve.Server, *Fleet, *httptest.Server) {
+	t.Helper()
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Enable(s, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+		f.Close()
+	})
+	return s, f, ts
+}
+
+// startPeer is a plain worker daemon: no peers of its own.
+func startPeer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s, _, ts := startDaemon(t, cfg, Config{})
+	return s, ts
+}
+
+// flakyProxy fronts a real peer daemon and injects the failure modes
+// the coordinator must survive: dead (every request answers 502),
+// die-after-dispatch (the next dispatch forwards, then the peer goes
+// dark — death mid-job), and a per-request delay (a slow peer for
+// duplicate-steal tests).
+type flakyProxy struct {
+	rp *httputil.ReverseProxy
+
+	mu               sync.Mutex
+	dead             bool
+	dieAfterDispatch bool
+	delay            time.Duration
+}
+
+func newFlakyProxy(t *testing.T, target string) (*flakyProxy, *httptest.Server) {
+	t.Helper()
+	u, err := url.Parse(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flakyProxy{rp: httputil.NewSingleHostReverseProxy(u)}
+	ts := httptest.NewServer(f)
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+func (f *flakyProxy) setDead(dead bool) {
+	f.mu.Lock()
+	f.dead = dead
+	f.mu.Unlock()
+}
+
+func (f *flakyProxy) setDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// armDeathAfterDispatch lets exactly one more dispatch through, then
+// kills the proxy: the coordinator sees the submission succeed and
+// every poll after it fail.
+func (f *flakyProxy) armDeathAfterDispatch() {
+	f.mu.Lock()
+	f.dieAfterDispatch = true
+	f.mu.Unlock()
+}
+
+func (f *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	dead, delay := f.dead, f.delay
+	if !dead && f.dieAfterDispatch && r.Method == http.MethodPost && r.URL.Path == "/v1/runs" {
+		f.dead = true
+		f.dieAfterDispatch = false
+	}
+	f.mu.Unlock()
+	if dead {
+		http.Error(w, `{"error":"peer down"}`, http.StatusBadGateway)
+		return
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	f.rp.ServeHTTP(w, r)
+}
+
+// signalLog is an io.Writer that closes a channel the first time the
+// accumulated log contains needle — how tests synchronize with the
+// coordinator's internal transitions without polling.
+type signalLog struct {
+	needle string
+	ch     chan struct{}
+	t0     time.Time
+
+	mu   sync.Mutex
+	buf  bytes.Buffer
+	once sync.Once
+}
+
+func newSignalLog(needle string) *signalLog {
+	return &signalLog{needle: needle, ch: make(chan struct{}), t0: time.Now()}
+}
+
+func (l *signalLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf.WriteString(time.Since(l.t0).String() + " ")
+	l.buf.Write(p)
+	if strings.Contains(l.buf.String(), l.needle) {
+		l.once.Do(func() { close(l.ch) })
+	}
+	return len(p), nil
+}
+
+func (l *signalLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.String()
+}
+
+// referenceHashes executes the sweep's expanded points locally at
+// Workers=1 -parallel 1 — the setting the fleet's byte-identity
+// guarantee is stated against — and returns counters hash per label.
+func referenceHashes(t *testing.T, spec SweepSpec) map[string]string {
+	t.Helper()
+	points, err := spec.Points(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, runs, err := runner.PlanSpec{Scale: spec.Scale, Runs: points}.Resolve(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Workers = 1
+	sc.Parallel = 1
+	plan := runner.NewPlan(sc)
+	for _, r := range runs {
+		plan.Add(r.Label, r.Config, r.Cycles)
+	}
+	ms := plan.Execute()
+	out := make(map[string]string, len(runs))
+	for i, r := range runs {
+		var retired int64
+		for _, rt := range ms[i].Retired {
+			retired += rt
+		}
+		out[r.Label] = obs.HashCounters(ms[i].Net, retired, ms[i].Misses)
+	}
+	return out
+}
+
+// awaitJob polls a daemon for a job until it turns terminal.
+func awaitJob(t *testing.T, cl *serve.Client, id string) serve.JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		jr, err := cl.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jr.Status == "done" || jr.Status == "failed" {
+			return jr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, jr.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,457 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"nocsim/internal/runner"
+	"nocsim/internal/serve"
+	"nocsim/internal/sim"
+)
+
+// SweepSpec is the wire form of a parameter grid: a base run, axes
+// that vary its declarative fields, and optional explicit extra runs.
+// The grid expands to Base with every combination of axis values
+// applied (the last axis varying fastest), each point becoming one
+// single-run job keyed by runner.CacheKey — so repeated sweeps, and
+// sweeps overlapping other sweeps, dedup point by point.
+type SweepSpec struct {
+	// Scale overrides the daemon's base scale for every point.
+	Scale runner.ScaleSpec `json:"scale,omitempty"`
+	// Base is the run every grid point starts from.
+	Base runner.RunSpec `json:"base,omitempty"`
+	// Axes are the varied dimensions, in nesting order.
+	Axes []Axis `json:"axes,omitempty"`
+	// Runs are explicit extra points, appended after the grid.
+	Runs []runner.RunSpec `json:"runs,omitempty"`
+}
+
+// Axis names one RunSpec field and the values it sweeps over.
+type Axis struct {
+	Name   string            `json:"name"`
+	Values []json.RawMessage `json:"values"`
+}
+
+// Points expands the spec into its run list, erroring on unknown axes,
+// empty axes, malformed values, or a grid larger than maxPoints.
+func (s SweepSpec) Points(maxPoints int) ([]runner.RunSpec, error) {
+	total := 1
+	for _, ax := range s.Axes {
+		if ax.Name == "" {
+			return nil, fmt.Errorf("fleet: axis with no name")
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("fleet: axis %q has no values", ax.Name)
+		}
+		total *= len(ax.Values)
+		if total > maxPoints {
+			return nil, fmt.Errorf("fleet: grid exceeds %d points", maxPoints)
+		}
+	}
+	var points []runner.RunSpec
+	if len(s.Axes) > 0 {
+		idx := make([]int, len(s.Axes))
+		for {
+			pt := s.Base
+			var parts []string
+			for a, ax := range s.Axes {
+				v := ax.Values[idx[a]]
+				if err := applyAxis(&pt, ax.Name, v); err != nil {
+					return nil, err
+				}
+				parts = append(parts, ax.Name+"="+valueLabel(v))
+			}
+			base := s.Base.Label
+			if base == "" {
+				base = "sweep"
+			}
+			pt.Label = base + "/" + strings.Join(parts, ",")
+			points = append(points, pt)
+			// Odometer: last axis fastest.
+			a := len(idx) - 1
+			for ; a >= 0; a-- {
+				idx[a]++
+				if idx[a] < len(s.Axes[a].Values) {
+					break
+				}
+				idx[a] = 0
+			}
+			if a < 0 {
+				break
+			}
+		}
+	}
+	points = append(points, s.Runs...)
+	if len(points) == 0 {
+		return nil, fmt.Errorf("fleet: sweep declares no points")
+	}
+	if len(points) > maxPoints {
+		return nil, fmt.Errorf("fleet: grid exceeds %d points", maxPoints)
+	}
+	return points, nil
+}
+
+// applyAxis sets one declarative RunSpec field from a JSON value.
+// Raw configs cannot be swept: the axes exist so grids stay
+// rawconfig-clean, validated through the preset builders like any
+// PlanSpec.
+func applyAxis(r *runner.RunSpec, name string, v json.RawMessage) error {
+	fail := func(err error) error {
+		return fmt.Errorf("fleet: axis %q value %s: %v", name, string(v), err)
+	}
+	switch name {
+	case "preset":
+		return fail1(json.Unmarshal(v, &r.Preset), fail)
+	case "workload":
+		return fail1(json.Unmarshal(v, &r.Workload), fail)
+	case "router":
+		return fail1(json.Unmarshal(v, &r.Router), fail)
+	case "mapping":
+		return fail1(json.Unmarshal(v, &r.Mapping), fail)
+	case "width":
+		return fail1(json.Unmarshal(v, &r.Width), fail)
+	case "height":
+		return fail1(json.Unmarshal(v, &r.Height), fail)
+	case "size":
+		var n int
+		if err := json.Unmarshal(v, &n); err != nil {
+			return fail(err)
+		}
+		r.Width, r.Height = n, n
+		return nil
+	case "ring_group":
+		return fail1(json.Unmarshal(v, &r.RingGroup), fail)
+	case "side_buffer":
+		return fail1(json.Unmarshal(v, &r.SideBuffer), fail)
+	case "cycles":
+		return fail1(json.Unmarshal(v, &r.Cycles), fail)
+	case "seed":
+		return fail1(json.Unmarshal(v, &r.Seed), fail)
+	case "mean_hops":
+		return fail1(json.Unmarshal(v, &r.MeanHops), fail)
+	case "static_rate":
+		return fail1(json.Unmarshal(v, &r.StaticRate), fail)
+	case "adaptive":
+		return fail1(json.Unmarshal(v, &r.Adaptive), fail)
+	case "random_arb":
+		return fail1(json.Unmarshal(v, &r.RandomArb), fail)
+	}
+	return fmt.Errorf("fleet: unknown axis %q", name)
+}
+
+// fail1 wraps an unmarshal error with its axis context.
+func fail1(err error, fail func(error) error) error {
+	if err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// valueLabel renders an axis value for point labels: strings unquoted,
+// everything else as its compact JSON.
+func valueLabel(v json.RawMessage) string {
+	var s string
+	if json.Unmarshal(v, &s) == nil {
+		return s
+	}
+	return string(v)
+}
+
+// Wire shapes of the sweep NDJSON stream and status endpoint.
+
+// SweepEvent heads the stream: the sweep's id and point count.
+type SweepEvent struct {
+	Type   string `json:"type"` // "sweep"
+	ID     string `json:"id"`
+	Points int    `json:"points"`
+}
+
+// PointEvent reports one point reaching a terminal state.
+type PointEvent struct {
+	Type         string       `json:"type"` // "point"
+	Index        int          `json:"index"`
+	Label        string       `json:"label"`
+	Key          string       `json:"key"`
+	Job          string       `json:"job,omitempty"`
+	State        string       `json:"state"` // "done" | "failed"
+	Cached       bool         `json:"cached"`
+	CountersHash string       `json:"counters_hash,omitempty"`
+	ElapsedMS    float64      `json:"elapsed_ms,omitempty"`
+	Error        string       `json:"error,omitempty"`
+	Metrics      *sim.Metrics `json:"metrics,omitempty"`
+}
+
+// SweepSummary closes the stream.
+type SweepSummary struct {
+	Type   string `json:"type"` // "sweep_done"
+	ID     string `json:"id"`
+	Status string `json:"status"` // "done" | "failed"
+	Done   int    `json:"done"`
+	Cached int    `json:"cached"`
+	Failed int    `json:"failed"`
+}
+
+// SweepResponse is the GET /v1/sweeps/{id} snapshot.
+type SweepResponse struct {
+	ID     string       `json:"id"`
+	Status string       `json:"status"` // "running" | "done" | "failed"
+	Done   int          `json:"done"`
+	Cached int          `json:"cached"`
+	Failed int          `json:"failed"`
+	Points []PointEvent `json:"points"`
+}
+
+// sweeps owns the sweep API state: expansion, per-point submission
+// against the daemon's own queue (with 429 backpressure retries), and
+// the registry behind GET /v1/sweeps/{id}.
+type sweeps struct {
+	srv *serve.Server
+	cfg Config
+
+	mu   sync.Mutex
+	seq  int64
+	byID map[string]*sweepRec
+}
+
+// sweepRec is one sweep's registry entry; points hold the latest known
+// state per point, terminal or not.
+type sweepRec struct {
+	id     string
+	status string
+	done   int
+	cached int
+	failed int
+	points []PointEvent
+}
+
+func newSweeps(s *serve.Server, cfg Config) *sweeps {
+	return &sweeps{srv: s, cfg: cfg, byID: make(map[string]*sweepRec)}
+}
+
+// handleSubmit expands, validates and executes a sweep, streaming
+// point events as NDJSON while the grid runs. Validation is atomic —
+// any bad point rejects the whole sweep with 400 before a single job
+// is queued — and a client that disconnects mid-stream does not stop
+// the sweep: the registry keeps filling for GET /v1/sweeps/{id}.
+func (sw *sweeps) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec SweepSpec
+	if err := dec.Decode(&spec); err != nil {
+		sw.fail(w, http.StatusBadRequest, "decoding sweep: %v", err)
+		return
+	}
+	points, err := spec.Points(sw.cfg.MaxPoints)
+	if err != nil {
+		sw.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan := runner.PlanSpec{Scale: spec.Scale, Runs: points}
+	sc, runs, err := plan.Resolve(sw.srv.BaseScale())
+	if err != nil {
+		sw.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	sw.mu.Lock()
+	sw.seq++
+	rec := &sweepRec{
+		id:     fmt.Sprintf("sweep-%06d", sw.seq),
+		status: "running",
+		points: make([]PointEvent, len(runs)),
+	}
+	for i, rr := range runs {
+		rec.points[i] = PointEvent{
+			Type: "point", Index: i, Label: rr.Label, Key: rr.Key, State: "pending",
+		}
+	}
+	sw.byID[rec.id] = rec
+	sw.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	emit := func(v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		// Client write errors are ignored: the sweep keeps running and
+		// the registry keeps its record.
+		w.Write(append(b, '\n'))
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	emit(SweepEvent{Type: "sweep", ID: rec.id, Points: len(runs)})
+
+	sw.run(rec, sc, runs, emit)
+
+	sw.mu.Lock()
+	rec.status = "done"
+	if rec.failed > 0 {
+		rec.status = "failed"
+	}
+	summary := SweepSummary{
+		Type: "sweep_done", ID: rec.id, Status: rec.status,
+		Done: rec.done, Cached: rec.cached, Failed: rec.failed,
+	}
+	sw.mu.Unlock()
+	emit(summary)
+}
+
+// run drives every point to a terminal state: points are submitted as
+// fast as the daemon's admission allows (429 retries on a tick, 503
+// fails the remainder — the daemon is draining) and polled to
+// completion, emitting each point's event as it settles. Identical
+// points resolve to the same plan key and dedup onto one job.
+func (sw *sweeps) run(rec *sweepRec, sc runner.Scale, runs []runner.ResolvedRun, emit func(any)) {
+	n := len(runs)
+	jobs := make([]string, n)  // job id per point; "" = unsubmitted
+	settled := make([]bool, n) // terminal event emitted
+	remaining := n
+	draining := false
+	for remaining > 0 {
+		progressed := false
+		for i := 0; i < n; i++ {
+			if settled[i] {
+				continue
+			}
+			if jobs[i] == "" {
+				if draining {
+					sw.settle(rec, i, PointEvent{
+						Type: "point", Index: i, Label: runs[i].Label, Key: runs[i].Key,
+						State: "failed", Error: "daemon draining",
+					}, emit, &remaining, settled)
+					continue
+				}
+				resp, code := sw.srv.Submit(sc, runs[i:i+1])
+				switch code {
+				case http.StatusAccepted, http.StatusOK:
+					jobs[i] = resp.ID
+					progressed = true
+				case http.StatusTooManyRequests:
+					continue // backpressure; retry next tick
+				case http.StatusServiceUnavailable:
+					draining = true
+					sw.settle(rec, i, PointEvent{
+						Type: "point", Index: i, Label: runs[i].Label, Key: runs[i].Key,
+						State: "failed", Error: "daemon draining",
+					}, emit, &remaining, settled)
+					continue
+				}
+			}
+			if jobs[i] == "" {
+				continue
+			}
+			jr, ok := sw.srv.JobStatus(jobs[i])
+			if !ok {
+				sw.settle(rec, i, PointEvent{
+					Type: "point", Index: i, Label: runs[i].Label, Key: runs[i].Key,
+					Job: jobs[i], State: "failed", Error: "job vanished",
+				}, emit, &remaining, settled)
+				continue
+			}
+			switch jr.Status {
+			case "done":
+				pt := PointEvent{
+					Type: "point", Index: i, Label: runs[i].Label, Key: runs[i].Key,
+					Job: jobs[i], State: "done",
+				}
+				if res := resultFor(jr.Results, runs[i].Key); res != nil {
+					m := res.Metrics
+					pt.Cached = res.Cached
+					pt.CountersHash = res.CountersHash
+					pt.ElapsedMS = res.ElapsedMS
+					pt.Metrics = &m
+				} else {
+					pt.State = "failed"
+					pt.Error = "job result missing point key"
+				}
+				sw.settle(rec, i, pt, emit, &remaining, settled)
+				progressed = true
+			case "failed":
+				sw.settle(rec, i, PointEvent{
+					Type: "point", Index: i, Label: runs[i].Label, Key: runs[i].Key,
+					Job: jobs[i], State: "failed", Error: jr.Error,
+				}, emit, &remaining, settled)
+				progressed = true
+			}
+		}
+		if remaining > 0 && !progressed {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// resultFor finds a point's run result in a job's results by key (the
+// job may cover a deduped multi-point plan in other deployments; today
+// every sweep job is single-run).
+func resultFor(results []serve.RunResult, key string) *serve.RunResult {
+	for i := range results {
+		if results[i].Key == key {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
+// settle records a point's terminal event and emits it.
+func (sw *sweeps) settle(rec *sweepRec, i int, pt PointEvent, emit func(any), remaining *int, settled []bool) {
+	sw.mu.Lock()
+	rec.points[i] = pt
+	if pt.State == "failed" {
+		rec.failed++
+	} else {
+		rec.done++
+		if pt.Cached {
+			rec.cached++
+		}
+	}
+	sw.mu.Unlock()
+	settled[i] = true
+	*remaining--
+	emit(pt)
+}
+
+// handleGet answers GET /v1/sweeps/{id} with the sweep's snapshot.
+func (sw *sweeps) handleGet(w http.ResponseWriter, r *http.Request) {
+	sw.mu.Lock()
+	rec := sw.byID[r.PathValue("id")]
+	var resp SweepResponse
+	if rec != nil {
+		resp = rec.snapshotLocked()
+	}
+	sw.mu.Unlock()
+	if rec == nil {
+		sw.fail(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// snapshotLocked copies the record; callers hold the registry lock.
+func (rec *sweepRec) snapshotLocked() SweepResponse {
+	return SweepResponse{
+		ID: rec.id, Status: rec.status,
+		Done: rec.done, Cached: rec.cached, Failed: rec.failed,
+		Points: append([]PointEvent(nil), rec.points...),
+	}
+}
+
+// fail answers with an ErrorResponse, mirroring the daemon's errors.
+func (sw *sweeps) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(serve.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}

@@ -26,9 +26,12 @@ type Entry struct {
 	Metrics  sim.Metrics  `json:"metrics"`
 }
 
-// verify recomputes the counters hash over the stored metrics and
-// checks it — and the embedded key — against what the file claims.
-func (e *Entry) verify(key string) error {
+// Verify recomputes the counters hash over the stored metrics and
+// checks it — and the embedded key — against what the entry claims.
+// Every cache read runs it before serving; the fleet layer runs it
+// again on entries fetched from peers, so a replicated result obeys
+// exactly the invariants a locally computed one does.
+func (e *Entry) Verify(key string) error {
 	if e.Key != key {
 		return fmt.Errorf("serve: cache entry %s claims key %s", short(key), short(e.Key))
 	}
@@ -137,7 +140,7 @@ func (c *Cache) Get(key string) (*Entry, error) {
 		c.count(&c.misses)
 		return nil, fmt.Errorf("serve: decoding cache entry %s: %w", short(key), err)
 	}
-	if err := e.verify(key); err != nil {
+	if err := e.Verify(key); err != nil {
 		c.count(&c.misses)
 		return nil, err
 	}

@@ -36,6 +36,113 @@ func NewClient(base string) *Client {
 
 var _ runner.Remote = (*Client)(nil)
 
+// WithTimeout bounds every HTTP round trip the client makes (the fleet
+// coordinator uses a short-timeout client for health probes) and
+// returns the client for chaining.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	c.hc.Timeout = d
+	return c
+}
+
+// Base returns the daemon address the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// Submit posts a plan and returns the daemon's admission answer without
+// waiting for execution.
+func (c *Client) Submit(spec runner.PlanSpec) (SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("serve: encoding plan: %w", err)
+	}
+	var sub SubmitResponse
+	err = c.do("POST", "/v1/runs", body, &sub, nil)
+	return sub, err
+}
+
+// SubmitDispatch is Submit with the coordinator fan-out header set, so
+// the receiving daemon executes the job itself instead of re-delegating
+// it to its own peers.
+func (c *Client) SubmitDispatch(spec runner.PlanSpec) (SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitResponse{}, fmt.Errorf("serve: encoding plan: %w", err)
+	}
+	var sub SubmitResponse
+	err = c.do("POST", "/v1/runs", body, &sub, map[string]string{DispatchHeader: "1"})
+	return sub, err
+}
+
+// Job fetches a job's current status and, once terminal, results.
+func (c *Client) Job(id string) (JobResponse, error) {
+	var jr JobResponse
+	err := c.do("GET", "/v1/runs/"+id, nil, &jr)
+	return jr, err
+}
+
+// Health probes the daemon's /healthz.
+func (c *Client) Health() (HealthResponse, error) {
+	var h HealthResponse
+	err := c.do("GET", "/healthz", nil, &h)
+	return h, err
+}
+
+// CacheContains probes the daemon's cache for key via HEAD, without
+// transferring the entry.
+func (c *Client) CacheContains(key string) (bool, error) {
+	req, err := http.NewRequest(http.MethodHead, c.base+"/v1/cache/"+key, nil)
+	if err != nil {
+		return false, fmt.Errorf("serve: building HEAD /v1/cache: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("serve: HEAD /v1/cache/%s: %w", short(key), err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("serve: HEAD /v1/cache/%s: HTTP %d", short(key), resp.StatusCode)
+}
+
+// CacheEntry fetches the full cache entry for key. The caller must
+// Verify it before trusting or replicating it.
+func (c *Client) CacheEntry(key string) (*Entry, error) {
+	var e Entry
+	if err := c.do("GET", "/v1/cache/"+key, nil, &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// PushSnapshot ships a checkpoint blob to the daemon's snapshot store
+// so it can warm-start a run from state computed elsewhere.
+func (c *Client) PushSnapshot(digest string, cycle int64, key string, blob []byte) error {
+	path := fmt.Sprintf("/v1/snapshots/%s/%d?key=%s", digest, cycle, key)
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("serve: building snapshot push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: pushing snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var er ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return fmt.Errorf("serve: pushing snapshot: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: pushing snapshot: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
 // ExecuteSpecs submits the plan and blocks until the daemon finishes
 // it, returning one result per run in plan order.
 func (c *Client) ExecuteSpecs(spec runner.PlanSpec) ([]runner.RemoteResult, error) {
@@ -75,8 +182,9 @@ func (c *Client) ExecuteSpecs(spec runner.PlanSpec) ([]runner.RemoteResult, erro
 }
 
 // do runs one JSON round trip, mapping non-2xx answers to errors via
-// the daemon's ErrorResponse body.
-func (c *Client) do(method, path string, body []byte, out any) error {
+// the daemon's ErrorResponse body. An optional header map is applied to
+// the request.
+func (c *Client) do(method, path string, body []byte, out any, hdr ...map[string]string) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -87,6 +195,11 @@ func (c *Client) do(method, path string, body []byte, out any) error {
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for _, h := range hdr {
+		for k, v := range h {
+			req.Header.Set(k, v)
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

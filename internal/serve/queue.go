@@ -24,11 +24,12 @@ const (
 // Lock ordering: the server's mu is never acquired while holding a
 // job's mu (workers touch s.mu first, then j.mu, or each alone).
 type job struct {
-	id   string
-	key  string
-	sc   runner.Scale
-	runs []runner.ResolvedRun
-	born time.Time // submission instant; anchors the job's trace
+	id     string
+	key    string
+	sc     runner.Scale
+	runs   []runner.ResolvedRun
+	direct bool      // coordinator fan-out: execute in-process, never re-delegate
+	born   time.Time // submission instant; anchors the job's trace
 
 	mu         sync.Mutex
 	state      string
@@ -159,7 +160,15 @@ func (s *Server) runJob(j *job) {
 	}()
 	j.setState(stateRunning)
 	j.emit(jobEvent{Type: "job", Job: j.id, State: stateRunning})
-	results, errMsg := s.execute(j)
+	var results []RunResult
+	var errMsg string
+	handled := false
+	if d := s.delegate; d != nil && !j.direct {
+		results, errMsg, handled = d(s.delegated(j))
+	}
+	if !handled {
+		results, errMsg = s.execute(j)
+	}
 	s.release(j)
 	j.finish(results, errMsg)
 	if errMsg == "" {
@@ -174,6 +183,41 @@ func (s *Server) release(j *job) {
 	s.mu.Lock()
 	delete(s.active, j.key)
 	s.mu.Unlock()
+}
+
+// DelegatedJob is the view of a queued job handed to the delegation
+// hook (the fleet coordinator): the work to execute plus closures back
+// into the job's trace, event stream and the daemon's run counters, so
+// remote execution shows up in /v1/jobs/{id}/trace and /metrics exactly
+// like local execution does.
+type DelegatedJob struct {
+	ID    string
+	Scale runner.Scale
+	Runs  []runner.ResolvedRun
+
+	// Span and Instant record trace intervals and point events on the
+	// job's timeline; EmitRunDone appends a run_done event to the job's
+	// stream; CountRun bumps nocd_runs_outcome_total ("cached"/"fresh").
+	Span        func(name, label string, start time.Time, dur time.Duration)
+	Instant     func(name string, at time.Time)
+	EmitRunDone func(label, key string, cached bool, countersHash string)
+	CountRun    func(outcome string)
+}
+
+// delegated wraps a job for the delegation hook.
+func (s *Server) delegated(j *job) DelegatedJob {
+	return DelegatedJob{
+		ID:      j.id,
+		Scale:   j.sc,
+		Runs:    j.runs,
+		Span:    j.addSpan,
+		Instant: j.addInstant,
+		EmitRunDone: func(label, key string, cached bool, countersHash string) {
+			j.emit(runDoneEvent{Type: "run_done", Label: label, Key: key,
+				Cached: cached, CountersHash: countersHash})
+		},
+		CountRun: s.tele.countRun,
+	}
 }
 
 // execute resolves each run against the cache and simulates the misses
@@ -192,6 +236,11 @@ func (s *Server) execute(j *job) ([]RunResult, string) {
 		j.addSpan("cache_lookup", r.Label, lookup, time.Since(lookup))
 		if err != nil {
 			s.logf("job %s: %v (re-simulating)", j.id, err)
+		}
+		if e == nil && s.lookup != nil {
+			pl := time.Now()
+			e = s.lookup(r.Key)
+			j.addSpan("peer_lookup", r.Label, pl, time.Since(pl))
 		}
 		if e == nil {
 			miss = append(miss, i)

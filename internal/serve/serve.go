@@ -31,12 +31,20 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"nocsim/internal/runner"
 	"nocsim/internal/snap"
 )
+
+// DispatchHeader marks a submission as fan-out traffic from a fleet
+// coordinator. A daemon that is itself a coordinator must execute such
+// jobs locally rather than re-delegating them, or a cycle of peers
+// would bounce work forever; the header is how the receiving side
+// knows.
+const DispatchHeader = "X-Nocd-Dispatch"
 
 // Config assembles a Server.
 type Config struct {
@@ -89,6 +97,14 @@ type Server struct {
 
 	em        sync.Mutex
 	endpoints map[string]*endpointStats
+
+	// Fleet extension points, installed (before Start) by the fleet
+	// layer; all nil on a standalone daemon. delegate may execute a
+	// whole job elsewhere; lookup consults peer caches on a local miss;
+	// extraMetrics appends a subsystem section to /metrics.
+	delegate     func(DelegatedJob) (results []RunResult, errMsg string, handled bool)
+	lookup       func(key string) *Entry
+	extraMetrics func(io.Writer)
 }
 
 // endpointStats accumulates one route's request count and latency.
@@ -138,6 +154,8 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/runs/{id}/trace", s.handleTrace)
 	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.route("GET /v1/cache/stats", s.handleCacheStats)
+	s.route("GET /v1/cache/{key}", s.handleCacheEntry)
+	s.route("POST /v1/snapshots/{digest}/{cycle}", s.handleSnapPush)
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -151,6 +169,33 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // Snapshots exposes the checkpoint store; nil when unconfigured.
 func (s *Server) Snapshots() *snap.Store { return s.snaps }
+
+// BaseScale returns the daemon's base execution scale; the fleet sweep
+// layer resolves grid points against it exactly as handleSubmit does.
+func (s *Server) BaseScale() runner.Scale { return s.cfg.Scale }
+
+// Route registers an additional endpoint on the daemon's mux with the
+// same per-endpoint latency instrumentation as the built-ins. The
+// fleet layer adds its sweep routes here so one listener serves both
+// surfaces. Call before the server starts handling traffic.
+func (s *Server) Route(pattern string, h http.HandlerFunc) { s.route(pattern, h) }
+
+// SetDelegate installs the job-delegation hook. A non-nil delegate is
+// offered every non-dispatched job before local execution; returning
+// handled=false falls back to in-process execution. Install before
+// Start: workers read the field unguarded.
+func (s *Server) SetDelegate(d func(DelegatedJob) ([]RunResult, string, bool)) { s.delegate = d }
+
+// SetLookup installs the peer-cache lookup hook, consulted by the
+// in-process executor after a local cache miss and before simulating.
+// The hook returns a verified entry (replicating it locally is the
+// hook's business) or nil. Install before Start.
+func (s *Server) SetLookup(fn func(key string) *Entry) { s.lookup = fn }
+
+// SetExtraMetrics installs a subsystem section renderer appended to
+// /metrics between the daemon's own counters and the per-endpoint
+// lines. Install before the server starts handling traffic.
+func (s *Server) SetExtraMetrics(fn func(io.Writer)) { s.extraMetrics = fn }
 
 // route registers a pattern with per-endpoint latency instrumentation.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
@@ -187,12 +232,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.enqueue(w, sc, runs)
+	s.enqueue(w, sc, runs, r.Header.Get(DispatchHeader) != "")
 }
 
-// enqueue dedups, admits and queues a resolved plan, answering the
-// request with the job's SubmitResponse (shared by submit and extend).
-func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.ResolvedRun) {
+// enqueue admits a resolved plan via submit and writes the HTTP answer
+// (shared by submit and extend).
+func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.ResolvedRun, direct bool) {
+	resp, code := s.submit(sc, runs, direct)
+	switch code {
+	case http.StatusServiceUnavailable:
+		s.fail(w, code, "draining; not accepting new jobs")
+	case http.StatusTooManyRequests:
+		s.fail(w, code, "queue full (%d jobs); retry later", s.cfg.QueueCap)
+	default:
+		s.writeJSON(w, code, resp)
+	}
+}
+
+// Submit enqueues a resolved plan from in-process callers (the fleet
+// sweep layer), with the same dedup and admission control as the HTTP
+// path. The returned status code is 202 (accepted), 200 (deduped onto
+// an active job), 429 (queue full) or 503 (draining); the response is
+// meaningful for the first two.
+func (s *Server) Submit(sc runner.Scale, runs []runner.ResolvedRun) (SubmitResponse, int) {
+	return s.submit(sc, runs, false)
+}
+
+// submit dedups, admits and queues a resolved plan. direct marks
+// coordinator fan-out traffic that must execute in-process rather than
+// be re-delegated. The queue send stays inside the s.mu critical
+// section alongside the draining check: Drain sets draining and closes
+// the queue under the same mutex, so a send can never hit a closed
+// channel.
+func (s *Server) submit(sc runner.Scale, runs []runner.ResolvedRun, direct bool) (SubmitResponse, int) {
 	key := planKey(runs)
 	cached := 0
 	for _, rr := range runs {
@@ -204,33 +276,31 @@ func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.R
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.fail(w, http.StatusServiceUnavailable, "draining; not accepting new jobs")
-		return
+		return SubmitResponse{}, http.StatusServiceUnavailable
 	}
 	if ex, ok := s.active[key]; ok {
 		s.mu.Unlock()
-		s.writeJSON(w, http.StatusOK, SubmitResponse{
+		return SubmitResponse{
 			ID: ex.id, Status: ex.getState(), Dedup: true,
 			CachedRuns: cached, TotalRuns: len(runs), PlanKey: key,
-		})
-		return
+		}, http.StatusOK
 	}
 	s.seq++
 	j := &job{
-		id:    fmt.Sprintf("job-%06d", s.seq),
-		key:   key,
-		sc:    sc,
-		runs:  runs,
-		state: stateQueued,
-		born:  time.Now(),
+		id:     fmt.Sprintf("job-%06d", s.seq),
+		key:    key,
+		sc:     sc,
+		runs:   runs,
+		direct: direct,
+		state:  stateQueued,
+		born:   time.Now(),
 	}
 	select {
 	case s.queue <- j:
 	default:
 		s.seq--
 		s.mu.Unlock()
-		s.fail(w, http.StatusTooManyRequests, "queue full (%d jobs); retry later", s.cfg.QueueCap)
-		return
+		return SubmitResponse{}, http.StatusTooManyRequests
 	}
 	s.jobs[j.id] = j
 	s.active[key] = j
@@ -239,10 +309,20 @@ func (s *Server) enqueue(w http.ResponseWriter, sc runner.Scale, runs []runner.R
 	j.addInstant("submit", j.born)
 	j.emit(jobEvent{Type: "job", Job: j.id, State: stateQueued})
 	s.logf("job %s accepted: %d runs, %d cached, plan %s", j.id, len(runs), cached, short(key))
-	s.writeJSON(w, http.StatusAccepted, SubmitResponse{
+	return SubmitResponse{
 		ID: j.id, Status: stateQueued,
 		CachedRuns: cached, TotalRuns: len(runs), PlanKey: key,
-	})
+	}, http.StatusAccepted
+}
+
+// JobStatus snapshots a job by id for in-process pollers (the fleet
+// sweep layer); ok is false for unknown ids.
+func (s *Server) JobStatus(id string) (JobResponse, bool) {
+	j := s.job(id)
+	if j == nil {
+		return JobResponse{}, false
+	}
+	return j.response(), true
 }
 
 // handleExtend accepts {"cycles": N} and enqueues a new job covering
@@ -283,7 +363,7 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) {
 		runs[i] = rr
 	}
 	s.logf("job %s: extending %d runs by %d cycles", j.id, len(runs), req.Cycles)
-	s.enqueue(w, j.sc, runs)
+	s.enqueue(w, j.sc, runs, r.Header.Get(DispatchHeader) != "")
 }
 
 // handleJob answers a job's current status and, once done, results.
@@ -335,6 +415,67 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.cache.Stats())
 }
 
+// handleCacheEntry answers peer cache probes: HEAD /v1/cache/{key}
+// reports presence without reading the entry (and without skewing the
+// hit/miss statistics), GET returns the verified entry itself. This is
+// the read side of peer-aware caching; the fetching peer re-verifies
+// the counters hash before replicating, so a corrupt entry can cross
+// the wire but never enter another daemon's cache.
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if r.Method == http.MethodHead {
+		if !s.cache.Contains(key) {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	e, err := s.cache.Get(key)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "cache entry %s: %v", short(key), err)
+		return
+	}
+	if e == nil {
+		s.fail(w, http.StatusNotFound, "no cache entry %s", short(key))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, e)
+}
+
+// handleSnapPush accepts a checkpoint blob from a peer:
+// POST /v1/snapshots/{digest}/{cycle}?key=<state-key> with the raw
+// snapshot bytes as the body. A preempting coordinator pushes the
+// checkpointed state of a half-finished run here so the receiving peer
+// can warm-start the remainder; the store's own key verification (the
+// state key covers config and cycle) rejects mismatched blobs on read.
+func (s *Server) handleSnapPush(w http.ResponseWriter, r *http.Request) {
+	if s.snaps == nil {
+		s.fail(w, http.StatusNotImplemented, "no checkpoint store configured")
+		return
+	}
+	cycle, err := strconv.ParseInt(r.PathValue("cycle"), 10, 64)
+	if err != nil || cycle <= 0 {
+		s.fail(w, http.StatusBadRequest, "bad cycle %q", r.PathValue("cycle"))
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		s.fail(w, http.StatusBadRequest, "missing state key")
+		return
+	}
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "reading snapshot body: %v", err)
+		return
+	}
+	if err := s.snaps.Put(r.PathValue("digest"), cycle, key, blob); err != nil {
+		s.fail(w, http.StatusInternalServerError, "storing snapshot: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	h := HealthResponse{
@@ -383,6 +524,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "nocd_snap_evicted_total %d\n", ss.Evicted)
 	}
 	s.tele.write(w, s.snaps != nil)
+	if s.extraMetrics != nil {
+		s.extraMetrics(w)
+	}
 	s.em.Lock()
 	patterns := make([]string, 0, len(s.endpoints))
 	for pattern := range s.endpoints {

@@ -23,20 +23,31 @@ import (
 // to a long simulation (minutes).
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
 
-// histogram is one fixed-bucket latency distribution. Mutation is
-// guarded by the owning telemetry's mutex.
-type histogram struct {
-	name   string
+// Histogram is one fixed-bucket latency distribution on the shared
+// ladder. It is exported for the fleet layer, whose dispatch-latency
+// histogram must render with exactly the same bucket boundaries and
+// line shape as the daemon's own; each Histogram guards itself, so the
+// fleet can observe from its workers without borrowing the telemetry
+// mutex.
+type Histogram struct {
+	name string
+
+	mu     sync.Mutex
 	counts []int64 // per-bucket (non-cumulative); +Inf lives in total
 	sum    float64
 	total  int64
 }
 
-func newHistogram(name string) *histogram {
-	return &histogram{name: name, counts: make([]int64, len(latencyBuckets))}
+// NewHistogram returns an empty histogram named name on the shared
+// 1ms→60s ladder.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, counts: make([]int64, len(latencyBuckets))}
 }
 
-func (h *histogram) observe(seconds float64) {
+// Observe records one latency, in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for i, ub := range latencyBuckets {
 		if seconds <= ub {
 			h.counts[i]++
@@ -47,10 +58,12 @@ func (h *histogram) observe(seconds float64) {
 	h.total++
 }
 
-// write renders the histogram in Prometheus text format: cumulative
+// Write renders the histogram in Prometheus text format: cumulative
 // le-labelled buckets, +Inf, sum and count — always all lines, even at
 // zero observations, so the page shape never depends on traffic.
-func (h *histogram) write(w io.Writer) {
+func (h *Histogram) Write(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	var cum int64
 	for i, ub := range latencyBuckets {
 		cum += h.counts[i]
@@ -69,31 +82,32 @@ var (
 )
 
 // telemetry owns the daemon's latency histograms and outcome counters.
+// The histograms guard themselves; the telemetry mutex covers only the
+// outcome maps.
 type telemetry struct {
-	mu        sync.Mutex
-	queueWait *histogram // submission -> worker pickup
-	runDur    *histogram // plan.Execute wall time
-	cacheGet  *histogram // result-cache lookup round-trip
-	snapStore *histogram // checkpoint-store round-trip (final-state Put)
-	jobs      map[string]int64
-	runs      map[string]int64
+	queueWait *Histogram // submission -> worker pickup
+	runDur    *Histogram // plan.Execute wall time
+	cacheGet  *Histogram // result-cache lookup round-trip
+	snapStore *Histogram // checkpoint-store round-trip (final-state Put)
+
+	mu   sync.Mutex
+	jobs map[string]int64
+	runs map[string]int64
 }
 
 func newTelemetry() *telemetry {
 	return &telemetry{
-		queueWait: newHistogram("nocd_queue_wait_seconds"),
-		runDur:    newHistogram("nocd_run_seconds"),
-		cacheGet:  newHistogram("nocd_cache_lookup_seconds"),
-		snapStore: newHistogram("nocd_snap_store_seconds"),
+		queueWait: NewHistogram("nocd_queue_wait_seconds"),
+		runDur:    NewHistogram("nocd_run_seconds"),
+		cacheGet:  NewHistogram("nocd_cache_lookup_seconds"),
+		snapStore: NewHistogram("nocd_snap_store_seconds"),
 		jobs:      make(map[string]int64),
 		runs:      make(map[string]int64),
 	}
 }
 
-func (t *telemetry) observe(h *histogram, d time.Duration) {
-	t.mu.Lock()
-	h.observe(d.Seconds())
-	t.mu.Unlock()
+func (t *telemetry) observe(h *Histogram, d time.Duration) {
+	h.Observe(d.Seconds())
 }
 
 func (t *telemetry) countJob(outcome string) {
@@ -113,15 +127,15 @@ func (t *telemetry) countRun(outcome string) {
 // configured, mirroring the nocd_snap_ gauge section: the page shape
 // depends on configuration, never on traffic.
 func (t *telemetry) write(w io.Writer, withSnap bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	hs := []*histogram{t.queueWait, t.runDur, t.cacheGet}
+	hs := []*Histogram{t.queueWait, t.runDur, t.cacheGet}
 	if withSnap {
 		hs = append(hs, t.snapStore)
 	}
 	for _, h := range hs {
-		h.write(w)
+		h.Write(w)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, o := range jobOutcomes {
 		fmt.Fprintf(w, "nocd_jobs_outcome_total{outcome=%q} %d\n", o, t.jobs[o])
 	}
